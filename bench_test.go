@@ -1,0 +1,857 @@
+package mvolap_test
+
+// Benchmarks regenerating every table and figure of the paper (the
+// workload of each bench IS the computation behind that artefact), plus
+// scaling sweeps for the costs the paper discusses qualitatively:
+// structure-version inference, multiversion fact table materialization,
+// per-mode query latency, duplication overhead of the MultiVersion DW,
+// and the ETL snapshot differ. Run with:
+//
+//	go test -bench=. -benchmem
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"mvolap/internal/casestudy"
+	"mvolap/internal/core"
+	"mvolap/internal/cube"
+	"mvolap/internal/etl"
+	"mvolap/internal/evolution"
+	"mvolap/internal/metadata"
+	"mvolap/internal/molap"
+	"mvolap/internal/quality"
+	"mvolap/internal/rolap"
+	"mvolap/internal/scd"
+	"mvolap/internal/schemaio"
+	"mvolap/internal/temporal"
+	"mvolap/internal/tql"
+	"mvolap/internal/warehouse"
+	"mvolap/internal/workload"
+)
+
+func benchSchema(b *testing.B) *core.Schema {
+	b.Helper()
+	s, err := casestudy.New(casestudy.Config{WithFacts: true, WithSplitMappings: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func q1(mode core.Mode) core.Query {
+	return core.Query{
+		GroupBy: []core.GroupBy{{Dim: casestudy.OrgDim, Level: "Division"}},
+		Grain:   core.GrainYear,
+		Range:   temporal.Between(temporal.Year(2001), temporal.EndOfYear(2002)),
+		Mode:    mode,
+	}
+}
+
+func q2(mode core.Mode) core.Query {
+	return core.Query{
+		GroupBy: []core.GroupBy{{Dim: casestudy.OrgDim, Level: "Department"}},
+		Grain:   core.GrainYear,
+		Range:   temporal.Between(temporal.Year(2002), temporal.EndOfYear(2003)),
+		Mode:    mode,
+	}
+}
+
+func runQuery(b *testing.B, q func(*core.Schema) core.Query) {
+	b.Helper()
+	s := benchSchema(b)
+	// Warm the MVFT cache: the bench measures steady-state query cost.
+	if _, err := s.Execute(q(s)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Execute(q(s))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkTable01OrgSnapshots regenerates Tables 1, 2 and 7: the
+// dimension's leaf sets and parent links at each year.
+func BenchmarkTable01OrgSnapshots(b *testing.B) {
+	s := benchSchema(b)
+	d := s.Dimension(casestudy.OrgDim)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for _, yr := range []int{2001, 2002, 2003} {
+			at := temporal.Year(yr)
+			for _, mv := range d.LeavesAt(at) {
+				n += len(d.ParentsAt(mv.ID, at))
+			}
+		}
+		if n != 10 {
+			b.Fatalf("parent links = %d", n)
+		}
+	}
+}
+
+// BenchmarkTable03FactLoad regenerates Table 3: loading the snapshot
+// into the temporally consistent fact table, with validation.
+func BenchmarkTable03FactLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := casestudy.New(casestudy.Config{WithFacts: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Facts().Len() != 10 {
+			b.Fatal("bad fact count")
+		}
+	}
+}
+
+// BenchmarkTable04_Q1TCM, ...05, ...06 regenerate the three readings of
+// query Q1 (Tables 4-6).
+func BenchmarkTable04_Q1TCM(b *testing.B) {
+	runQuery(b, func(s *core.Schema) core.Query { return q1(core.TCM()) })
+}
+
+func BenchmarkTable05_Q1On2001(b *testing.B) {
+	runQuery(b, func(s *core.Schema) core.Query { return q1(core.InVersion(s.VersionAt(temporal.Year(2001)))) })
+}
+
+func BenchmarkTable06_Q1On2002(b *testing.B) {
+	runQuery(b, func(s *core.Schema) core.Query { return q1(core.InVersion(s.VersionAt(temporal.Year(2002)))) })
+}
+
+// BenchmarkTable08_Q2TCM, ...09, ...10 regenerate the three readings of
+// query Q2 (Tables 8-10).
+func BenchmarkTable08_Q2TCM(b *testing.B) {
+	runQuery(b, func(s *core.Schema) core.Query { return q2(core.TCM()) })
+}
+
+func BenchmarkTable09_Q2On2002(b *testing.B) {
+	runQuery(b, func(s *core.Schema) core.Query { return q2(core.InVersion(s.VersionAt(temporal.Year(2002)))) })
+}
+
+func BenchmarkTable10_Q2On2003(b *testing.B) {
+	runQuery(b, func(s *core.Schema) core.Query { return q2(core.InVersion(s.VersionAt(temporal.Year(2003)))) })
+}
+
+// BenchmarkTable11OperatorCompilation compiles the Table 11 operations
+// into basic operators.
+func BenchmarkTable11OperatorCompilation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n := 0
+		n += len(evolution.CreateMember("Org", evolution.NewMember{ID: "idV", Name: "V", Parents: []core.MVID{"idP1"}}, temporal.Year(2002)))
+		n += len(evolution.Transform("Org", "idV", evolution.NewMember{ID: "idV'", Name: "V'"}, temporal.Year(2002), 1))
+		n += len(evolution.Merge("Org", []evolution.MergeSource{
+			{ID: "a", Forward: core.UniformMapping(1, core.Identity, core.ExactMapping), Backward: core.UniformMapping(1, core.Linear{K: 0.5}, core.ApproxMapping)},
+			{ID: "b", Forward: core.UniformMapping(1, core.Identity, core.ExactMapping), Backward: core.UniformMapping(1, core.Unknown{}, core.UnknownMapping)},
+		}, evolution.NewMember{ID: "ab"}, temporal.Year(2002)))
+		n += len(evolution.Increase("Org", "v", evolution.NewMember{ID: "v+"}, temporal.Year(2002), 2, 1))
+		n += len(evolution.PartialAnnexation("Org", "v1", "v2",
+			evolution.NewMember{ID: "v1-"}, evolution.NewMember{ID: "v2+"}, temporal.Year(2002), 0.1, 0.2, 1))
+		if n != 1+3+5+3+7 {
+			b.Fatalf("operator count = %d", n)
+		}
+	}
+}
+
+// BenchmarkTable12MappingTable regenerates the mapping-relations
+// metadata table.
+func BenchmarkTable12MappingTable(b *testing.B) {
+	s := benchSchema(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := metadata.MappingTable(s)
+		if len(rows) != 2 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkFigure2GraphExport walks the Org dimension's temporal graph
+// as Figure 2 draws it.
+func BenchmarkFigure2GraphExport(b *testing.B) {
+	s := benchSchema(b)
+	d := s.Dimension(casestudy.OrgDim)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sb strings.Builder
+		for _, mv := range d.Versions() {
+			fmt.Fprintf(&sb, "%s %s\n", mv.DisplayName(), mv.Valid)
+		}
+		for _, r := range d.Relationships() {
+			fmt.Fprintf(&sb, "%s->%s %s\n", r.From, r.To, r.Valid)
+		}
+		if sb.Len() == 0 {
+			b.Fatal("empty export")
+		}
+	}
+}
+
+// BenchmarkExample7StructureVersions measures structure-version
+// inference on the case study (Example 7 extended by the Smith move).
+func BenchmarkExample7StructureVersions(b *testing.B) {
+	s := benchSchema(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Invalidate()
+		if len(s.StructureVersions()) != 3 {
+			b.Fatal("bad versions")
+		}
+	}
+}
+
+// BenchmarkFigure1Pipeline runs the whole multi-tier architecture:
+// snapshot diffing (ETL), fact loading, both warehouses, cube build and
+// a navigated query.
+func BenchmarkFigure1Pipeline(b *testing.B) {
+	snaps := []struct {
+		year  int
+		csv   string
+		hints etl.Hints
+	}{
+		{2001, "Department,Division\nDpt.Jones,Sales\nDpt.Smith,Sales\nDpt.Brian,R&D\n", etl.Hints{}},
+		{2002, "Department,Division\nDpt.Jones,Sales\nDpt.Smith,R&D\nDpt.Brian,R&D\n", etl.Hints{}},
+		{2003, "Department,Division\nDpt.Bill,Sales\nDpt.Paul,Sales\nDpt.Smith,R&D\nDpt.Brian,R&D\n",
+			etl.Hints{Splits: []etl.SplitHint{{Source: "Dpt.Jones", Targets: []string{"Dpt.Bill", "Dpt.Paul"}, Weights: []float64{0.4, 0.6}}}}},
+	}
+	const facts = "member,time,amount\nDpt.Jones,2001,100\nDpt.Smith,2001,50\nDpt.Brian,2001,100\n" +
+		"Dpt.Jones,2002,100\nDpt.Smith,2002,100\nDpt.Brian,2002,50\n" +
+		"Dpt.Bill,2003,150\nDpt.Paul,2003,50\nDpt.Smith,2003,110\nDpt.Brian,2003,40\n"
+	for i := 0; i < b.N; i++ {
+		s := core.NewSchema("inst", core.Measure{Name: "Amount", Agg: core.Sum})
+		if err := s.AddDimension(core.NewDimension("Org", "Org")); err != nil {
+			b.Fatal(err)
+		}
+		a := evolution.NewApplier(s)
+		for _, snap := range snaps {
+			parsed, err := etl.ReadDimensionSnapshot(strings.NewReader(snap.csv), temporal.Year(snap.year))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ops, err := etl.Diff(s, "Org", parsed, snap.hints)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := a.Apply(ops...); err != nil {
+				b.Fatal(err)
+			}
+		}
+		recs, err := etl.ReadFacts(strings.NewReader(facts), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := etl.LoadFacts(s, "Org", recs, nil); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := warehouse.BuildTemporal(s, a.Log()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := warehouse.BuildMultiVersion(s, warehouse.Full); err != nil {
+			b.Fatal(err)
+		}
+		c, err := cube.Build(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v, err := c.NewView()
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := v.DrillDown().SwitchMode(core.InVersion(s.VersionAt(temporal.Year(2003)))).Materialize()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(g.RowLabels) == 0 {
+			b.Fatal("empty grid")
+		}
+	}
+}
+
+// BenchmarkSec52QualityFactor computes the §5.2 quality ranking over
+// all modes.
+func BenchmarkSec52QualityFactor(b *testing.B) {
+	s := benchSchema(b)
+	w := quality.DefaultWeights()
+	q := q2(core.TCM())
+	if _, err := quality.RankModes(s, q, w); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ranked, err := quality.RankModes(s, q, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ranked[0].Quality != 1 {
+			b.Fatal("bad ranking")
+		}
+	}
+}
+
+// BenchmarkSec51Redundancy measures MultiVersion DW construction under
+// both storage policies and reports the redundancy/saving metrics.
+func BenchmarkSec51Redundancy(b *testing.B) {
+	for _, policy := range []warehouse.StoragePolicy{warehouse.Full, warehouse.Delta} {
+		b.Run(policy.String(), func(b *testing.B) {
+			s := benchSchema(b)
+			var stats warehouse.RedundancyStats
+			for i := 0; i < b.N; i++ {
+				dw, err := warehouse.BuildMultiVersion(s, policy)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats = dw.Stats
+			}
+			b.ReportMetric(float64(stats.StoredRows), "rows")
+			b.ReportMetric(stats.Redundancy(), "redundancy")
+		})
+	}
+}
+
+// BenchmarkSCDComparison runs the case-study workload through the three
+// Kimball baselines (§1.2).
+func BenchmarkSCDComparison(b *testing.B) {
+	facts := make([]scd.Fact, 0, 10)
+	for _, r := range casestudy.Table3() {
+		facts = append(facts, scd.Fact{Key: string(r.Dept), Time: r.Time, Value: r.Amount})
+	}
+	for i := 0; i < b.N; i++ {
+		t1, t2, t3 := scd.NewType1(), scd.NewType2(), scd.NewType3()
+		for _, d := range []scd.Dimension{t1, t2, t3} {
+			d.Set(string(casestudy.Jones), "Sales", temporal.Year(2001))
+			d.Set(string(casestudy.Smith), "Sales", temporal.Year(2001))
+			d.Set(string(casestudy.Brian), "R&D", temporal.Year(2001))
+			d.Set(string(casestudy.Smith), "R&D", temporal.Year(2002))
+			d.Delete(string(casestudy.Jones), temporal.Year(2003))
+			d.Set(string(casestudy.Bill), "Sales", temporal.Year(2003))
+			d.Set(string(casestudy.Paul), "Sales", temporal.Year(2003))
+		}
+		if scd.Totals(t1, facts, scd.Current).LostFacts == 0 {
+			b.Fatal("type1 must lose facts")
+		}
+		if scd.Totals(t2, facts, scd.AtTime).LostFacts != 0 {
+			b.Fatal("type2 at-time must not lose facts")
+		}
+		_ = scd.Totals(t3, facts, scd.AtTime)
+	}
+}
+
+// BenchmarkTQL measures parsing and full execution of the paper's Q2.
+func BenchmarkTQL(b *testing.B) {
+	const stmt = "SELECT Amount BY Org.Department, TIME.YEAR WHERE TIME BETWEEN 2002 AND 2003 MODE VERSION AT 2002"
+	b.Run("parse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tql.Parse(stmt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("run", func(b *testing.B) {
+		s := benchSchema(b)
+		if _, err := tql.Run(s, stmt); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := tql.Run(s, stmt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- scaling sweeps on synthetic workloads ---
+
+var sweepConfigs = []workload.Config{
+	{Seed: 1, Departments: 10, Years: 4, EvolutionsPerYear: 2},
+	{Seed: 1, Departments: 40, Years: 8, EvolutionsPerYear: 4},
+	{Seed: 1, Departments: 80, Years: 16, EvolutionsPerYear: 8},
+}
+
+func sweepName(cfg workload.Config) string {
+	return fmt.Sprintf("depts=%d/years=%d/evo=%d", cfg.Departments, cfg.Years, cfg.EvolutionsPerYear)
+}
+
+// BenchmarkStructureVersionInference measures Definition 9 inference as
+// history length and change rate grow.
+func BenchmarkStructureVersionInference(b *testing.B) {
+	for _, cfg := range sweepConfigs {
+		b.Run(sweepName(cfg), func(b *testing.B) {
+			w := workload.MustGenerate(cfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Schema.Invalidate()
+				if len(w.Schema.StructureVersions()) == 0 {
+					b.Fatal("no versions")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMVFTInference measures Definition 11 materialization (all
+// modes) as the schema grows.
+func BenchmarkMVFTInference(b *testing.B) {
+	for _, cfg := range sweepConfigs {
+		b.Run(sweepName(cfg), func(b *testing.B) {
+			w := workload.MustGenerate(cfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Schema.Invalidate()
+				if _, err := w.Schema.MultiVersion().All(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQueryByMode compares steady-state query latency in tcm vs a
+// version mode on the midsize workload.
+func BenchmarkQueryByMode(b *testing.B) {
+	w := workload.MustGenerate(sweepConfigs[1])
+	s := w.Schema
+	modes := map[string]core.Mode{
+		"tcm":     core.TCM(),
+		"version": core.InVersion(s.StructureVersions()[0]),
+	}
+	for name, mode := range modes {
+		b.Run(name, func(b *testing.B) {
+			q := core.Query{
+				GroupBy: []core.GroupBy{{Dim: workload.OrgDim, Level: "Division"}},
+				Grain:   core.GrainYear,
+				Mode:    mode,
+			}
+			if _, err := s.Execute(q); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Execute(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRedundancySweep quantifies the §5.1 duplication overhead as
+// the number of structure versions grows, under both policies.
+func BenchmarkRedundancySweep(b *testing.B) {
+	for _, cfg := range sweepConfigs {
+		w := workload.MustGenerate(cfg)
+		for _, policy := range []warehouse.StoragePolicy{warehouse.Full, warehouse.Delta} {
+			b.Run(sweepName(cfg)+"/"+policy.String(), func(b *testing.B) {
+				var stats warehouse.RedundancyStats
+				for i := 0; i < b.N; i++ {
+					dw, err := warehouse.BuildMultiVersion(w.Schema, policy)
+					if err != nil {
+						b.Fatal(err)
+					}
+					stats = dw.Stats
+				}
+				b.ReportMetric(float64(stats.StoredRows), "rows")
+				b.ReportMetric(stats.Saving(), "saving")
+			})
+		}
+	}
+}
+
+// BenchmarkCubeBuildAndPrecompute measures cube construction plus
+// aggregate precomputation across all modes and levels.
+func BenchmarkCubeBuildAndPrecompute(b *testing.B) {
+	w := workload.MustGenerate(sweepConfigs[1])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := cube.Build(w.Schema)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Precompute(workload.OrgDim, core.GrainYear); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkETLDiff measures snapshot diffing as dimension size grows.
+func BenchmarkETLDiff(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("members=%d", n), func(b *testing.B) {
+			s := core.NewSchema("d", core.Measure{Name: "m", Agg: core.Sum})
+			if err := s.AddDimension(core.NewDimension("Org", "Org")); err != nil {
+				b.Fatal(err)
+			}
+			var sb strings.Builder
+			sb.WriteString("Department,Division\n")
+			for i := 0; i < n; i++ {
+				fmt.Fprintf(&sb, "dept-%d,div-%d\n", i, i%5)
+			}
+			snap1, err := etl.ReadDimensionSnapshot(strings.NewReader(sb.String()), temporal.Year(2001))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ops, err := etl.Diff(s, "Org", snap1, etl.Hints{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := evolution.NewApplier(s).Apply(ops...); err != nil {
+				b.Fatal(err)
+			}
+			// Second snapshot: 10% of members reclassified.
+			var sb2 strings.Builder
+			sb2.WriteString("Department,Division\n")
+			for i := 0; i < n; i++ {
+				div := i % 5
+				if i%10 == 0 {
+					div = (div + 1) % 5
+				}
+				fmt.Fprintf(&sb2, "dept-%d,div-%d\n", i, div)
+			}
+			snap2, err := etl.ReadDimensionSnapshot(strings.NewReader(sb2.String()), temporal.Year(2002))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ops, err := etl.Diff(s, "Org", snap2, etl.Hints{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(ops) == 0 {
+					b.Fatal("no reclassifications detected")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRolapSubstrate measures the relational engine primitives the
+// warehouses run on.
+func BenchmarkRolapSubstrate(b *testing.B) {
+	const rows = 10000
+	fact := rolap.MustNewTable("fact", rolap.Schema{
+		{Name: "dept", Type: rolap.Text},
+		{Name: "year", Type: rolap.Int},
+		{Name: "amount", Type: rolap.Float},
+	})
+	for i := 0; i < rows; i++ {
+		fact.MustInsert(fmt.Sprintf("dept-%d", i%100), 2000+i%10, float64(i%500))
+	}
+	dim := rolap.MustNewTable("dim", rolap.Schema{
+		{Name: "id", Type: rolap.Text},
+		{Name: "division", Type: rolap.Text},
+	})
+	for i := 0; i < 100; i++ {
+		dim.MustInsert(fmt.Sprintf("dept-%d", i), fmt.Sprintf("div-%d", i%7))
+	}
+	db := rolap.NewDatabase("bench")
+	dbAdd(b, db, fact)
+	dbAdd(b, db, dim)
+	b.Run("group-by", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rel, err := db.Query("SELECT year, SUM(amount) AS total FROM fact GROUP BY year")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rel.Rows) != 10 {
+				b.Fatal("bad group count")
+			}
+		}
+	})
+	b.Run("join-rollup", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rel, err := db.Query("SELECT division, SUM(amount) AS total " +
+				"FROM fact JOIN dim ON fact.dept = dim.id GROUP BY division")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rel.Rows) != 7 {
+				b.Fatal("bad rollup")
+			}
+		}
+	})
+}
+
+func dbAdd(b *testing.B, db *rolap.Database, t *rolap.Table) {
+	b.Helper()
+	created, err := db.CreateTable(t.Name, t.Schema())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, row := range t.Rows() {
+		created.MustInsert(row...)
+	}
+}
+
+// --- ablations: the design choices DESIGN.md calls out ---
+
+// BenchmarkAblationMapperComposition compares the collapsed linear
+// composition (k factors multiply into a single Linear) against generic
+// function chaining for a 1000-step mapping chain, applied a thousand
+// times — why the engine special-cases Linear∘Linear.
+func BenchmarkAblationMapperComposition(b *testing.B) {
+	const chainLen = 1000
+	b.Run("linear-collapsed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var m core.Mapper = core.Linear{K: 1.0001}
+			for j := 0; j < chainLen; j++ {
+				m = m.Compose(core.Linear{K: 0.9999})
+			}
+			for j := 0; j < 1000; j++ {
+				if _, ok := m.Map(float64(j)); !ok {
+					b.Fatal("map failed")
+				}
+			}
+		}
+	})
+	b.Run("func-chained", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var m core.Mapper = core.Func{F: func(x float64) float64 { return x * 1.0001 }}
+			for j := 0; j < chainLen; j++ {
+				m = m.Compose(core.Func{F: func(x float64) float64 { return x * 0.9999 }})
+			}
+			for j := 0; j < 1000; j++ {
+				if _, ok := m.Map(float64(j)); !ok {
+					b.Fatal("map failed")
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblationConfidenceAlgebra compares the Example 5 truth table
+// against the quantitative algebra on the combine hot path.
+func BenchmarkAblationConfidenceAlgebra(b *testing.B) {
+	algs := map[string]core.ConfidenceAlgebra{
+		"truth-table":  core.PaperAlgebra(),
+		"quantitative": core.NewQuantitativeAlgebra(),
+	}
+	for name, alg := range algs {
+		b.Run(name, func(b *testing.B) {
+			cfs := []core.Confidence{core.SourceData, core.ExactMapping, core.ApproxMapping, core.UnknownMapping}
+			for i := 0; i < b.N; i++ {
+				acc := core.SourceData
+				for j := 0; j < 1000; j++ {
+					acc = alg.Combine(acc, cfs[j%4])
+				}
+				_ = acc
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCubeCache compares cold (cache invalidated each
+// iteration) and warm cube materialization — the value of aggregate
+// precomputation (§1.1).
+func BenchmarkAblationCubeCache(b *testing.B) {
+	w := workload.MustGenerate(sweepConfigs[1])
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c, err := cube.Build(w.Schema)
+			if err != nil {
+				b.Fatal(err)
+			}
+			v, _ := c.NewView()
+			if _, err := v.Materialize(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		c, err := cube.Build(w.Schema)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v, _ := c.NewView()
+		if _, err := v.Materialize(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := v.Materialize(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationDeltaReadCost measures the read-side price of delta
+// storage: reconstructing a mode's rows versus reading them stored.
+func BenchmarkAblationDeltaReadCost(b *testing.B) {
+	w := workload.MustGenerate(sweepConfigs[1])
+	mode := w.Schema.StructureVersions()[0].ID
+	for _, policy := range []warehouse.StoragePolicy{warehouse.Full, warehouse.Delta} {
+		dw, err := warehouse.BuildMultiVersion(w.Schema, policy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(policy.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rel, err := dw.FactRows(mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rel.Rows) == 0 {
+					b.Fatal("no rows")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRolapVsMolap compares a time-range aggregation for a
+// single member executed three ways: the ROLAP SQL engine, the core
+// query engine, and the MOLAP dense array's O(1) prefix sums — the §4.2
+// server-architecture trade-off made measurable.
+func BenchmarkAblationRolapVsMolap(b *testing.B) {
+	w := workload.MustGenerate(workload.Config{Seed: 5, Departments: 30, Years: 10, EvolutionsPerYear: 2, FactsPerYear: 12})
+	s := w.Schema
+	// Pick a leaf with data.
+	target := s.Facts().Facts()[0].Coords[0]
+	from, to := temporal.Year(workload.StartYear), temporal.EndOfYear(workload.StartYear+9)
+
+	b.Run("rolap-sql", func(b *testing.B) {
+		dw, err := warehouse.BuildTemporal(s, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		q := fmt.Sprintf("SELECT SUM(m0) AS total FROM fact WHERE d_Org = '%s' AND t >= %d AND t <= %d",
+			target, int64(from), int64(to))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := dw.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("core-engine", func(b *testing.B) {
+		q := core.Query{
+			GroupBy: []core.GroupBy{{Dim: workload.OrgDim, Level: "Department"}},
+			Grain:   core.GrainAll,
+			Range:   temporal.Between(from, to),
+			Mode:    core.TCM(),
+		}
+		if _, err := s.Execute(q); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Execute(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("molap-array", func(b *testing.B) {
+		st, err := molap.Build(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := st.Grid(core.TCM())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := g.RangeSum(core.Coords{target}, from, to, 0); !ok {
+				b.Fatal("missing row")
+			}
+		}
+	})
+}
+
+// BenchmarkSchemaIO measures JSON persistence of a midsize warehouse.
+func BenchmarkSchemaIO(b *testing.B) {
+	w := workload.MustGenerate(sweepConfigs[1])
+	var buf bytes.Buffer
+	if err := schemaio.Write(&buf, w.Schema); err != nil {
+		b.Fatal(err)
+	}
+	blob := buf.Bytes()
+	b.Run("write", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var out bytes.Buffer
+			if err := schemaio.Write(&out, w.Schema); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("read", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := schemaio.Read(bytes.NewReader(blob)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDrillAcross measures the galaxy-schema drill-across over two
+// conformed stars built from the same synthetic dimension.
+func BenchmarkDrillAcross(b *testing.B) {
+	w := workload.MustGenerate(workload.Config{Seed: 2, Departments: 20, Years: 6, EvolutionsPerYear: 2})
+	star1 := w.Schema
+	star2 := core.NewSchema("secondary", core.Measure{Name: "m0", Agg: core.Sum})
+	src := star1.Dimension(workload.OrgDim)
+	d := core.NewDimension(workload.OrgDim, "Org")
+	for _, mv := range src.Versions() {
+		if err := d.AddVersion(mv.Clone()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range src.Relationships() {
+		if err := d.AddRelationship(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := star2.AddDimension(d); err != nil {
+		b.Fatal(err)
+	}
+	for _, f := range star1.Facts().Facts() {
+		if err := star2.InsertFact(f.Coords.Clone(), f.Time, f.Values[0]*0.9); err != nil {
+			b.Fatal(err)
+		}
+	}
+	c := warehouse.NewConstellation("bench")
+	if err := c.AddStar(star1); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.AddStar(star2); err != nil {
+		b.Fatal(err)
+	}
+	q := core.Query{
+		GroupBy: []core.GroupBy{{Dim: workload.OrgDim, Level: "Division"}},
+		Grain:   core.GrainYear,
+	}
+	tcm := func(*core.Schema) core.Mode { return core.TCM() }
+	if _, err := c.DrillAcross(q, tcm); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := c.DrillAcross(q, tcm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("empty drill-across")
+		}
+	}
+}
+
+// BenchmarkMartExtraction measures Figure-1 data-mart extraction.
+func BenchmarkMartExtraction(b *testing.B) {
+	w := workload.MustGenerate(sweepConfigs[1])
+	for i := 0; i < b.N; i++ {
+		mart, err := warehouse.ExtractMart(w.Schema, warehouse.MartSpec{Name: "all"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if mart.Facts().Len() == 0 {
+			b.Fatal("empty mart")
+		}
+	}
+}

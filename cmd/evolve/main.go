@@ -1,0 +1,91 @@
+// Command evolve applies an evolution script to a stored schema: the
+// administrator's tool for integrating structural changes (§3.2 of the
+// paper) — insertions, exclusions, mapping associations,
+// reclassifications, splits and merges.
+//
+// Usage:
+//
+//	evolve -schema in.json -script changes.evo -out out.json
+//
+// The script language is documented in internal/evolution/script.go;
+// the paper's case-study history reads:
+//
+//	RECLASSIFY Org Dpt.Smith_id AT 01/2002 FROM Sales_id TO R&D_id
+//	SPLIT Org Dpt.Jones_id AT 01/2003 LEVEL Department PARENTS Sales_id INTO Dpt.Bill_id=0.4 Dpt.Paul_id=0.6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mvolap/internal/evolution"
+	"mvolap/internal/schemaio"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "evolve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("evolve", flag.ContinueOnError)
+	schemaPath := fs.String("schema", "", "path to the schema JSON file")
+	scriptPath := fs.String("script", "", "path to the evolution script")
+	outPath := fs.String("out", "", "where to write the evolved schema (default: overwrite -schema)")
+	dry := fs.Bool("dry-run", false, "parse and apply in memory, print the log, write nothing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *schemaPath == "" || *scriptPath == "" {
+		return fmt.Errorf("need -schema and -script")
+	}
+	sf, err := os.Open(*schemaPath)
+	if err != nil {
+		return err
+	}
+	s, err := schemaio.Read(sf)
+	sf.Close()
+	if err != nil {
+		return err
+	}
+
+	scf, err := os.Open(*scriptPath)
+	if err != nil {
+		return err
+	}
+	ops, err := evolution.ParseScript(scf, len(s.Measures()))
+	scf.Close()
+	if err != nil {
+		return err
+	}
+
+	a := evolution.NewApplier(s)
+	if err := a.Apply(ops...); err != nil {
+		return err
+	}
+	if err := s.Validate(); err != nil {
+		return fmt.Errorf("schema invalid after evolution: %w", err)
+	}
+	fmt.Fprintf(out, "applied %d operators:\n%s", len(a.Log()), a.Script())
+	fmt.Fprintf(out, "structure versions now:\n")
+	for _, v := range s.StructureVersions() {
+		fmt.Fprintf(out, "  %s\n", v)
+	}
+	if *dry {
+		return nil
+	}
+	target := *outPath
+	if target == "" {
+		target = *schemaPath
+	}
+	f, err := os.Create(target)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return schemaio.Write(f, s)
+}

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mvolap/internal/core"
+	"mvolap/internal/schemaio"
+	"mvolap/internal/temporal"
+)
+
+// initialSchema writes the 2001 organization (pre-evolution) to disk.
+func initialSchema(t *testing.T) string {
+	t.Helper()
+	s := core.NewSchema("institution", core.Measure{Name: "Amount", Agg: core.Sum})
+	d := core.NewDimension("Org", "Org")
+	add := func(id core.MVID, name, level string) {
+		if err := d.AddVersion(&core.MemberVersion{
+			ID: id, Member: name, Name: name, Level: level,
+			Valid: temporal.Since(temporal.Year(2001)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("Sales", "Sales", "Division")
+	add("R&D", "R&D", "Division")
+	add("Jones", "Dpt.Jones", "Department")
+	add("Smith", "Dpt.Smith", "Department")
+	add("Brian", "Dpt.Brian", "Department")
+	for _, r := range []core.TemporalRelationship{
+		{From: "Jones", To: "Sales", Valid: temporal.Since(temporal.Year(2001))},
+		{From: "Smith", To: "Sales", Valid: temporal.Since(temporal.Year(2001))},
+		{From: "Brian", To: "R&D", Valid: temporal.Since(temporal.Year(2001))},
+	} {
+		if err := d.AddRelationship(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AddDimension(d); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "schema.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := schemaio.Write(f, s); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const caseScript = `
+RECLASSIFY Org Smith AT 01/2002 FROM Sales TO R&D
+SPLIT Org Jones AT 01/2003 LEVEL Department PARENTS Sales INTO Bill=0.4 Paul=0.6
+`
+
+func TestEvolveAppliesScript(t *testing.T) {
+	schema := initialSchema(t)
+	script := filepath.Join(t.TempDir(), "changes.evo")
+	if err := os.WriteFile(script, []byte(caseScript), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(t.TempDir(), "evolved.json")
+	var out bytes.Buffer
+	if err := run([]string{"-schema", schema, "-script", script, "-out", outPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "V3 [01/2003 ; Now]") {
+		t.Errorf("output:\n%s", out.String())
+	}
+	// The evolved schema loads and has the split members.
+	f, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s, err := schemaio.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dimension("Org").Version("Bill") == nil {
+		t.Error("evolved schema missing split member")
+	}
+	if len(s.Mappings()) != 2 {
+		t.Errorf("mappings = %d", len(s.Mappings()))
+	}
+}
+
+func TestEvolveDryRun(t *testing.T) {
+	schema := initialSchema(t)
+	script := filepath.Join(t.TempDir(), "changes.evo")
+	if err := os.WriteFile(script, []byte(caseScript), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-schema", schema, "-script", script, "-dry-run"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("dry run must not write")
+	}
+	if !strings.Contains(out.String(), "applied 6 operators") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestEvolveOverwritesInPlaceByDefault(t *testing.T) {
+	schema := initialSchema(t)
+	script := filepath.Join(t.TempDir(), "changes.evo")
+	if err := os.WriteFile(script, []byte("EXCLUDE Org Brian AT 01/2002\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-schema", schema, "-script", script}, &out); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := os.Open(schema)
+	defer f.Close()
+	s, err := schemaio.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dimension("Org").Version("Brian").Valid.End != temporal.YM(2001, 12) {
+		t.Error("in-place write missing")
+	}
+}
+
+func TestEvolveErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing flags must fail")
+	}
+	if err := run([]string{"-schema", "/nope.json", "-script", "/nope.evo"}, &out); err == nil {
+		t.Error("missing schema file must fail")
+	}
+	schema := initialSchema(t)
+	if err := run([]string{"-schema", schema, "-script", "/nope.evo"}, &out); err == nil {
+		t.Error("missing script must fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.evo")
+	if err := os.WriteFile(bad, []byte("FROBNICATE\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-schema", schema, "-script", bad}, &out); err == nil {
+		t.Error("bad script must fail")
+	}
+	// Script referencing unknown members fails at application.
+	unknown := filepath.Join(t.TempDir(), "unknown.evo")
+	if err := os.WriteFile(unknown, []byte("EXCLUDE Org Nobody AT 01/2002\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-schema", schema, "-script", unknown}, &out); err == nil {
+		t.Error("unknown member must fail")
+	}
+}

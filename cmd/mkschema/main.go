@@ -1,0 +1,103 @@
+// Command mkschema bootstraps a temporal warehouse schema from an
+// operational dimension snapshot, completing the file-based workflow:
+//
+//	mkschema -name institution -dim Org -measures 'Amount:SUM' \
+//	         -snapshot org2001.csv -at 01/2001 -out warehouse.json
+//	evolve   -schema warehouse.json -script changes.evo
+//	mvolap   -schema warehouse.json 'SELECT Amount BY Org.Division, TIME.YEAR'
+//
+// The snapshot CSV names the levels in its header, leaf level first
+// (see internal/etl); the initial structure is created valid from -at.
+// Facts are loaded separately (see etl.ReadFacts / LoadFacts) or
+// inserted through the API.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mvolap/internal/core"
+	"mvolap/internal/etl"
+	"mvolap/internal/evolution"
+	"mvolap/internal/schemaio"
+	"mvolap/internal/temporal"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mkschema:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mkschema", flag.ContinueOnError)
+	name := fs.String("name", "warehouse", "schema name")
+	dim := fs.String("dim", "", "dimension ID for the snapshot")
+	measuresSpec := fs.String("measures", "", "comma-separated measures as name:AGG (SUM, COUNT, MIN, MAX, AVG)")
+	snapshotPath := fs.String("snapshot", "", "dimension snapshot CSV (header = levels, leaf first)")
+	atSpec := fs.String("at", "", "validity start of the initial structure (YYYY or MM/YYYY)")
+	outPath := fs.String("out", "", "output schema JSON path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dim == "" || *measuresSpec == "" || *snapshotPath == "" || *atSpec == "" || *outPath == "" {
+		return fmt.Errorf("need -dim, -measures, -snapshot, -at and -out")
+	}
+	at, err := temporal.ParseInstant(*atSpec)
+	if err != nil {
+		return err
+	}
+	var measures []core.Measure
+	for _, spec := range strings.Split(*measuresSpec, ",") {
+		mn, aggName, ok := strings.Cut(strings.TrimSpace(spec), ":")
+		if !ok || mn == "" {
+			return fmt.Errorf("measure %q: want name:AGG", spec)
+		}
+		agg, err := core.ParseAggKind(aggName)
+		if err != nil {
+			return err
+		}
+		measures = append(measures, core.Measure{Name: mn, Agg: agg})
+	}
+
+	s := core.NewSchema(*name, measures...)
+	if err := s.AddDimension(core.NewDimension(core.DimID(*dim), *dim)); err != nil {
+		return err
+	}
+	f, err := os.Open(*snapshotPath)
+	if err != nil {
+		return err
+	}
+	snap, err := etl.ReadDimensionSnapshot(f, at)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	ops, err := etl.Diff(s, core.DimID(*dim), snap, etl.Hints{})
+	if err != nil {
+		return err
+	}
+	a := evolution.NewApplier(s)
+	if err := a.Apply(ops...); err != nil {
+		return err
+	}
+	if err := s.Validate(); err != nil {
+		return fmt.Errorf("bootstrapped schema invalid: %w", err)
+	}
+	of, err := os.Create(*outPath)
+	if err != nil {
+		return err
+	}
+	defer of.Close()
+	if err := schemaio.Write(of, s); err != nil {
+		return err
+	}
+	d := s.Dimension(core.DimID(*dim))
+	fmt.Fprintf(out, "created %s: dimension %s with %d member versions (%d levels) valid from %s\n",
+		*outPath, *dim, len(d.Versions()), len(snap.Levels), at)
+	return nil
+}

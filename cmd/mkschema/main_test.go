@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mvolap/internal/schemaio"
+)
+
+const snapshotCSV = `Department,Division
+Dpt.Jones,Sales
+Dpt.Smith,Sales
+Dpt.Brian,R&D
+`
+
+func TestMkSchema(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "org.csv")
+	if err := os.WriteFile(snap, []byte(snapshotCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "schema.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-name", "institution", "-dim", "Org",
+		"-measures", "Amount:SUM",
+		"-snapshot", snap, "-at", "01/2001", "-out", outPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "5 member versions") {
+		t.Errorf("output: %s", out.String())
+	}
+	f, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s, err := schemaio.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.Dimension("Org")
+	if d == nil || len(d.Versions()) != 5 {
+		t.Fatalf("schema dimension = %v", d)
+	}
+	ps := d.ParentsAt("Dpt.Smith", 24012) // 01/2001
+	if len(ps) != 1 || ps[0].Member != "Sales" {
+		t.Errorf("Smith parents = %v", ps)
+	}
+	if s.Measures()[0].Name != "Amount" {
+		t.Errorf("measures = %v", s.Measures())
+	}
+}
+
+func TestMkSchemaMultipleMeasures(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "org.csv")
+	if err := os.WriteFile(snap, []byte(snapshotCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "schema.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-dim", "Org", "-measures", "Turnover:SUM, Profit:AVG",
+		"-snapshot", snap, "-at", "2001", "-out", outPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := os.Open(outPath)
+	defer f.Close()
+	s, err := schemaio.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Measures()) != 2 || s.Measures()[1].Name != "Profit" {
+		t.Errorf("measures = %v", s.Measures())
+	}
+}
+
+func TestMkSchemaErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing flags must fail")
+	}
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "org.csv")
+	if err := os.WriteFile(snap, []byte(snapshotCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := []string{"-dim", "Org", "-snapshot", snap, "-out", filepath.Join(dir, "o.json")}
+	cases := [][]string{
+		append([]string{"-measures", "Amount:SUM", "-at", "junk"}, base...),
+		append([]string{"-measures", "Amount", "-at", "2001"}, base...),
+		append([]string{"-measures", "Amount:BOGUS", "-at", "2001"}, base...),
+		{"-dim", "Org", "-measures", "A:SUM", "-at", "2001", "-snapshot", "/nope.csv", "-out", filepath.Join(dir, "o.json")},
+	}
+	for i, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("case %d must fail", i)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Command mvolapd serves a temporal multidimensional warehouse over
+// HTTP — the front-end tier of the paper's Figure 1 architecture.
+//
+// Usage:
+//
+//	mvolapd -addr :8080 -schema warehouse.json
+//	mvolapd -addr :8080 -demo -allow-evolve
+//
+// Then:
+//
+//	curl 'localhost:8080/query?q=SELECT+Amount+BY+Org.Division,+TIME.YEAR+MODE+tcm'
+//	curl 'localhost:8080/modes'
+//	curl 'localhost:8080/schema'
+//	curl -X POST --data-binary @changes.evo 'localhost:8080/evolve'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"mvolap/internal/casestudy"
+	"mvolap/internal/core"
+	"mvolap/internal/schemaio"
+	"mvolap/internal/server"
+)
+
+func main() {
+	fs := flag.NewFlagSet("mvolapd", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	schemaPath := fs.String("schema", "", "path to a schema JSON file")
+	demo := fs.Bool("demo", false, "serve the built-in ICDE 2003 case study")
+	allowEvolve := fs.Bool("allow-evolve", false, "enable POST /evolve")
+	fs.Parse(os.Args[1:])
+
+	sch, err := loadSchema(*schemaPath, *demo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mvolapd:", err)
+		os.Exit(1)
+	}
+	var opts []server.Option
+	if *allowEvolve {
+		opts = append(opts, server.WithEvolution())
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(sch, opts...).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("mvolapd: serving %q on %s (evolve=%v)", sch.Name, *addr, *allowEvolve)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func loadSchema(path string, demo bool) (*core.Schema, error) {
+	switch {
+	case demo:
+		return casestudy.New(casestudy.Config{WithFacts: true, WithSplitMappings: true})
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return schemaio.Read(f)
+	}
+	return nil, fmt.Errorf("need -schema FILE or -demo")
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mvolap/internal/casestudy"
+	"mvolap/internal/schemaio"
+)
+
+func TestLoadSchemaDemo(t *testing.T) {
+	s, err := loadSchema("", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Facts().Len() != 10 {
+		t.Errorf("demo facts = %d", s.Facts().Len())
+	}
+}
+
+func TestLoadSchemaFile(t *testing.T) {
+	src, err := casestudy.New(casestudy.Config{WithFacts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "s.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := schemaio.Write(f, src); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	s, err := loadSchema(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "institution" {
+		t.Errorf("name = %q", s.Name)
+	}
+}
+
+func TestLoadSchemaErrors(t *testing.T) {
+	if _, err := loadSchema("", false); err == nil {
+		t.Error("no source must fail")
+	}
+	if _, err := loadSchema("/nonexistent.json", false); err == nil {
+		t.Error("missing file must fail")
+	}
+}

@@ -1,0 +1,131 @@
+// Galaxy: a fact constellation (§1.1's "galaxy schema") over one
+// conformed evolving dimension — a Sales star and a Budget star share
+// the Organization dimension of the paper's case study — queried with
+// drill-across so actuals and budgets line up per division and year in
+// any temporal mode. A data mart is then extracted for the Sales
+// division only.
+//
+// Run with: go run ./examples/galaxy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mvolap"
+	"mvolap/internal/casestudy"
+	"mvolap/internal/core"
+	"mvolap/internal/warehouse"
+)
+
+func main() {
+	sales, err := casestudy.New(casestudy.Config{WithFacts: true, WithSplitMappings: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	budget := buildBudgetStar(sales)
+
+	c := warehouse.NewConstellation("institution-galaxy")
+	must(c.AddStar(sales))
+	must(c.AddStar(budget))
+
+	q := core.Query{
+		GroupBy: []core.GroupBy{{Dim: casestudy.OrgDim, Level: "Division"}},
+		Grain:   core.GrainYear,
+	}
+	fmt.Println("Actuals vs budget per division, consistent time:")
+	printDrillAcross(c, q, func(*core.Schema) core.Mode { return core.TCM() })
+
+	fmt.Println("Actuals vs budget per department, everything in the 2002 structure:")
+	q2 := core.Query{
+		GroupBy: []core.GroupBy{{Dim: casestudy.OrgDim, Level: "Department"}},
+		Grain:   core.GrainYear,
+	}
+	printDrillAcross(c, q2, func(s *core.Schema) core.Mode {
+		return core.InVersion(s.VersionAt(mvolap.Year(2002)))
+	})
+
+	// A data mart for the Sales subject only (Figure 1's optional tier).
+	mart, err := warehouse.ExtractMart(sales, warehouse.MartSpec{
+		Name:    "sales-mart",
+		Members: map[core.DimID][]string{casestudy.OrgDim: {"Sales"}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Extracted mart %q: %d of %d facts, %d structure versions carried over\n",
+		mart.Name, mart.Facts().Len(), sales.Facts().Len(), len(mart.StructureVersions()))
+	out, err := mvolap.Run(mart, "SELECT Amount BY Org.Department, TIME.YEAR MODE VERSION AT 2002")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Mart query (departments in the 2002 structure):")
+	fmt.Print(mvolap.Render(out))
+}
+
+func printDrillAcross(c *warehouse.Constellation, q core.Query, mode func(*core.Schema) core.Mode) {
+	res, err := c.DrillAcross(q, mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-6s %-12s", "year", "group")
+	for _, col := range res.Columns {
+		fmt.Printf(" %20s", col)
+	}
+	fmt.Println()
+	for _, r := range res.Rows {
+		fmt.Printf("%-6s %-12s", r.TimeKey, r.Groups[0])
+		for i, v := range r.Values {
+			if v == nil {
+				fmt.Printf(" %20s", "-")
+			} else {
+				fmt.Printf(" %15g (%s)", *v, r.CFs[i])
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}
+
+// buildBudgetStar creates the Budget star sharing (a conformed copy of)
+// the Sales star's Organization dimension.
+func buildBudgetStar(sales *core.Schema) *core.Schema {
+	s := core.NewSchema("budget", core.Measure{Name: "Budget", Agg: core.Sum})
+	src := sales.Dimension(casestudy.OrgDim)
+	d := core.NewDimension(casestudy.OrgDim, "Org")
+	for _, mv := range src.Versions() {
+		must(d.AddVersion(mv.Clone()))
+	}
+	for _, r := range src.Relationships() {
+		must(d.AddRelationship(r))
+	}
+	must(s.AddDimension(d))
+	// The mapping knowledge (Example 6's split factors) applies to the
+	// budget measure just as well: carry the relationships over so the
+	// budget star answers every temporal mode too.
+	for _, m := range sales.Mappings() {
+		must(s.AddMapping(m))
+	}
+	// Budgets are set ahead of time, so the split departments have 2003
+	// budgets while Jones had the 2001-2002 ones.
+	type row struct {
+		id  core.MVID
+		yr  int
+		amt float64
+	}
+	for _, r := range []row{
+		{casestudy.Jones, 2001, 90}, {casestudy.Smith, 2001, 60}, {casestudy.Brian, 2001, 110},
+		{casestudy.Jones, 2002, 110}, {casestudy.Smith, 2002, 95}, {casestudy.Brian, 2002, 45},
+		{casestudy.Bill, 2003, 120}, {casestudy.Paul, 2003, 70},
+		{casestudy.Smith, 2003, 100}, {casestudy.Brian, 2003, 50},
+	} {
+		must(s.InsertFact(core.Coords{r.id}, mvolap.Year(r.yr), r.amt))
+	}
+	return s
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module mvolap
+
+go 1.22

@@ -1,0 +1,180 @@
+// Package casestudy builds the running example of Body et al. (ICDE
+// 2003) §2.1: the restructuring of an institution, with an Organization
+// dimension (division > department), a single Amount measure, and the
+// fact snapshot of Table 3.
+//
+// The example's history:
+//
+//   - 2001 (Table 1): Sales = {Dpt.Jones, Dpt.Smith}, R&D = {Dpt.Brian}.
+//   - 2002 (Table 2): Dpt.Smith is reclassified from Sales to R&D.
+//   - 2003 (Table 7): Dpt.Jones is split into Dpt.Bill (40% of turnover)
+//     and Dpt.Paul (60%), per the mapping relationships of Example 6.
+//
+// Three structure versions result: V1 = [01/2001, 12/2001],
+// V2 = [01/2002, 12/2002], V3 = [01/2003, Now].
+package casestudy
+
+import (
+	"mvolap/internal/core"
+	"mvolap/internal/temporal"
+)
+
+// Member version identifiers, named after the paper's examples.
+const (
+	Sales MVID = "Sales_id"
+	RnD   MVID = "R&D_id"
+	Jones MVID = "Dpt.Jones_id"
+	Smith MVID = "Dpt.Smith_id"
+	Brian MVID = "Dpt.Brian_id"
+	Bill  MVID = "Dpt.Bill_id"
+	Paul  MVID = "Dpt.Paul_id"
+)
+
+// MVID aliases core.MVID for fixture readability.
+type MVID = core.MVID
+
+// OrgDim is the ID of the Organization dimension.
+const OrgDim core.DimID = "Org"
+
+// AmountMeasure is the name of the single measure.
+const AmountMeasure = "Amount"
+
+// Config adjusts fixture construction.
+type Config struct {
+	// WithFacts loads the Table 3 snapshot.
+	WithFacts bool
+	// WithSplitMappings adds the Example 6 mapping relationships for
+	// the 2003 split of Dpt.Jones.
+	WithSplitMappings bool
+}
+
+// New builds the case-study schema. With both Config fields set it is
+// the complete published example.
+func New(cfg Config) (*core.Schema, error) {
+	s := core.NewSchema("institution", core.Measure{Name: AmountMeasure, Agg: core.Sum})
+
+	org := core.NewDimension(OrgDim, "Org")
+	add := func(id MVID, name, level string, valid temporal.Interval) error {
+		return org.AddVersion(&core.MemberVersion{
+			ID: id, Member: name, Name: name, Level: level, Valid: valid,
+		})
+	}
+	y2001 := temporal.YM(2001, 1)
+	dec2001 := temporal.YM(2001, 12)
+	y2002 := temporal.YM(2002, 1)
+	dec2002 := temporal.YM(2002, 12)
+	y2003 := temporal.YM(2003, 1)
+
+	// Divisions (Example 2: Sales is <Sales_id, 'Sales', Division,
+	// 01/2001, Now>).
+	if err := add(Sales, "Sales", "Division", temporal.Since(y2001)); err != nil {
+		return nil, err
+	}
+	if err := add(RnD, "R&D", "Division", temporal.Since(y2001)); err != nil {
+		return nil, err
+	}
+	// Departments (Example 1).
+	if err := add(Jones, "Dpt.Jones", "Department", temporal.Between(y2001, dec2002)); err != nil {
+		return nil, err
+	}
+	if err := add(Smith, "Dpt.Smith", "Department", temporal.Since(y2001)); err != nil {
+		return nil, err
+	}
+	if err := add(Brian, "Dpt.Brian", "Department", temporal.Since(y2001)); err != nil {
+		return nil, err
+	}
+	if err := add(Bill, "Dpt.Bill", "Department", temporal.Since(y2003)); err != nil {
+		return nil, err
+	}
+	if err := add(Paul, "Dpt.Paul", "Department", temporal.Since(y2003)); err != nil {
+		return nil, err
+	}
+
+	rels := []core.TemporalRelationship{
+		{From: Jones, To: Sales, Valid: temporal.Between(y2001, dec2002)},
+		// Dpt.Smith moves from Sales to R&D in 2002 (Table 2): two
+		// temporal relationships on the same member version.
+		{From: Smith, To: Sales, Valid: temporal.Between(y2001, dec2001)},
+		{From: Smith, To: RnD, Valid: temporal.Since(y2002)},
+		{From: Brian, To: RnD, Valid: temporal.Since(y2001)},
+		{From: Bill, To: Sales, Valid: temporal.Since(y2003)},
+		{From: Paul, To: Sales, Valid: temporal.Since(y2003)},
+	}
+	for _, r := range rels {
+		if err := org.AddRelationship(r); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.AddDimension(org); err != nil {
+		return nil, err
+	}
+
+	if cfg.WithSplitMappings {
+		// Example 6: values of Bill and Paul map exactly (em) back to
+		// Jones; Jones's values map approximately (am) forward as 40%
+		// to Bill and 60% to Paul.
+		mappings := []core.MappingRelationship{
+			{
+				From:     Jones,
+				To:       Bill,
+				Forward:  []core.MeasureMapping{{Fn: core.Linear{K: 0.4}, CF: core.ApproxMapping}},
+				Backward: []core.MeasureMapping{{Fn: core.Identity, CF: core.ExactMapping}},
+			},
+			{
+				From:     Jones,
+				To:       Paul,
+				Forward:  []core.MeasureMapping{{Fn: core.Linear{K: 0.6}, CF: core.ApproxMapping}},
+				Backward: []core.MeasureMapping{{Fn: core.Identity, CF: core.ExactMapping}},
+			},
+		}
+		for _, m := range mappings {
+			if err := s.AddMapping(m); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if cfg.WithFacts {
+		for _, f := range Table3() {
+			if err := s.InsertFact(core.Coords{f.Dept}, f.Time, f.Amount); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// MustNew is New panicking on error, for tests and benchmarks.
+func MustNew(cfg Config) *core.Schema {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Table3Row is one line of the paper's Table 3 fact snapshot.
+type Table3Row struct {
+	Time     temporal.Instant
+	Division string
+	Dept     MVID
+	Amount   float64
+}
+
+// Table3 returns the fact snapshot of the paper's Table 3. Facts are
+// recorded at January of each year (the case study works at year grain).
+func Table3() []Table3Row {
+	y := func(year int) temporal.Instant { return temporal.Year(year) }
+	return []Table3Row{
+		{y(2001), "Sales", Jones, 100},
+		{y(2001), "Sales", Smith, 50},
+		{y(2001), "R&D", Brian, 100},
+		{y(2002), "Sales", Jones, 100},
+		{y(2002), "R&D", Smith, 100},
+		{y(2002), "R&D", Brian, 50},
+		{y(2003), "Sales", Bill, 150},
+		{y(2003), "Sales", Paul, 50},
+		{y(2003), "R&D", Smith, 110},
+		{y(2003), "R&D", Brian, 40},
+	}
+}

@@ -1,0 +1,79 @@
+package casestudy
+
+import (
+	"testing"
+
+	"mvolap/internal/core"
+	"mvolap/internal/temporal"
+)
+
+func TestNewBare(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Facts().Len() != 0 {
+		t.Error("bare fixture must have no facts")
+	}
+	if len(s.Mappings()) != 0 {
+		t.Error("bare fixture must have no mappings")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := s.Dimension(OrgDim)
+	if d == nil || len(d.Versions()) != 7 {
+		t.Fatalf("dimension = %v", d)
+	}
+}
+
+func TestNewFull(t *testing.T) {
+	s, err := New(Config{WithFacts: true, WithSplitMappings: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Facts().Len() != 10 {
+		t.Errorf("facts = %d", s.Facts().Len())
+	}
+	if len(s.Mappings()) != 2 {
+		t.Errorf("mappings = %d", len(s.Mappings()))
+	}
+	if got := len(s.StructureVersions()); got != 3 {
+		t.Errorf("structure versions = %d", got)
+	}
+	// The measure is a single Sum.
+	if ms := s.Measures(); len(ms) != 1 || ms[0].Name != AmountMeasure || ms[0].Agg != core.Sum {
+		t.Errorf("measures = %v", ms)
+	}
+}
+
+func TestTable3Fixture(t *testing.T) {
+	rows := Table3()
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	total := 0.0
+	byYear := map[int]float64{}
+	for _, r := range rows {
+		total += r.Amount
+		byYear[r.Time.YearOf()] += r.Amount
+	}
+	if total != 850 {
+		t.Errorf("total = %v", total)
+	}
+	if byYear[2001] != 250 || byYear[2002] != 250 || byYear[2003] != 350 {
+		t.Errorf("per-year totals = %v", byYear)
+	}
+	// Facts are keyed at January of each year.
+	if rows[0].Time != temporal.Year(2001) {
+		t.Errorf("first fact time = %v", rows[0].Time)
+	}
+}
+
+func TestMustNewPanicsOnBadConfig(t *testing.T) {
+	// MustNew with a valid config does not panic.
+	s := MustNew(Config{WithFacts: true})
+	if s == nil {
+		t.Fatal("nil schema")
+	}
+}

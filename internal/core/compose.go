@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+
+	"mvolap/internal/temporal"
+)
+
+// This file implements the improvement the paper's conclusion calls
+// for: "Our model still suffers from the fact that a structure version
+// is composed of the set of the temporal dimensions validated for that
+// version. An improvement would allow the building of a structure
+// version by selecting the temporal dimensions in different versions."
+//
+// ComposeVersion builds exactly that: a synthetic structure version
+// whose per-dimension structure is picked from possibly different
+// inferred versions. An analyst can, for example, present data with the
+// current product hierarchy but last year's sales territories.
+
+// ComposeVersion builds a custom presentation structure: picks selects,
+// per dimension ID, the inferred structure version (by ID) whose
+// restriction of that dimension to use. Every schema dimension must be
+// picked. The copied elements are renormalized to the valid interval so
+// the composite behaves as a single coherent structure version; valid
+// must be non-empty.
+//
+// The result can be used anywhere a structure version can — most
+// usefully as InVersion(composed) in a query's temporal mode of
+// presentation.
+func (s *Schema) ComposeVersion(id string, valid temporal.Interval, picks map[DimID]string) (*StructureVersion, error) {
+	if valid.Empty() {
+		return nil, fmt.Errorf("core: compose %s: empty valid interval", id)
+	}
+	if id == "" {
+		return nil, fmt.Errorf("core: compose: empty version ID")
+	}
+	out := &StructureVersion{
+		ID:       id,
+		Valid:    valid,
+		dimIndex: make(map[DimID]int),
+	}
+	for i, d := range s.dims {
+		pickID, ok := picks[d.ID]
+		if !ok {
+			return nil, fmt.Errorf("core: compose %s: no pick for dimension %s", id, d.ID)
+		}
+		src := s.VersionByID(pickID)
+		if src == nil {
+			return nil, fmt.Errorf("core: compose %s: unknown structure version %q", id, pickID)
+		}
+		rd := src.Dimension(d.ID)
+		if rd == nil {
+			return nil, fmt.Errorf("core: compose %s: version %s has no dimension %s", id, pickID, d.ID)
+		}
+		out.dimIndex[d.ID] = i
+		out.dims = append(out.dims, rd.renormalize(valid))
+	}
+	return out, nil
+}
+
+// renormalize deep-copies the dimension with every member version and
+// relationship declared valid exactly over the given interval, so the
+// copy reads as one unchanged structure over that interval.
+func (d *Dimension) renormalize(valid temporal.Interval) *Dimension {
+	out := NewDimension(d.ID, d.Name)
+	for _, id := range d.order {
+		cp := d.members[id].Clone()
+		cp.Valid = valid
+		out.members[cp.ID] = cp
+		out.order = append(out.order, cp.ID)
+	}
+	for _, r := range d.rels {
+		nr := r
+		nr.Valid = valid
+		idx := len(out.rels)
+		out.rels = append(out.rels, nr)
+		out.parentRels[nr.From] = append(out.parentRels[nr.From], idx)
+		out.childRels[nr.To] = append(out.childRels[nr.To], idx)
+	}
+	return out
+}
+
+// AggregateMember performs the Definition 12 data aggregation for one
+// member version directly: it locates the member in the mode's
+// structure, collects the leaf member versions below it (or itself when
+// it is a leaf), and folds the mode-mapped values at instant t with the
+// measure aggregates ⊕ and the confidence algebra ⊗cf. It returns one
+// value and confidence per measure; a member with no data at t yields
+// NaN values with UnknownMapping confidence.
+func (s *Schema) AggregateMember(id MVID, t temporal.Instant, mode Mode) ([]float64, []Confidence, error) {
+	d := s.DimensionOf(id)
+	if d == nil {
+		return nil, nil, fmt.Errorf("core: unknown member version %q", id)
+	}
+	dimPos := s.DimIndex(d.ID)
+	// Pick the structure to roll up in.
+	graph := d
+	at := t
+	if mode.Kind == VersionKind {
+		if mode.Version == nil {
+			return nil, nil, fmt.Errorf("core: version mode without version")
+		}
+		graph = mode.Version.Dimension(d.ID)
+		if graph == nil || graph.Version(id) == nil {
+			return nil, nil, fmt.Errorf("core: member %q not in structure version %s", id, mode.Version.ID)
+		}
+		at = mode.Version.Valid.Start
+	}
+	// Leaves under id (including id itself when childless).
+	leafSet := make(map[MVID]bool)
+	var walk func(cur MVID)
+	seen := make(map[MVID]bool)
+	walk = func(cur MVID) {
+		if seen[cur] {
+			return
+		}
+		seen[cur] = true
+		kids := graph.ChildrenAt(cur, at)
+		if len(kids) == 0 {
+			leafSet[cur] = true
+			return
+		}
+		for _, c := range kids {
+			walk(c.ID)
+		}
+	}
+	walk(id)
+
+	mt, err := s.MultiVersion().Mode(mode)
+	if err != nil {
+		return nil, nil, err
+	}
+	accs := make([]*Accumulator, len(s.measures))
+	for i, m := range s.measures {
+		accs[i] = NewAccumulator(m.Agg)
+	}
+	cfs := make([]Confidence, len(s.measures))
+	first := true
+	for _, f := range mt.Facts() {
+		if f.Time != t || !leafSet[f.Coords[dimPos]] {
+			continue
+		}
+		for k := range accs {
+			accs[k].Add(f.Values[k])
+			if first {
+				cfs[k] = f.CFs[k]
+			} else {
+				cfs[k] = s.alg.Combine(cfs[k], f.CFs[k])
+			}
+		}
+		first = false
+	}
+	values := make([]float64, len(accs))
+	for k, a := range accs {
+		values[k] = a.Value()
+		if a.N() == 0 {
+			cfs[k] = UnknownMapping
+		}
+	}
+	return values, cfs, nil
+}

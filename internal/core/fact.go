@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mvolap/internal/temporal"
+)
+
+// Coords addresses one cell of the fact table: one leaf member version
+// per dimension, in schema dimension order.
+type Coords []MVID
+
+// Key returns a canonical string key for the coordinate vector.
+func (c Coords) Key() string {
+	parts := make([]string, len(c))
+	for i, id := range c {
+		parts[i] = string(id)
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// Equal reports coordinate equality.
+func (c Coords) Equal(other Coords) bool {
+	if len(c) != len(other) {
+		return false
+	}
+	for i := range c {
+		if c[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone copies the coordinate vector.
+func (c Coords) Clone() Coords {
+	out := make(Coords, len(c))
+	copy(out, c)
+	return out
+}
+
+// Fact is one tuple of the Temporally Consistent Fact Table
+// (Definition 5): leaf member versions valid at Time, with one value per
+// measure.
+type Fact struct {
+	Coords Coords
+	Time   temporal.Instant
+	Values []float64
+}
+
+func factKey(c Coords, t temporal.Instant) string {
+	return fmt.Sprintf("%s\x1e%d", c.Key(), int64(t))
+}
+
+// FactTable is the Temporally Consistent Fact Table f of Definition 5: a
+// partial function from leaf member versions and time to measure values.
+// It stores source data only; mapped presentations are derived from it
+// (see MultiVersionFactTable).
+type FactTable struct {
+	measures int
+	facts    []*Fact
+	index    map[string]int
+}
+
+// NewFactTable creates an empty fact table for m measures.
+func NewFactTable(measures int) *FactTable {
+	return &FactTable{measures: measures, index: make(map[string]int)}
+}
+
+// Measures reports the number of measures per fact.
+func (ft *FactTable) Measures() int { return ft.measures }
+
+// Len reports the number of stored facts.
+func (ft *FactTable) Len() int { return len(ft.facts) }
+
+// Insert adds a fact. Inserting at existing coordinates and time
+// replaces the previous values (the fact table is a function).
+func (ft *FactTable) Insert(coords Coords, t temporal.Instant, values ...float64) error {
+	if len(values) != ft.measures {
+		return fmt.Errorf("core: fact with %d values for %d measures", len(values), ft.measures)
+	}
+	key := factKey(coords, t)
+	if i, ok := ft.index[key]; ok {
+		copy(ft.facts[i].Values, values)
+		return nil
+	}
+	f := &Fact{Coords: coords.Clone(), Time: t, Values: append([]float64(nil), values...)}
+	ft.index[key] = len(ft.facts)
+	ft.facts = append(ft.facts, f)
+	return nil
+}
+
+// Lookup returns the values at the given coordinates and time.
+func (ft *FactTable) Lookup(coords Coords, t temporal.Instant) ([]float64, bool) {
+	i, ok := ft.index[factKey(coords, t)]
+	if !ok {
+		return nil, false
+	}
+	return ft.facts[i].Values, true
+}
+
+// Facts returns the stored facts in insertion order. The slice is shared;
+// callers must not mutate it.
+func (ft *FactTable) Facts() []*Fact { return ft.facts }
+
+// Times returns the sorted distinct instants present in the table.
+func (ft *FactTable) Times() []temporal.Instant {
+	seen := make(map[temporal.Instant]bool)
+	var out []temporal.Instant
+	for _, f := range ft.facts {
+		if !seen[f.Time] {
+			seen[f.Time] = true
+			out = append(out, f.Time)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TimeSpan returns the hull of all fact instants, empty when the table
+// has no facts.
+func (ft *FactTable) TimeSpan() temporal.Interval {
+	times := ft.Times()
+	if len(times) == 0 {
+		return temporal.Interval{Start: 1, End: 0}
+	}
+	return temporal.Between(times[0], times[len(times)-1])
+}

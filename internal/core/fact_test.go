@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"mvolap/internal/temporal"
+)
+
+func TestCoordsKeyAndEqual(t *testing.T) {
+	a := Coords{"x", "y"}
+	b := Coords{"x", "y"}
+	c := Coords{"x", "z"}
+	if a.Key() != b.Key() || a.Key() == c.Key() {
+		t.Error("Key not canonical")
+	}
+	if !a.Equal(b) || a.Equal(c) || a.Equal(Coords{"x"}) {
+		t.Error("Equal wrong")
+	}
+	cl := a.Clone()
+	cl[0] = "mut"
+	if a[0] != "x" {
+		t.Error("Clone must not share backing array")
+	}
+}
+
+func TestFactTableInsertLookup(t *testing.T) {
+	ft := NewFactTable(2)
+	if err := ft.Insert(Coords{"a"}, y(2001), 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ft.Insert(Coords{"a"}, y(2001), 5); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+	vals, ok := ft.Lookup(Coords{"a"}, y(2001))
+	if !ok || vals[0] != 1 || vals[1] != 2 {
+		t.Errorf("Lookup = %v, %v", vals, ok)
+	}
+	if _, ok := ft.Lookup(Coords{"a"}, y(2002)); ok {
+		t.Error("missing fact must not be found")
+	}
+	// The table is a function: re-insert replaces.
+	if err := ft.Insert(Coords{"a"}, y(2001), 9, 8); err != nil {
+		t.Fatal(err)
+	}
+	vals, _ = ft.Lookup(Coords{"a"}, y(2001))
+	if vals[0] != 9 || ft.Len() != 1 {
+		t.Error("re-insert must replace in place")
+	}
+}
+
+func TestFactTableInsertCopiesCoords(t *testing.T) {
+	ft := NewFactTable(1)
+	coords := Coords{"a"}
+	if err := ft.Insert(coords, y(2001), 1); err != nil {
+		t.Fatal(err)
+	}
+	coords[0] = "changed"
+	if _, ok := ft.Lookup(Coords{"a"}, y(2001)); !ok {
+		t.Error("Insert must defensively copy coordinates")
+	}
+}
+
+func TestFactTableTimes(t *testing.T) {
+	ft := NewFactTable(1)
+	for _, yr := range []int{2003, 2001, 2002, 2001} {
+		if err := ft.Insert(Coords{MVID(rune('a' + yr%10))}, y(yr), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	times := ft.Times()
+	if len(times) != 3 || times[0] != y(2001) || times[2] != y(2003) {
+		t.Errorf("Times = %v", times)
+	}
+	span := ft.TimeSpan()
+	if !span.Equal(temporal.Between(y(2001), y(2003))) {
+		t.Errorf("TimeSpan = %v", span)
+	}
+	if !NewFactTable(1).TimeSpan().Empty() {
+		t.Error("empty table span must be empty")
+	}
+}

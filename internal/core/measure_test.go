@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAggKindStringParse(t *testing.T) {
+	for _, k := range []AggKind{Sum, Count, Min, Max, Avg} {
+		parsed, err := ParseAggKind(k.String())
+		if err != nil || parsed != k {
+			t.Errorf("round trip %v failed: %v, %v", k, parsed, err)
+		}
+	}
+	if _, err := ParseAggKind("median"); err == nil {
+		t.Error("unknown aggregate must fail to parse")
+	}
+	if AggKind(42).String() == "" {
+		t.Error("out-of-range String must be non-empty")
+	}
+	// Lower-case forms parse too.
+	if k, err := ParseAggKind("sum"); err != nil || k != Sum {
+		t.Error("lower-case parse failed")
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	cases := []struct {
+		kind   AggKind
+		values []float64
+		want   float64
+	}{
+		{Sum, []float64{1, 2, 3}, 6},
+		{Count, []float64{5, 5, 5}, 3},
+		{Min, []float64{3, 1, 2}, 1},
+		{Max, []float64{3, 1, 2}, 3},
+		{Avg, []float64{2, 4, 6}, 4},
+		{Sum, []float64{1, math.NaN(), 3}, 4},
+		{Count, []float64{1, math.NaN()}, 1},
+	}
+	for _, c := range cases {
+		a := NewAccumulator(c.kind)
+		for _, v := range c.values {
+			a.Add(v)
+		}
+		if got := a.Value(); got != c.want {
+			t.Errorf("%v over %v = %v, want %v", c.kind, c.values, got, c.want)
+		}
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	for _, k := range []AggKind{Sum, Count, Min, Max, Avg} {
+		a := NewAccumulator(k)
+		if !math.IsNaN(a.Value()) {
+			t.Errorf("%v: empty accumulator must be NaN", k)
+		}
+		if a.N() != 0 {
+			t.Errorf("%v: empty N = %d", k, a.N())
+		}
+	}
+	a := NewAccumulator(AggKind(77))
+	a.Add(1)
+	if !math.IsNaN(a.Value()) {
+		t.Error("unknown kind must yield NaN")
+	}
+}
+
+// TestSumOrderIndependence: Sum and Count are order-independent.
+func TestSumOrderIndependence(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				clean = append(clean, x)
+			}
+		}
+		fwd := NewAccumulator(Sum)
+		rev := NewAccumulator(Sum)
+		for _, x := range clean {
+			fwd.Add(x)
+		}
+		for i := len(clean) - 1; i >= 0; i-- {
+			rev.Add(clean[i])
+		}
+		a, b := fwd.Value(), rev.Value()
+		if math.IsNaN(a) && math.IsNaN(b) {
+			return true
+		}
+		return math.Abs(a-b) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMinMaxBounds: Min <= every input <= Max.
+func TestMinMaxBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		mn, mx := NewAccumulator(Min), NewAccumulator(Max)
+		var clean []float64
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				continue
+			}
+			clean = append(clean, x)
+			mn.Add(x)
+			mx.Add(x)
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		for _, x := range clean {
+			if x < mn.Value() || x > mx.Value() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"mvolap/internal/temporal"
+)
+
+// MappedFact is one tuple of the MultiVersion Fact Table (Definition 11)
+// for a particular temporal mode of presentation: coordinates valid in
+// that mode, the (possibly mapped) measure values, and one confidence
+// factor per value.
+type MappedFact struct {
+	Coords Coords
+	Time   temporal.Instant
+	Values []float64
+	CFs    []Confidence
+	// Sources counts how many source facts were folded into this tuple
+	// (greater than one after a merge transition).
+	Sources int
+}
+
+// MappedTable is the restriction of the MultiVersion Fact Table to one
+// temporal mode: f'(·, ·, tmp).
+type MappedTable struct {
+	Mode  Mode
+	facts []*MappedFact
+	index map[string]int
+	// Dropped counts source facts that could not be presented in this
+	// mode at all: no chain of mapping relationships reaches any member
+	// version of the target structure version ("impossible cross-points"
+	// in the paper's grid rendering, §5.2).
+	Dropped int
+}
+
+// Facts returns the mapped facts in deterministic order. The slice is
+// shared; callers must not mutate it.
+func (mt *MappedTable) Facts() []*MappedFact { return mt.facts }
+
+// Len reports the number of mapped tuples.
+func (mt *MappedTable) Len() int { return len(mt.facts) }
+
+// Lookup returns the mapped tuple at the given coordinates and time.
+func (mt *MappedTable) Lookup(coords Coords, t temporal.Instant) (*MappedFact, bool) {
+	i, ok := mt.index[factKey(coords, t)]
+	if !ok {
+		return nil, false
+	}
+	return mt.facts[i], true
+}
+
+func (mt *MappedTable) add(alg ConfidenceAlgebra, measures []Measure, coords Coords, t temporal.Instant, values []float64, cfs []Confidence) {
+	key := factKey(coords, t)
+	if i, ok := mt.index[key]; ok {
+		// A merge: several source tuples present themselves on the same
+		// target coordinates. Fold values with the measure aggregate ⊕
+		// and confidences with ⊗cf (Definition 12).
+		f := mt.facts[i]
+		for k := range f.Values {
+			f.Values[k] = foldPair(measures[k].Agg, f.Values[k], values[k])
+			f.CFs[k] = alg.Combine(f.CFs[k], cfs[k])
+		}
+		f.Sources++
+		return
+	}
+	mt.index[key] = len(mt.facts)
+	mt.facts = append(mt.facts, &MappedFact{
+		Coords:  coords.Clone(),
+		Time:    t,
+		Values:  append([]float64(nil), values...),
+		CFs:     append([]Confidence(nil), cfs...),
+		Sources: 1,
+	})
+}
+
+// foldPair folds two values under an aggregate kind, with NaN treated as
+// the absent value.
+func foldPair(kind AggKind, a, b float64) float64 {
+	aNaN, bNaN := math.IsNaN(a), math.IsNaN(b)
+	switch {
+	case aNaN && bNaN:
+		return math.NaN()
+	case aNaN:
+		if kind == Count {
+			return 1
+		}
+		return b
+	case bNaN:
+		if kind == Count {
+			return 1
+		}
+		return a
+	}
+	switch kind {
+	case Sum:
+		return a + b
+	case Count:
+		return a + b // both sides are counts of folded source tuples
+	case Min:
+		return math.Min(a, b)
+	case Max:
+		return math.Max(a, b)
+	case Avg:
+		// The fact table stores raw values; averaging across merged
+		// tuples without weights degrades to the mean of the two.
+		return (a + b) / 2
+	}
+	return math.NaN()
+}
+
+// MultiVersionFactTable materializes the function f' of Definition 11:
+// for every temporal mode of presentation, the source data presented in
+// that mode with confidence factors. Restrictions per mode are computed
+// lazily and cached; the cache lives until the schema is mutated (the
+// schema drops its reference on Invalidate).
+type MultiVersionFactTable struct {
+	schema *Schema
+	mu     sync.Mutex
+	byMode map[string]*MappedTable
+}
+
+// MultiVersion returns the schema's MultiVersion Fact Table. The table
+// is cached on the schema and recomputed lazily after mutation; facts
+// inserted after the first call require Invalidate before they are
+// visible here.
+func (s *Schema) MultiVersion() *MultiVersionFactTable {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mvftCache == nil {
+		s.mvftCache = &MultiVersionFactTable{schema: s, byMode: make(map[string]*MappedTable)}
+	}
+	return s.mvftCache
+}
+
+// Mode returns the restriction of the MultiVersion Fact Table to one
+// temporal mode of presentation.
+func (mv *MultiVersionFactTable) Mode(m Mode) (*MappedTable, error) {
+	key := m.String()
+	mv.mu.Lock()
+	if t, ok := mv.byMode[key]; ok {
+		mv.mu.Unlock()
+		return t, nil
+	}
+	mv.mu.Unlock()
+	// Materialize outside the lock; duplicate work between racing
+	// callers is possible but harmless (last write wins).
+	t, err := mv.schema.mapFacts(m)
+	if err != nil {
+		return nil, err
+	}
+	mv.mu.Lock()
+	mv.byMode[key] = t
+	mv.mu.Unlock()
+	return t, nil
+}
+
+// All materializes every mode of the schema, the full f'. The returned
+// map is a snapshot copy, safe to iterate concurrently with queries.
+func (mv *MultiVersionFactTable) All() (map[string]*MappedTable, error) {
+	for _, m := range mv.schema.Modes() {
+		if _, err := mv.Mode(m); err != nil {
+			return nil, err
+		}
+	}
+	mv.mu.Lock()
+	defer mv.mu.Unlock()
+	out := make(map[string]*MappedTable, len(mv.byMode))
+	for k, v := range mv.byMode {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// mapFacts presents the temporally consistent fact table in the given
+// mode. In tcm the result is the source data tagged sd (the paper's
+// f'|tcm = f × {sd}^m). In a version mode every source coordinate is
+// resolved into the leaf member versions of the target structure
+// version through the mapping-relationship graph; values flow through
+// the composed mapping functions, confidences through ⊗cf; tuples
+// landing on identical target coordinates merge under ⊕ and ⊗cf.
+func (s *Schema) mapFacts(m Mode) (*MappedTable, error) {
+	out := &MappedTable{Mode: m, index: make(map[string]int)}
+	switch m.Kind {
+	case TCMKind:
+		for _, f := range s.facts.Facts() {
+			cfs := make([]Confidence, len(s.measures))
+			out.add(s.alg, s.measures, f.Coords, f.Time, f.Values, cfs) // zero value is SourceData
+		}
+		return out, nil
+	case VersionKind:
+		if m.Version == nil {
+			return nil, fmt.Errorf("core: version mode without structure version")
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown mode kind %d", m.Kind)
+	}
+
+	sv := m.Version
+	graph := newMappingGraph(s.mappings, len(s.measures), s.alg)
+	// Per dimension, the acceptable targets are the leaf member versions
+	// of the structure version's restriction.
+	leafIn := make([]map[MVID]bool, len(s.dims))
+	for i, d := range s.dims {
+		rd := sv.Dimension(d.ID)
+		set := make(map[MVID]bool)
+		if rd != nil {
+			for _, mv := range rd.LeavesAt(sv.Valid.Start) {
+				set[mv.ID] = true
+			}
+		}
+		leafIn[i] = set
+	}
+	// Resolutions are deterministic per source member version; cache them.
+	resCache := make([]map[MVID][]resolution, len(s.dims))
+	for i := range resCache {
+		resCache[i] = make(map[MVID][]resolution)
+	}
+	for _, f := range s.facts.Facts() {
+		perDim := make([][]resolution, len(s.dims))
+		ok := true
+		for i, id := range f.Coords {
+			rs, cached := resCache[i][id]
+			if !cached {
+				set := leafIn[i]
+				rs = graph.resolve(id, func(x MVID) bool { return set[x] })
+				resCache[i][id] = rs
+			}
+			if len(rs) == 0 {
+				ok = false
+				break
+			}
+			perDim[i] = rs
+		}
+		if !ok {
+			out.Dropped++
+			continue
+		}
+		// Cartesian product across dimensions (splits fan out).
+		combo := make([]int, len(s.dims))
+		for {
+			coords := make(Coords, len(s.dims))
+			values := make([]float64, len(s.measures))
+			cfs := make([]Confidence, len(s.measures))
+			copy(values, f.Values)
+			for k := range cfs {
+				cfs[k] = SourceData
+			}
+			for i := range s.dims {
+				r := perDim[i][combo[i]]
+				coords[i] = r.target
+				for k := 0; k < len(s.measures); k++ {
+					v, okv := r.per[k].Fn.Map(values[k])
+					if !okv {
+						v = math.NaN()
+					}
+					values[k] = v
+					cfs[k] = s.alg.Combine(cfs[k], r.per[k].CF)
+				}
+			}
+			out.add(s.alg, s.measures, coords, f.Time, values, cfs)
+			// Advance the product counter.
+			i := 0
+			for ; i < len(combo); i++ {
+				combo[i]++
+				if combo[i] < len(perDim[i]) {
+					break
+				}
+				combo[i] = 0
+			}
+			if i == len(combo) {
+				break
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,439 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"mvolap/internal/temporal"
+)
+
+// TimeGrain selects how fact instants are bucketed on the time axis of a
+// query result.
+type TimeGrain uint8
+
+// Supported time grains.
+const (
+	// GrainAll folds the whole queried range into a single bucket.
+	GrainAll TimeGrain = iota
+	// GrainYear buckets by calendar year, the grain of the paper's
+	// case-study queries.
+	GrainYear
+	// GrainQuarter buckets by calendar quarter.
+	GrainQuarter
+	// GrainMonth keeps the native month grain.
+	GrainMonth
+)
+
+// String names the grain.
+func (g TimeGrain) String() string {
+	switch g {
+	case GrainAll:
+		return "all"
+	case GrainYear:
+		return "year"
+	case GrainQuarter:
+		return "quarter"
+	case GrainMonth:
+		return "month"
+	}
+	return fmt.Sprintf("TimeGrain(%d)", uint8(g))
+}
+
+func bucketOf(g TimeGrain, t temporal.Instant) (key string, order int64) {
+	switch g {
+	case GrainYear:
+		return fmt.Sprintf("%d", t.YearOf()), int64(t.YearOf())
+	case GrainQuarter:
+		q := (t.MonthOf()-1)/3 + 1
+		return fmt.Sprintf("Q%d/%d", q, t.YearOf()), int64(t.YearOf())*4 + int64(q)
+	case GrainMonth:
+		return t.String(), int64(t)
+	default:
+		return "all", 0
+	}
+}
+
+// GroupBy names a grouping axis: a dimension and one of its levels
+// (explicit tag or "depth-N" for derived levels).
+type GroupBy struct {
+	Dim   DimID
+	Level string
+}
+
+// Filter restricts one dimension to facts lying under the named
+// members: a fact passes when its (mode-mapped) coordinate in the
+// dimension is one of the named members or has one as an ancestor in
+// the mode's structure. Names are display names. This is the engine
+// form of the OLAP slice (one name) and dice (several) operators.
+type Filter struct {
+	Dim     DimID
+	Members []string
+}
+
+// Query is a multidimensional request against the MultiVersion Fact
+// Table: which measures to aggregate, how to group members and time, the
+// time range, and crucially the Temporal Mode of Presentation in which
+// the user wants the data presented (Definition 10).
+type Query struct {
+	// Measures selects measures by name; empty means all.
+	Measures []string
+	// GroupBy lists the grouping axes; empty yields a grand total.
+	GroupBy []GroupBy
+	// Grain buckets the time axis.
+	Grain TimeGrain
+	// Range restricts fact instants; the zero interval means all time.
+	Range temporal.Interval
+	// Filters dice dimensions to members (and their descendants).
+	Filters []Filter
+	// Mode is the temporal mode of presentation.
+	Mode Mode
+}
+
+// Row is one line of a query result.
+type Row struct {
+	// TimeKey is the rendered time bucket ("2001", "Q2/2002", ...).
+	TimeKey string
+	// Groups holds the display names of the grouping members, aligned
+	// with Query.GroupBy.
+	Groups []string
+	// GroupIDs holds the member version IDs behind Groups.
+	GroupIDs []MVID
+	// Values holds one aggregate per selected measure; NaN marks a value
+	// whose mapping is unknown.
+	Values []float64
+	// CFs holds the combined confidence factor per value.
+	CFs []Confidence
+	// N counts the mapped tuples folded into the row.
+	N int
+
+	timeOrder int64
+}
+
+// Result is a query result: a header plus sorted rows.
+type Result struct {
+	// MeasureNames are the selected measures in output order.
+	MeasureNames []string
+	// GroupNames are the grouping level names in output order.
+	GroupNames []string
+	// Mode echoes the query's temporal mode of presentation.
+	Mode Mode
+	// Rows are sorted by time bucket, then group names.
+	Rows []*Row
+	// Dropped counts source facts not presentable in the mode.
+	Dropped int
+}
+
+// Execute runs the query against the schema's MultiVersion Fact Table,
+// performing Definition 12 data aggregation: measures fold under their
+// aggregate function ⊕, confidence factors under ⊗cf, and rollup to the
+// requested levels follows the temporal relationships of the mode's
+// structure (the structure version's graph in a version mode, D(t) at
+// each fact's instant in tcm).
+func (s *Schema) Execute(q Query) (*Result, error) {
+	mt, err := s.MultiVersion().Mode(q.Mode)
+	if err != nil {
+		return nil, err
+	}
+	return s.executeOn(mt, q)
+}
+
+func (s *Schema) executeOn(mt *MappedTable, q Query) (*Result, error) {
+	// Resolve measure selection.
+	mIdx := make([]int, 0, len(s.measures))
+	var mNames []string
+	if len(q.Measures) == 0 {
+		for i, m := range s.measures {
+			mIdx = append(mIdx, i)
+			mNames = append(mNames, m.Name)
+		}
+	} else {
+		for _, name := range q.Measures {
+			i := s.MeasureIndex(name)
+			if i < 0 {
+				return nil, fmt.Errorf("core: unknown measure %q", name)
+			}
+			mIdx = append(mIdx, i)
+			mNames = append(mNames, name)
+		}
+	}
+	// Resolve grouping dimensions.
+	type axis struct {
+		dimPos int
+		level  string
+	}
+	axes := make([]axis, 0, len(q.GroupBy))
+	var gNames []string
+	for _, g := range q.GroupBy {
+		pos := s.DimIndex(g.Dim)
+		if pos < 0 {
+			return nil, fmt.Errorf("core: unknown dimension %q", g.Dim)
+		}
+		axes = append(axes, axis{dimPos: pos, level: g.Level})
+		gNames = append(gNames, fmt.Sprintf("%s.%s", s.dims[pos].Name, g.Level))
+	}
+
+	rng := q.Range
+	if rng == (temporal.Interval{}) {
+		rng = temporal.Always
+	}
+
+	lookup := newRollupCache(s, q.Mode)
+
+	type dice struct {
+		dimPos int
+		names  map[string]bool
+	}
+	dices := make([]dice, 0, len(q.Filters))
+	for _, f := range q.Filters {
+		pos := s.DimIndex(f.Dim)
+		if pos < 0 {
+			return nil, fmt.Errorf("core: unknown dimension %q in filter", f.Dim)
+		}
+		names := make(map[string]bool, len(f.Members))
+		for _, n := range f.Members {
+			names[n] = true
+		}
+		dices = append(dices, dice{dimPos: pos, names: names})
+	}
+
+	type cellState struct {
+		row  *Row
+		accs []*Accumulator
+		seen []bool
+	}
+	cells := make(map[string]*cellState)
+	var order []string
+
+	for _, f := range mt.Facts() {
+		if !rng.Contains(f.Time) {
+			continue
+		}
+		timeKey, timeOrder := bucketOf(q.Grain, f.Time)
+		pass := true
+		for _, dc := range dices {
+			if !lookup.underAnyNamed(dc.dimPos, f.Coords[dc.dimPos], dc.names, f.Time) {
+				pass = false
+				break
+			}
+		}
+		if !pass {
+			continue
+		}
+		// Each axis may roll the fact up to several members (multiple
+		// hierarchies); a fact contributes to every combination.
+		perAxis := make([][]*MemberVersion, len(axes))
+		skip := false
+		for ai, ax := range axes {
+			ups := lookup.ancestorsAtLevel(ax.dimPos, f.Coords[ax.dimPos], ax.level, f.Time)
+			if len(ups) == 0 {
+				skip = true // non-covering hierarchy: no ancestor at the level
+				break
+			}
+			perAxis[ai] = ups
+		}
+		if skip {
+			continue
+		}
+		combo := make([]int, len(axes))
+		for {
+			groups := make([]string, len(axes))
+			groupIDs := make([]MVID, len(axes))
+			for ai := range axes {
+				mv := perAxis[ai][combo[ai]]
+				groups[ai] = mv.DisplayName()
+				groupIDs[ai] = mv.ID
+			}
+			key := timeKey + "\x1e" + strings.Join(groups, "\x1f")
+			st, ok := cells[key]
+			if !ok {
+				st = &cellState{
+					row: &Row{
+						TimeKey:   timeKey,
+						Groups:    groups,
+						GroupIDs:  groupIDs,
+						CFs:       make([]Confidence, len(mIdx)),
+						timeOrder: timeOrder,
+					},
+					accs: make([]*Accumulator, len(mIdx)),
+					seen: make([]bool, len(mIdx)),
+				}
+				for k, mi := range mIdx {
+					st.accs[k] = NewAccumulator(s.measures[mi].Agg)
+				}
+				cells[key] = st
+				order = append(order, key)
+			}
+			for k, mi := range mIdx {
+				st.accs[k].Add(f.Values[mi])
+				if !st.seen[k] {
+					st.row.CFs[k] = f.CFs[mi]
+					st.seen[k] = true
+				} else {
+					st.row.CFs[k] = s.alg.Combine(st.row.CFs[k], f.CFs[mi])
+				}
+			}
+			st.row.N++
+			// Advance the combination counter.
+			i := 0
+			for ; i < len(combo); i++ {
+				combo[i]++
+				if combo[i] < len(perAxis[i]) {
+					break
+				}
+				combo[i] = 0
+			}
+			if i == len(combo) {
+				break
+			}
+		}
+	}
+
+	res := &Result{MeasureNames: mNames, GroupNames: gNames, Mode: q.Mode, Dropped: mt.Dropped}
+	for _, key := range order {
+		st := cells[key]
+		st.row.Values = make([]float64, len(mIdx))
+		for k := range mIdx {
+			st.row.Values[k] = st.accs[k].Value()
+		}
+		res.Rows = append(res.Rows, st.row)
+	}
+	sort.SliceStable(res.Rows, func(i, j int) bool {
+		a, b := res.Rows[i], res.Rows[j]
+		if a.timeOrder != b.timeOrder {
+			return a.timeOrder < b.timeOrder
+		}
+		for k := range a.Groups {
+			if a.Groups[k] != b.Groups[k] {
+				return a.Groups[k] < b.Groups[k]
+			}
+		}
+		return false
+	})
+	return res, nil
+}
+
+// rollupCache resolves "ancestors of a leaf at a level" questions for a
+// mode, caching per-instant level assignments.
+type rollupCache struct {
+	schema *Schema
+	mode   Mode
+	// levels[dimPos][instant] maps member version -> level name.
+	levels []map[temporal.Instant]map[MVID]string
+	// memo[dimPos][key] caches ancestor sets.
+	memo []map[string][]*MemberVersion
+}
+
+func newRollupCache(s *Schema, m Mode) *rollupCache {
+	rc := &rollupCache{
+		schema: s,
+		mode:   m,
+		levels: make([]map[temporal.Instant]map[MVID]string, len(s.dims)),
+		memo:   make([]map[string][]*MemberVersion, len(s.dims)),
+	}
+	for i := range rc.levels {
+		rc.levels[i] = make(map[temporal.Instant]map[MVID]string)
+		rc.memo[i] = make(map[string][]*MemberVersion)
+	}
+	return rc
+}
+
+// dimAndInstant picks the graph to roll up in: the structure version's
+// restricted dimension (static) in a version mode, D(t) in tcm.
+func (rc *rollupCache) dimAndInstant(dimPos int, t temporal.Instant) (*Dimension, temporal.Instant) {
+	d := rc.schema.dims[dimPos]
+	if rc.mode.Kind == VersionKind && rc.mode.Version != nil {
+		rd := rc.mode.Version.Dimension(d.ID)
+		if rd != nil {
+			return rd, rc.mode.Version.Valid.Start
+		}
+	}
+	return d, t
+}
+
+func (rc *rollupCache) levelMap(dimPos int, d *Dimension, t temporal.Instant) map[MVID]string {
+	if m, ok := rc.levels[dimPos][t]; ok {
+		return m
+	}
+	m := make(map[MVID]string)
+	for _, l := range d.LevelsAt(t) {
+		for _, mv := range l.Members {
+			m[mv.ID] = l.Name
+		}
+	}
+	rc.levels[dimPos][t] = m
+	return m
+}
+
+// ancestorsAtLevel returns the member versions at the named level that
+// are reachable upward from id (including id itself when it sits at the
+// level).
+func (rc *rollupCache) ancestorsAtLevel(dimPos int, id MVID, level string, t temporal.Instant) []*MemberVersion {
+	d, at := rc.dimAndInstant(dimPos, t)
+	key := fmt.Sprintf("%s\x1f%s\x1f%d", id, level, int64(at))
+	if v, ok := rc.memo[dimPos][key]; ok {
+		return v
+	}
+	lm := rc.levelMap(dimPos, d, at)
+	var out []*MemberVersion
+	seen := make(map[MVID]bool)
+	var walk func(cur MVID)
+	walk = func(cur MVID) {
+		if seen[cur] {
+			return
+		}
+		seen[cur] = true
+		if lm[cur] == level {
+			if mv := d.Version(cur); mv != nil {
+				out = append(out, mv)
+			}
+			return
+		}
+		for _, p := range d.ParentsAt(cur, at) {
+			walk(p.ID)
+		}
+	}
+	walk(id)
+	rc.memo[dimPos][key] = out
+	return out
+}
+
+// underAnyNamed reports whether id or any of its ancestors in the
+// mode's structure carries one of the display names.
+func (rc *rollupCache) underAnyNamed(dimPos int, id MVID, names map[string]bool, t temporal.Instant) bool {
+	d, at := rc.dimAndInstant(dimPos, t)
+	seen := make(map[MVID]bool)
+	var walk func(cur MVID) bool
+	walk = func(cur MVID) bool {
+		if seen[cur] {
+			return false
+		}
+		seen[cur] = true
+		mv := d.Version(cur)
+		if mv == nil {
+			return false
+		}
+		if names[mv.DisplayName()] {
+			return true
+		}
+		for _, p := range d.ParentsAt(cur, at) {
+			if walk(p.ID) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(id)
+}
+
+// FormatValue renders a measure value, with unknown (NaN) shown as "?".
+func FormatValue(v float64) string {
+	if math.IsNaN(v) {
+		return "?"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

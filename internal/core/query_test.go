@@ -1,0 +1,412 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mvolap/internal/temporal"
+)
+
+func TestQueryGrains(t *testing.T) {
+	s := NewSchema("g", Measure{Name: "m", Agg: Sum})
+	d := NewDimension("D", "D")
+	if err := d.AddVersion(&MemberVersion{ID: "a", Level: "Leaf", Valid: temporal.Always}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddDimension(d); err != nil {
+		t.Fatal(err)
+	}
+	// One fact per month over 2001.
+	for m := 1; m <= 12; m++ {
+		if err := s.InsertFact(Coords{"a"}, ym(2001, m), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run := func(grain TimeGrain) *Result {
+		res, err := s.Execute(Query{Grain: grain, Mode: TCM()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if res := run(GrainAll); len(res.Rows) != 1 || res.Rows[0].Values[0] != 12 {
+		t.Errorf("GrainAll: %+v", res.Rows)
+	}
+	if res := run(GrainYear); len(res.Rows) != 1 || res.Rows[0].TimeKey != "2001" {
+		t.Errorf("GrainYear: %+v", res.Rows)
+	}
+	if res := run(GrainQuarter); len(res.Rows) != 4 || res.Rows[0].TimeKey != "Q1/2001" || res.Rows[0].Values[0] != 3 {
+		t.Errorf("GrainQuarter: %+v", res.Rows)
+	}
+	if res := run(GrainMonth); len(res.Rows) != 12 || res.Rows[0].TimeKey != "01/2001" {
+		t.Errorf("GrainMonth: %+v", res.Rows)
+	}
+}
+
+func TestTimeGrainString(t *testing.T) {
+	for grain, want := range map[TimeGrain]string{
+		GrainAll: "all", GrainYear: "year", GrainQuarter: "quarter", GrainMonth: "month",
+	} {
+		if grain.String() != want {
+			t.Errorf("String(%d) = %q", grain, grain.String())
+		}
+	}
+	if TimeGrain(9).String() == "" {
+		t.Error("out-of-range grain String")
+	}
+}
+
+func TestQueryMeasureSelection(t *testing.T) {
+	s := NewSchema("m2", Measure{Name: "turnover", Agg: Sum}, Measure{Name: "profit", Agg: Sum})
+	d := NewDimension("D", "D")
+	if err := d.AddVersion(&MemberVersion{ID: "a", Level: "Leaf", Valid: temporal.Always}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddDimension(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InsertFact(Coords{"a"}, y(2001), 100, 20); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Execute(Query{Measures: []string{"profit"}, Grain: GrainYear, Mode: TCM()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MeasureNames) != 1 || res.MeasureNames[0] != "profit" || res.Rows[0].Values[0] != 20 {
+		t.Errorf("projection failed: %+v", res)
+	}
+	// All measures by default.
+	res, err = s.Execute(Query{Grain: GrainYear, Mode: TCM()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MeasureNames) != 2 {
+		t.Errorf("default selection = %v", res.MeasureNames)
+	}
+	if _, err := s.Execute(Query{Measures: []string{"zz"}, Mode: TCM()}); err == nil {
+		t.Error("unknown measure must fail")
+	}
+	if _, err := s.Execute(Query{GroupBy: []GroupBy{{Dim: "zz"}}, Mode: TCM()}); err == nil {
+		t.Error("unknown dimension must fail")
+	}
+}
+
+func TestQueryGroupNames(t *testing.T) {
+	s := splitSchema(t)
+	res, err := s.Execute(Query{
+		GroupBy: []GroupBy{{Dim: "Org", Level: "Division"}},
+		Grain:   GrainYear,
+		Mode:    TCM(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.GroupNames) != 1 || res.GroupNames[0] != "Org.Division" {
+		t.Errorf("GroupNames = %v", res.GroupNames)
+	}
+	if res.Mode.Kind != TCMKind {
+		t.Error("result must echo the mode")
+	}
+}
+
+// TestMultiHierarchyFanOut: a leaf under two parents contributes to both
+// groups.
+func TestMultiHierarchyFanOut(t *testing.T) {
+	s := NewSchema("mh", Measure{Name: "m", Agg: Sum})
+	d := NewDimension("Geo", "Geo")
+	for _, mv := range []*MemberVersion{
+		{ID: "city", Level: "City", Valid: temporal.Always},
+		{ID: "state", Level: "Admin", Valid: temporal.Always},
+		{ID: "region", Level: "Admin", Valid: temporal.Always},
+	} {
+		if err := d.AddVersion(mv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range []TemporalRelationship{
+		{From: "city", To: "state", Valid: temporal.Always},
+		{From: "city", To: "region", Valid: temporal.Always},
+	} {
+		if err := d.AddRelationship(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AddDimension(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InsertFact(Coords{"city"}, y(2001), 10); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Execute(Query{
+		GroupBy: []GroupBy{{Dim: "Geo", Level: "Admin"}},
+		Grain:   GrainYear,
+		Mode:    TCM(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+	for _, r := range res.Rows {
+		if r.Values[0] != 10 {
+			t.Errorf("row %v value %v, want 10", r.Groups, r.Values[0])
+		}
+	}
+}
+
+// TestNonCoveringHierarchySkips: a leaf with no ancestor at the grouped
+// level silently falls out of the grouping.
+func TestNonCoveringHierarchySkips(t *testing.T) {
+	s := NewSchema("nc", Measure{Name: "m", Agg: Sum})
+	d := NewDimension("D", "D")
+	for _, mv := range []*MemberVersion{
+		{ID: "top", Level: "Top", Valid: temporal.Always},
+		{ID: "underTop", Level: "Leaf", Valid: temporal.Always},
+		{ID: "orphan", Level: "Leaf", Valid: temporal.Always},
+	} {
+		if err := d.AddVersion(mv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.AddRelationship(TemporalRelationship{From: "underTop", To: "top", Valid: temporal.Always}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddDimension(d); err != nil {
+		t.Fatal(err)
+	}
+	s.MustInsertFact(Coords{"underTop"}, y(2001), 5)
+	s.MustInsertFact(Coords{"orphan"}, y(2001), 7)
+	res, err := s.Execute(Query{
+		GroupBy: []GroupBy{{Dim: "D", Level: "Top"}},
+		Grain:   GrainYear,
+		Mode:    TCM(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Values[0] != 5 {
+		t.Errorf("non-covering rollup = %+v", res.Rows)
+	}
+}
+
+// TestGroupByLeafLevelIncludesSelf: grouping by the leaf's own level
+// returns the leaf itself (Q2 of the paper groups by Department).
+func TestGroupByLeafLevelIncludesSelf(t *testing.T) {
+	s := splitSchema(t)
+	res, err := s.Execute(Query{
+		GroupBy: []GroupBy{{Dim: "Org", Level: "Department"}},
+		Grain:   GrainYear,
+		Range:   temporal.Between(y(2001), ym(2001, 12)),
+		Mode:    TCM(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Errorf("rows = %+v", res.Rows)
+	}
+}
+
+func TestDerivedLevelGroupBy(t *testing.T) {
+	// A dimension without explicit level tags: group by "depth-0".
+	s := NewSchema("dl", Measure{Name: "m", Agg: Sum})
+	d := NewDimension("D", "D")
+	for _, mv := range []*MemberVersion{
+		{ID: "root", Valid: temporal.Always},
+		{ID: "a", Valid: temporal.Always},
+		{ID: "b", Valid: temporal.Always},
+	} {
+		if err := d.AddVersion(mv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range []TemporalRelationship{
+		{From: "a", To: "root", Valid: temporal.Always},
+		{From: "b", To: "root", Valid: temporal.Always},
+	} {
+		if err := d.AddRelationship(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AddDimension(d); err != nil {
+		t.Fatal(err)
+	}
+	s.MustInsertFact(Coords{"a"}, y(2001), 3)
+	s.MustInsertFact(Coords{"b"}, y(2001), 4)
+	res, err := s.Execute(Query{
+		GroupBy: []GroupBy{{Dim: "D", Level: "depth-0"}},
+		Grain:   GrainYear,
+		Mode:    TCM(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Values[0] != 7 {
+		t.Errorf("derived-level rollup = %+v", res.Rows)
+	}
+}
+
+func TestRowOrdering(t *testing.T) {
+	s := splitSchema(t)
+	res, err := s.Execute(q2TestQuery(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		a, b := res.Rows[i-1], res.Rows[i]
+		if a.TimeKey > b.TimeKey {
+			t.Fatal("rows must be sorted by time")
+		}
+		if a.TimeKey == b.TimeKey && a.Groups[0] > b.Groups[0] {
+			t.Fatal("rows must be sorted by group within a time bucket")
+		}
+	}
+}
+
+func q2TestQuery(s *Schema) Query {
+	return Query{
+		GroupBy: []GroupBy{{Dim: "Org", Level: "Department"}},
+		Grain:   GrainYear,
+		Mode:    TCM(),
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{math.NaN(), "?"},
+		{100, "100"},
+		{0.5, "0.5"},
+		{-3, "-3"},
+	}
+	for _, c := range cases {
+		if got := FormatValue(c.in); got != c.want {
+			t.Errorf("FormatValue(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRowN(t *testing.T) {
+	s := splitSchema(t)
+	res, err := s.Execute(Query{Grain: GrainAll, Mode: TCM()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].N != 10 {
+		t.Errorf("grand total N = %+v", res.Rows)
+	}
+	if res.Rows[0].Values[0] != 850 {
+		t.Errorf("grand total = %v, want 850", res.Rows[0].Values[0])
+	}
+}
+
+func TestQueryFilters(t *testing.T) {
+	s := splitSchema(t)
+	// Slice to the Sales division: only departments under Sales at each
+	// fact's instant contribute in tcm.
+	res, err := s.Execute(Query{
+		GroupBy: []GroupBy{{Dim: "Org", Level: "Department"}},
+		Grain:   GrainYear,
+		Filters: []Filter{{Dim: "Org", Members: []string{"Sales"}}},
+		Mode:    TCM(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.Groups[0] == "Brian" {
+			t.Errorf("Brian is never under Sales: %+v", r)
+		}
+	}
+	// Smith contributes only in 2001 (under Sales then, R&D after).
+	found2001, found2002 := false, false
+	for _, r := range res.Rows {
+		if r.Groups[0] == "Smith" {
+			switch r.TimeKey {
+			case "2001":
+				found2001 = true
+			case "2002":
+				found2002 = true
+			}
+		}
+	}
+	if !found2001 || found2002 {
+		t.Errorf("Smith slice wrong: 2001=%v 2002=%v", found2001, found2002)
+	}
+	// Dice by leaf names.
+	res, err = s.Execute(Query{
+		GroupBy: []GroupBy{{Dim: "Org", Level: "Department"}},
+		Grain:   GrainYear,
+		Filters: []Filter{{Dim: "Org", Members: []string{"Smith", "Brian"}}},
+		Mode:    TCM(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.Groups[0] != "Smith" && r.Groups[0] != "Brian" {
+			t.Errorf("unexpected member %q", r.Groups[0])
+		}
+	}
+	// Filter in a version mode follows that version's structure: slicing
+	// V1's Sales covers Smith even for 2002+ facts.
+	v1 := s.VersionAt(y(2001))
+	res, err = s.Execute(Query{
+		GroupBy: []GroupBy{{Dim: "Org", Level: "Department"}},
+		Grain:   GrainYear,
+		Filters: []Filter{{Dim: "Org", Members: []string{"Sales"}}},
+		Mode:    InVersion(v1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smith2002 := false
+	for _, r := range res.Rows {
+		if r.Groups[0] == "Smith" && r.TimeKey == "2002" {
+			smith2002 = true
+		}
+	}
+	if !smith2002 {
+		t.Error("in V1, Smith is under Sales for all instants")
+	}
+	// Unknown dimension in a filter fails.
+	if _, err := s.Execute(Query{
+		Filters: []Filter{{Dim: "zz"}},
+		Mode:    TCM(),
+	}); err == nil {
+		t.Error("unknown filter dimension must fail")
+	}
+}
+
+// TestConcurrentQueries exercises the derived caches from many
+// goroutines; run with -race to verify the locking.
+func TestConcurrentQueries(t *testing.T) {
+	s := splitSchema(t)
+	modes := s.Modes()
+	done := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		go func(g int) {
+			for i := 0; i < 20; i++ {
+				mode := modes[(g+i)%len(modes)]
+				_, err := s.Execute(Query{
+					GroupBy: []GroupBy{{Dim: "Org", Level: "Division"}},
+					Grain:   GrainYear,
+					Mode:    mode,
+				})
+				if err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 16; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mvolap/internal/temporal"
+)
+
+// Schema is the Temporal Multidimensional Schema of Definition 8:
+// temporal dimensions, a set of mapping relationships, measures, and the
+// temporally consistent fact table. The time dimension T of the paper is
+// the implicit discrete axis of temporal.Instant; calendar hierarchies
+// over it live in package timedim.
+type Schema struct {
+	Name string
+
+	dims     []*Dimension
+	dimIndex map[DimID]int
+	measures []Measure
+	mappings []MappingRelationship
+	alg      ConfidenceAlgebra
+	facts    *FactTable
+
+	// mu guards the derived caches below so concurrent readers
+	// (queries) are safe. Mutations of dimensions, mappings and facts
+	// are NOT safe concurrently with queries; evolve first, query after.
+	mu sync.Mutex
+	// cached structure versions; invalidated on mutation.
+	svCache []*StructureVersion
+	// cached MultiVersion Fact Table; invalidated on mutation.
+	mvftCache *MultiVersionFactTable
+}
+
+// NewSchema creates a schema with the given measures, using the paper's
+// Example 5 confidence algebra.
+func NewSchema(name string, measures ...Measure) *Schema {
+	return &Schema{
+		Name:     name,
+		dimIndex: make(map[DimID]int),
+		measures: append([]Measure(nil), measures...),
+		alg:      PaperAlgebra(),
+		facts:    NewFactTable(len(measures)),
+	}
+}
+
+// SetConfidenceAlgebra replaces the ⊗cf algebra (Definition 6).
+func (s *Schema) SetConfidenceAlgebra(alg ConfidenceAlgebra) { s.alg = alg }
+
+// ConfidenceAlgebra returns the active ⊗cf algebra.
+func (s *Schema) ConfidenceAlgebra() ConfidenceAlgebra { return s.alg }
+
+// AddDimension registers a temporal dimension.
+func (s *Schema) AddDimension(d *Dimension) error {
+	if _, dup := s.dimIndex[d.ID]; dup {
+		return fmt.Errorf("core: schema %s: duplicate dimension %q", s.Name, d.ID)
+	}
+	s.dimIndex[d.ID] = len(s.dims)
+	s.dims = append(s.dims, d)
+	s.invalidate()
+	return nil
+}
+
+// Dimension returns the dimension with the given ID, or nil.
+func (s *Schema) Dimension(id DimID) *Dimension {
+	if i, ok := s.dimIndex[id]; ok {
+		return s.dims[i]
+	}
+	return nil
+}
+
+// DimIndex returns the position of the dimension in coordinate vectors,
+// or -1.
+func (s *Schema) DimIndex(id DimID) int {
+	if i, ok := s.dimIndex[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// Dimensions returns the dimensions in registration order. The slice is
+// shared; callers must not mutate it.
+func (s *Schema) Dimensions() []*Dimension { return s.dims }
+
+// Measures returns the schema measures. The slice is shared.
+func (s *Schema) Measures() []Measure { return s.measures }
+
+// MeasureIndex returns the index of the named measure, or -1.
+func (s *Schema) MeasureIndex(name string) int {
+	for i, m := range s.measures {
+		if m.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Facts returns the temporally consistent fact table.
+func (s *Schema) Facts() *FactTable { return s.facts }
+
+// AddMapping registers a mapping relationship after validating it, the
+// Associate operator's underlying primitive.
+func (s *Schema) AddMapping(m MappingRelationship) error {
+	if err := m.Validate(len(s.measures)); err != nil {
+		return err
+	}
+	if s.versionOf(m.From) == nil {
+		return fmt.Errorf("core: mapping %s→%s: unknown member version %q", m.From, m.To, m.From)
+	}
+	if s.versionOf(m.To) == nil {
+		return fmt.Errorf("core: mapping %s→%s: unknown member version %q", m.From, m.To, m.To)
+	}
+	s.mappings = append(s.mappings, m)
+	s.invalidate()
+	return nil
+}
+
+// Mappings returns the registered mapping relationships. The slice is
+// shared.
+func (s *Schema) Mappings() []MappingRelationship { return s.mappings }
+
+func (s *Schema) versionOf(id MVID) *MemberVersion {
+	for _, d := range s.dims {
+		if mv := d.Version(id); mv != nil {
+			return mv
+		}
+	}
+	return nil
+}
+
+// VersionOf locates a member version across all dimensions.
+func (s *Schema) VersionOf(id MVID) *MemberVersion { return s.versionOf(id) }
+
+// DimensionOf locates the dimension containing the member version.
+func (s *Schema) DimensionOf(id MVID) *Dimension {
+	for _, d := range s.dims {
+		if d.Version(id) != nil {
+			return d
+		}
+	}
+	return nil
+}
+
+// InsertFact records source data for leaf member versions valid at t
+// (Definition 5). Each coordinate must identify a member version of the
+// corresponding dimension, valid at t.
+func (s *Schema) InsertFact(coords Coords, t temporal.Instant, values ...float64) error {
+	if len(coords) != len(s.dims) {
+		return fmt.Errorf("core: fact with %d coordinates for %d dimensions", len(coords), len(s.dims))
+	}
+	for i, id := range coords {
+		mv := s.dims[i].Version(id)
+		if mv == nil {
+			return fmt.Errorf("core: fact coordinate %q not in dimension %s", id, s.dims[i].ID)
+		}
+		if !mv.ValidAt(t) {
+			return fmt.Errorf("core: fact coordinate %q not valid at %s (valid %v)", id, t, mv.Valid)
+		}
+	}
+	s.mu.Lock()
+	s.mvftCache = nil // new source data invalidates mapped presentations
+	s.mu.Unlock()
+	return s.facts.Insert(coords, t, values...)
+}
+
+// MustInsertFact is InsertFact panicking on error; for fixtures.
+func (s *Schema) MustInsertFact(coords Coords, t temporal.Instant, values ...float64) {
+	if err := s.InsertFact(coords, t, values...); err != nil {
+		panic(err)
+	}
+}
+
+// Validate checks all dimensions and mapping relationships.
+func (s *Schema) Validate() error {
+	for _, d := range s.dims {
+		if err := d.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, m := range s.mappings {
+		if err := m.Validate(len(s.measures)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Schema) invalidate() {
+	s.mu.Lock()
+	s.svCache = nil
+	s.mvftCache = nil
+	s.mu.Unlock()
+}
+
+// Invalidate drops derived caches after external mutation of dimensions
+// (evolution operators mutate dimensions in place).
+func (s *Schema) Invalidate() { s.invalidate() }
+
+// StructureVersion is a maximal interval over which every dimension is
+// unchanged (Definition 9), together with the restriction of each
+// dimension to that interval.
+type StructureVersion struct {
+	// ID is "V1", "V2", ... in chronological order.
+	ID string
+	// Valid is the version's time slice; structure versions partition
+	// the schema's lifetime.
+	Valid temporal.Interval
+
+	dims     []*Dimension
+	dimIndex map[DimID]int
+}
+
+// Dimension returns this version's restriction of the dimension.
+func (v *StructureVersion) Dimension(id DimID) *Dimension {
+	if i, ok := v.dimIndex[id]; ok {
+		return v.dims[i]
+	}
+	return nil
+}
+
+// Dimensions returns the restricted dimensions in schema order.
+func (v *StructureVersion) Dimensions() []*Dimension { return v.dims }
+
+// Has reports whether the member version is valid throughout this
+// structure version.
+func (v *StructureVersion) Has(id MVID) bool {
+	for _, d := range v.dims {
+		if d.Version(id) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders "V1 [01/2001 ; 12/2001]".
+func (v *StructureVersion) String() string { return fmt.Sprintf("%s %s", v.ID, v.Valid) }
+
+// StructureVersions infers the structure versions of the schema
+// (Definition 9): the endpoints of all member version and relationship
+// valid times partition history into elementary intervals; adjacent
+// intervals with identical restrictions coalesce. Results are cached
+// until the schema is mutated.
+func (s *Schema) StructureVersions() []*StructureVersion {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.svCache != nil {
+		return s.svCache
+	}
+	var ivs []temporal.Interval
+	for _, d := range s.dims {
+		for _, mv := range d.Versions() {
+			ivs = append(ivs, mv.Valid)
+		}
+		for _, r := range d.Relationships() {
+			ivs = append(ivs, r.Valid)
+		}
+	}
+	elems := temporal.Partition(ivs)
+	type candidate struct {
+		valid temporal.Interval
+		sig   string
+	}
+	var cands []candidate
+	for _, e := range elems {
+		cands = append(cands, candidate{valid: e, sig: s.signatureAt(e.Start)})
+	}
+	// Merge adjacent elementary intervals with the same structural
+	// signature.
+	var merged []candidate
+	for _, c := range cands {
+		if n := len(merged); n > 0 && merged[n-1].sig == c.sig && merged[n-1].valid.Adjacent(c.valid) {
+			merged[n-1].valid = merged[n-1].valid.Hull(c.valid)
+			continue
+		}
+		merged = append(merged, c)
+	}
+	out := make([]*StructureVersion, 0, len(merged))
+	for i, c := range merged {
+		sv := &StructureVersion{
+			ID:       fmt.Sprintf("V%d", i+1),
+			Valid:    c.valid,
+			dimIndex: make(map[DimID]int),
+		}
+		for j, d := range s.dims {
+			sv.dimIndex[d.ID] = j
+			sv.dims = append(sv.dims, d.Restrict(c.valid))
+		}
+		out = append(out, sv)
+	}
+	s.svCache = out
+	return out
+}
+
+// signatureAt canonically encodes which member versions and
+// relationships are valid at t across all dimensions.
+func (s *Schema) signatureAt(t temporal.Instant) string {
+	var parts []string
+	for _, d := range s.dims {
+		for _, mv := range d.VersionsAt(t) {
+			parts = append(parts, string(d.ID)+"/"+string(mv.ID))
+		}
+		for _, r := range d.RelationshipsAt(t) {
+			parts = append(parts, string(d.ID)+"/"+string(r.From)+">"+string(r.To))
+		}
+	}
+	sort.Strings(parts)
+	joined := ""
+	for _, p := range parts {
+		joined += p + "|"
+	}
+	return joined
+}
+
+// VersionAt returns the structure version whose valid time contains t,
+// or nil. VersionAt(temporal.Year(2001)) is the paper's "the 2001
+// organization".
+func (s *Schema) VersionAt(t temporal.Instant) *StructureVersion {
+	for _, v := range s.StructureVersions() {
+		if v.Valid.Contains(t) {
+			return v
+		}
+	}
+	return nil
+}
+
+// VersionByID returns the structure version with the given ID, or nil.
+func (s *Schema) VersionByID(id string) *StructureVersion {
+	for _, v := range s.StructureVersions() {
+		if v.ID == id {
+			return v
+		}
+	}
+	return nil
+}
+
+// ModeKind distinguishes the temporally consistent presentation from
+// version-mapped presentations (Definition 10).
+type ModeKind uint8
+
+const (
+	// TCMKind is the temporally consistent mode tcm: every value is
+	// presented in the structure that was valid when it was recorded.
+	TCMKind ModeKind = iota
+	// VersionKind presents all data mapped into one structure version.
+	VersionKind
+)
+
+// Mode is one Temporal Mode of Presentation (Definition 10).
+type Mode struct {
+	Kind    ModeKind
+	Version *StructureVersion // set for VersionKind
+}
+
+// TCM returns the temporally consistent mode.
+func TCM() Mode { return Mode{Kind: TCMKind} }
+
+// InVersion returns the mode presenting data mapped into v.
+func InVersion(v *StructureVersion) Mode { return Mode{Kind: VersionKind, Version: v} }
+
+// String renders "tcm" or the version ID.
+func (m Mode) String() string {
+	if m.Kind == TCMKind {
+		return "tcm"
+	}
+	if m.Version == nil {
+		return "version(?)"
+	}
+	return m.Version.ID
+}
+
+// Modes returns the full set TMP = {tcm, VM1, ..., VMN} of temporal
+// modes of presentation for the schema (Definition 10).
+func (s *Schema) Modes() []Mode {
+	out := []Mode{TCM()}
+	for _, v := range s.StructureVersions() {
+		out = append(out, InVersion(v))
+	}
+	return out
+}

@@ -1,0 +1,363 @@
+package cube
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mvolap/internal/casestudy"
+	"mvolap/internal/core"
+	"mvolap/internal/temporal"
+)
+
+func caseCube(t testing.TB) *Cube {
+	t.Helper()
+	s, err := casestudy.New(casestudy.Config{WithFacts: true, WithSplitMappings: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBuildLevels(t *testing.T) {
+	c := caseCube(t)
+	levels := c.Levels(casestudy.OrgDim)
+	if len(levels) != 2 || levels[0] != "Division" || levels[1] != "Department" {
+		t.Fatalf("levels = %v", levels)
+	}
+	if c.Schema() == nil {
+		t.Error("Schema accessor")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	s := core.NewSchema("empty")
+	if _, err := Build(s); err == nil {
+		t.Error("schema without dimensions must fail")
+	}
+}
+
+func TestViewDefaultsAndGrid(t *testing.T) {
+	c := caseCube(t)
+	v, err := c.NewView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ColLevel != "Division" || v.Mode.Kind != core.TCMKind {
+		t.Fatalf("view defaults = %+v", v)
+	}
+	g, err := v.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows 2001..2003, cols R&D, Sales.
+	if len(g.RowLabels) != 3 || len(g.ColLabels) != 2 {
+		t.Fatalf("grid shape = %v × %v", g.RowLabels, g.ColLabels)
+	}
+	// Table 4 values: 2001 Sales 150, R&D 100.
+	ci := map[string]int{}
+	for j, c := range g.ColLabels {
+		ci[c] = j
+	}
+	if g.Cells[0][ci["Sales"]].Value != 150 || g.Cells[0][ci["R&D"]].Value != 100 {
+		t.Errorf("2001 row = %+v", g.Cells[0])
+	}
+	if g.Quality != 1 {
+		t.Errorf("tcm quality = %v", g.Quality)
+	}
+	out := g.String()
+	if !strings.Contains(out, "Sales") || !strings.Contains(out, "quality=1.000") {
+		t.Errorf("grid rendering:\n%s", out)
+	}
+}
+
+func TestDrillDownRollUp(t *testing.T) {
+	c := caseCube(t)
+	v, _ := c.NewView()
+	v.DrillDown()
+	if v.ColLevel != "Department" {
+		t.Fatalf("after drill-down: %s", v.ColLevel)
+	}
+	v.DrillDown() // already at leaf: no-op
+	if v.ColLevel != "Department" {
+		t.Fatal("drill-down past leaf must be a no-op")
+	}
+	v.RollUp()
+	if v.ColLevel != "Division" {
+		t.Fatalf("after roll-up: %s", v.ColLevel)
+	}
+	v.RollUp() // already at root: no-op
+	if v.ColLevel != "Division" {
+		t.Fatal("roll-up past root must be a no-op")
+	}
+}
+
+func TestSwitchModeReproducesTables(t *testing.T) {
+	c := caseCube(t)
+	s := c.Schema()
+	v, _ := c.NewView()
+	v.DrillDown() // Department level, Q2 shape
+	v.TimeRange(temporal.Between(temporal.Year(2002), temporal.EndOfYear(2003)))
+
+	// Table 9: 2002 organization.
+	g, err := v.SwitchMode(core.InVersion(s.VersionAt(temporal.Year(2002)))).Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := indexOf(g.ColLabels, "Dpt.Jones")
+	row := indexOf(g.RowLabels, "2003")
+	if col < 0 || row < 0 {
+		t.Fatalf("grid labels = %v × %v", g.RowLabels, g.ColLabels)
+	}
+	cell := g.Cells[row][col]
+	if cell.Value != 200 || cell.CF != core.ExactMapping {
+		t.Errorf("V2 Jones@2003 = %+v", cell)
+	}
+	if g.Quality >= 1 {
+		t.Errorf("mapped grid quality = %v, must be below 1", g.Quality)
+	}
+
+	// Table 10: 2003 organization.
+	g, err = v.SwitchMode(core.InVersion(s.VersionAt(temporal.Year(2003)))).Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col = indexOf(g.ColLabels, "Dpt.Bill")
+	row = indexOf(g.RowLabels, "2002")
+	cell = g.Cells[row][col]
+	if cell.Value != 40 || cell.CF != core.ApproxMapping {
+		t.Errorf("V3 Bill@2002 = %+v", cell)
+	}
+}
+
+func TestEmptyCellsAreRed(t *testing.T) {
+	c := caseCube(t)
+	s := c.Schema()
+	v, _ := c.NewView()
+	v.DrillDown()
+	// In tcm over 2002-2003, Dpt.Jones has no 2003 tuple: the
+	// cross-point is impossible and renders red.
+	v.TimeRange(temporal.Between(temporal.Year(2002), temporal.EndOfYear(2003)))
+	g, err := v.SwitchMode(core.TCM()).Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := indexOf(g.RowLabels, "2003")
+	col := indexOf(g.ColLabels, "Dpt.Jones")
+	cell := g.Cells[row][col]
+	if !cell.Empty || !math.IsNaN(cell.Value) {
+		t.Fatalf("impossible cross-point = %+v", cell)
+	}
+	if cell.Color.String() != "red" {
+		t.Errorf("impossible cell colour = %v", cell.Color)
+	}
+	if !strings.Contains(g.String(), "-") {
+		t.Error("empty cells must render as -")
+	}
+	_ = s
+}
+
+func TestSliceAndDice(t *testing.T) {
+	c := caseCube(t)
+	v, _ := c.NewView()
+	v.DrillDown()
+	v.Slice(casestudy.OrgDim, "Dpt.Smith")
+	g, err := v.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.ColLabels) != 1 || g.ColLabels[0] != "Dpt.Smith" {
+		t.Fatalf("sliced cols = %v", g.ColLabels)
+	}
+	v.Dice(casestudy.OrgDim, "Dpt.Smith", "Dpt.Brian")
+	g, err = v.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.ColLabels) != 2 {
+		t.Fatalf("diced cols = %v", g.ColLabels)
+	}
+	// Clearing the dice restores all members.
+	v.Dice(casestudy.OrgDim)
+	g, _ = v.Materialize()
+	if len(g.ColLabels) < 4 {
+		t.Errorf("cleared dice cols = %v", g.ColLabels)
+	}
+}
+
+func TestPivot(t *testing.T) {
+	c := caseCube(t)
+	v, _ := c.NewView()
+	g1, err := v.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := v.Pivot().Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g2.RowLabels) != len(g1.ColLabels) || len(g2.ColLabels) != len(g1.RowLabels) {
+		t.Fatalf("pivot shape: %v×%v vs %v×%v", g1.RowLabels, g1.ColLabels, g2.RowLabels, g2.ColLabels)
+	}
+	// Values transpose.
+	for i := range g1.RowLabels {
+		for j := range g1.ColLabels {
+			a, b := g1.Cells[i][j], g2.Cells[j][i]
+			if a.Empty != b.Empty {
+				t.Fatalf("pivot mismatch at %d,%d", i, j)
+			}
+			if !a.Empty && a.Value != b.Value {
+				t.Fatalf("pivot value mismatch at %d,%d: %v vs %v", i, j, a.Value, b.Value)
+			}
+		}
+	}
+	// Pivot twice restores.
+	g3, _ := v.Pivot().Materialize()
+	if len(g3.RowLabels) != len(g1.RowLabels) {
+		t.Error("double pivot must restore orientation")
+	}
+}
+
+func TestCacheAndPrecompute(t *testing.T) {
+	c := caseCube(t)
+	v, _ := c.NewView()
+	if _, err := v.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	misses := c.Misses
+	if _, err := v.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Misses != misses || c.Hits == 0 {
+		t.Errorf("second materialization must hit the cache (hits=%d misses=%d)", c.Hits, c.Misses)
+	}
+	if err := c.Precompute(casestudy.OrgDim, core.GrainYear); err != nil {
+		t.Fatal(err)
+	}
+	// A view matching a precomputed aggregate is a pure cache hit.
+	hits := c.Hits
+	v2, _ := c.NewView()
+	v2.TimeRange(temporal.Interval{}) // match Precompute's zero range
+	v2.Grain = core.GrainYear
+	if _, err := v2.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Hits <= hits {
+		t.Errorf("precomputed aggregate not reused (hits=%d)", c.Hits)
+	}
+}
+
+func indexOf(xs []string, want string) int {
+	for i, x := range xs {
+		if x == want {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestMemberRowsGrid pivots to a member × member grid: departments ×
+// channel on the two-dimensional schema.
+func TestMemberRowsGrid(t *testing.T) {
+	s := core.NewSchema("2d", core.Measure{Name: "v", Agg: core.Sum})
+	org := core.NewDimension("Org", "Org")
+	ch := core.NewDimension("Ch", "Ch")
+	always := temporal.Always
+	for _, mv := range []*core.MemberVersion{
+		{ID: "top", Level: "Division", Valid: always},
+		{ID: "a", Level: "Department", Valid: always},
+		{ID: "b", Level: "Department", Valid: always},
+	} {
+		if err := org.AddVersion(mv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range []core.TemporalRelationship{
+		{From: "a", To: "top", Valid: always},
+		{From: "b", To: "top", Valid: always},
+	} {
+		if err := org.AddRelationship(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, mv := range []*core.MemberVersion{
+		{ID: "allch", Level: "All", Valid: always},
+		{ID: "web", Level: "Channel", Valid: always},
+		{ID: "store", Level: "Channel", Valid: always},
+	} {
+		if err := ch.AddVersion(mv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range []core.TemporalRelationship{
+		{From: "web", To: "allch", Valid: always},
+		{From: "store", To: "allch", Valid: always},
+	} {
+		if err := ch.AddRelationship(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AddDimension(org); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddDimension(ch); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []struct {
+		o, c core.MVID
+		v    float64
+	}{
+		{"a", "web", 1}, {"a", "store", 2}, {"b", "web", 3}, {"b", "store", 4},
+	} {
+		s.MustInsertFact(core.Coords{f.o, f.c}, temporal.Year(2001), f.v)
+	}
+	c, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.NewView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.ColDim, v.ColLevel = "Ch", "Channel"
+	g, err := v.Rows("Org", "Department").Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.RowLabels) != 2 || len(g.ColLabels) != 2 {
+		t.Fatalf("grid shape = %v × %v", g.RowLabels, g.ColLabels)
+	}
+	// a × store = 2, b × web = 3.
+	ri := indexOf(g.RowLabels, "a")
+	ci := indexOf(g.ColLabels, "store")
+	if g.Cells[ri][ci].Value != 2 {
+		t.Errorf("a×store = %v", g.Cells[ri][ci].Value)
+	}
+	ri, ci = indexOf(g.RowLabels, "b"), indexOf(g.ColLabels, "web")
+	if g.Cells[ri][ci].Value != 3 {
+		t.Errorf("b×web = %v", g.Cells[ri][ci].Value)
+	}
+	// Back to time rows.
+	g, err = v.TimeRows().Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.RowLabels) != 1 || g.RowLabels[0] != "2001" {
+		t.Errorf("time rows = %v", g.RowLabels)
+	}
+}
+
+func TestPrecomputeAll(t *testing.T) {
+	c := caseCube(t)
+	if err := c.PrecomputeAll(core.GrainYear); err != nil {
+		t.Fatal(err)
+	}
+	// 4 modes × 2 levels = 8 cache entries.
+	if c.Misses != 8 {
+		t.Errorf("precomputed %d aggregates, want 8", c.Misses)
+	}
+}

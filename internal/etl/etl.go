@@ -1,0 +1,550 @@
+// Package etl is the first tier of the Figure-1 architecture: data "must
+// be extracted from operational legacy databases, cleaned and
+// transformed by ETL tools before being loaded in the warehouse".
+//
+// It provides CSV extraction of dimension snapshots and fact feeds, a
+// record-cleaning pipeline, a loader into the temporal schema, and —
+// the temporal twist the paper's model requires — snapshot *diffing*:
+// successive dimension snapshots are compared and the differences
+// compiled into evolution operators (creation, deletion,
+// reclassification automatically; merges and splits via designer
+// hints, since no diff can tell a merge from a delete+create without
+// knowledge of the mapping functions).
+package etl
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mvolap/internal/core"
+	"mvolap/internal/evolution"
+	"mvolap/internal/temporal"
+)
+
+// DimensionSnapshot is the state of one dimension as extracted from an
+// operational source at one instant: rows of member names, one column
+// per level, leaf level first (like the paper's Tables 1, 2 and 7 read
+// right-to-left).
+type DimensionSnapshot struct {
+	At     temporal.Instant
+	Levels []string   // leaf first, e.g. ["Department", "Division"]
+	Rows   [][]string // each row aligned with Levels
+}
+
+// ReadDimensionSnapshot parses a CSV whose header names the levels
+// (leaf level first) and whose rows are member names.
+func ReadDimensionSnapshot(r io.Reader, at temporal.Instant) (*DimensionSnapshot, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("etl: reading snapshot: %w", err)
+	}
+	if len(records) < 1 {
+		return nil, fmt.Errorf("etl: snapshot needs a header row")
+	}
+	snap := &DimensionSnapshot{At: at, Levels: records[0]}
+	for i, row := range records[1:] {
+		if len(row) != len(snap.Levels) {
+			return nil, fmt.Errorf("etl: snapshot row %d has %d fields, want %d", i+2, len(row), len(snap.Levels))
+		}
+		out := make([]string, len(row))
+		for j, cell := range row {
+			out[j] = strings.TrimSpace(cell)
+		}
+		snap.Rows = append(snap.Rows, out)
+	}
+	return snap, nil
+}
+
+// MergeHint tells the differ that the named source members were merged
+// into the target (which must appear in the new snapshot), with the
+// given per-source backward weight (fraction of the target's values
+// attributable to the source). Forward mappings are exact identity.
+type MergeHint struct {
+	Sources []string
+	Target  string
+	// BackWeights gives, per source, the share of the merged member's
+	// values mapped back to it; weights of 0 map back as unknown.
+	BackWeights []float64
+}
+
+// SplitHint tells the differ that the named source member was split
+// into the targets with the given forward weights (shares of the
+// source's values).
+type SplitHint struct {
+	Source  string
+	Targets []string
+	Weights []float64
+}
+
+// Hints carries the designer knowledge a snapshot diff cannot infer.
+type Hints struct {
+	Merges []MergeHint
+	Splits []SplitHint
+}
+
+// Diff compares the dimension's state just before snap.At with the
+// snapshot and returns the evolution operators that reconcile them:
+// hinted merges and splits first, then creations (top level down, so
+// parents exist before children), reclassifications, and deletions.
+// The operators are ready to apply with an evolution.Applier.
+func Diff(s *core.Schema, dimID core.DimID, snap *DimensionSnapshot, hints Hints) ([]evolution.Op, error) {
+	d := s.Dimension(dimID)
+	if d == nil {
+		return nil, fmt.Errorf("etl: unknown dimension %q", dimID)
+	}
+	if len(snap.Levels) == 0 {
+		return nil, fmt.Errorf("etl: snapshot has no levels")
+	}
+	before := snap.At.Prev()
+	measures := len(s.Measures())
+
+	// Desired state per level: member name -> set of parent names.
+	type memberState struct {
+		parents map[string]bool
+		level   string
+	}
+	desired := make(map[string]*memberState) // keyed by name (names must be unique across levels)
+	levelOf := make(map[string]int)
+	for li, level := range snap.Levels {
+		for _, row := range snap.Rows {
+			name := row[li]
+			if name == "" {
+				continue
+			}
+			ms, ok := desired[name]
+			if !ok {
+				ms = &memberState{parents: make(map[string]bool), level: level}
+				desired[name] = ms
+				levelOf[name] = li
+			} else if ms.level != level {
+				return nil, fmt.Errorf("etl: member %q appears at levels %q and %q", name, ms.level, level)
+			}
+			if li+1 < len(snap.Levels) && row[li+1] != "" {
+				ms.parents[row[li+1]] = true
+			}
+		}
+	}
+
+	// Current state: member name -> valid version and parent names.
+	currentVersion := make(map[string]*core.MemberVersion)
+	currentParents := make(map[string]map[string]bool)
+	for _, mv := range d.VersionsAt(before) {
+		currentVersion[mv.Member] = mv
+		ps := make(map[string]bool)
+		for _, p := range d.ParentsAt(mv.ID, before) {
+			ps[p.Member] = true
+		}
+		currentParents[mv.Member] = ps
+	}
+
+	handled := make(map[string]bool) // member names consumed by hints
+	var ops []evolution.Op
+
+	// idFor returns the MVID a member name will have at snap.At: the
+	// existing valid version's ID, or the ID a creation in this batch
+	// will use.
+	plannedID := make(map[string]core.MVID)
+	idFor := func(name string) core.MVID {
+		if id, ok := plannedID[name]; ok {
+			return id
+		}
+		if mv, ok := currentVersion[name]; ok && !handled[name] {
+			return mv.ID
+		}
+		// A fresh ID: reuse the plain name unless it is taken.
+		id := core.MVID(name)
+		if d.Version(id) != nil {
+			id = core.MVID(fmt.Sprintf("%s@%s", name, snap.At))
+		}
+		plannedID[name] = id
+		return id
+	}
+	parentIDs := func(name string) []core.MVID {
+		ms := desired[name]
+		if ms == nil {
+			return nil
+		}
+		var out []core.MVID
+		for p := range ms.parents {
+			out = append(out, idFor(p))
+		}
+		sortIDs(out)
+		return out
+	}
+
+	// 1. Hinted splits.
+	for _, h := range hints.Splits {
+		src, ok := currentVersion[h.Source]
+		if !ok {
+			return nil, fmt.Errorf("etl: split source %q not present before %s", h.Source, snap.At)
+		}
+		if len(h.Targets) != len(h.Weights) {
+			return nil, fmt.Errorf("etl: split of %q: %d targets, %d weights", h.Source, len(h.Targets), len(h.Weights))
+		}
+		targets := make([]evolution.SplitTarget, len(h.Targets))
+		for i, tgt := range h.Targets {
+			if desired[tgt] == nil {
+				return nil, fmt.Errorf("etl: split target %q not in snapshot", tgt)
+			}
+			targets[i] = evolution.SplitTarget{
+				Member: evolution.NewMember{
+					ID: idFor(tgt), Name: tgt, Level: desired[tgt].level, Parents: parentIDs(tgt),
+				},
+				Forward:  core.UniformMapping(measures, core.Linear{K: h.Weights[i]}, core.ApproxMapping),
+				Backward: core.UniformMapping(measures, core.Identity, core.ExactMapping),
+			}
+			handled[tgt] = true
+		}
+		handled[h.Source] = true
+		ops = append(ops, evolution.Split(dimID, src.ID, targets, snap.At)...)
+	}
+	// 2. Hinted merges.
+	for _, h := range hints.Merges {
+		if desired[h.Target] == nil {
+			return nil, fmt.Errorf("etl: merge target %q not in snapshot", h.Target)
+		}
+		if len(h.Sources) != len(h.BackWeights) {
+			return nil, fmt.Errorf("etl: merge into %q: %d sources, %d weights", h.Target, len(h.Sources), len(h.BackWeights))
+		}
+		sources := make([]evolution.MergeSource, len(h.Sources))
+		for i, src := range h.Sources {
+			mv, ok := currentVersion[src]
+			if !ok {
+				return nil, fmt.Errorf("etl: merge source %q not present before %s", src, snap.At)
+			}
+			back := core.UniformMapping(measures, core.Unknown{}, core.UnknownMapping)
+			if h.BackWeights[i] > 0 {
+				back = core.UniformMapping(measures, core.Linear{K: h.BackWeights[i]}, core.ApproxMapping)
+			}
+			sources[i] = evolution.MergeSource{
+				ID:       mv.ID,
+				Forward:  core.UniformMapping(measures, core.Identity, core.ExactMapping),
+				Backward: back,
+			}
+			handled[src] = true
+		}
+		merged := evolution.NewMember{
+			ID: idFor(h.Target), Name: h.Target,
+			Level: desired[h.Target].level, Parents: parentIDs(h.Target),
+		}
+		handled[h.Target] = true
+		ops = append(ops, evolution.Merge(dimID, sources, merged, snap.At)...)
+	}
+
+	// 3. Creations, top level first so parents exist before children;
+	// names sort within each level for reproducible pipelines.
+	for li := len(snap.Levels) - 1; li >= 0; li-- {
+		var names []string
+		for name := range desired {
+			if levelOf[name] != li || handled[name] {
+				continue
+			}
+			if _, exists := currentVersion[name]; exists {
+				continue
+			}
+			names = append(names, name)
+		}
+		sortNames(names)
+		for _, name := range names {
+			ops = append(ops, evolution.CreateMember(dimID, evolution.NewMember{
+				ID: idFor(name), Name: name, Level: desired[name].level, Parents: parentIDs(name),
+			}, snap.At)...)
+		}
+	}
+
+	// 4. Reclassifications: members present in both with changed parents.
+	var reclass []evolution.Op
+	for name, ms := range desired {
+		if handled[name] {
+			continue
+		}
+		mv, exists := currentVersion[name]
+		if !exists {
+			continue
+		}
+		cur := currentParents[name]
+		if sameNameSet(cur, ms.parents) {
+			continue
+		}
+		var oldPs, newPs []core.MVID
+		for p := range cur {
+			if !ms.parents[p] {
+				oldPs = append(oldPs, currentVersion[p].ID)
+			}
+		}
+		for p := range ms.parents {
+			if !cur[p] {
+				newPs = append(newPs, idFor(p))
+			}
+		}
+		sortIDs(oldPs)
+		sortIDs(newPs)
+		reclass = append(reclass, evolution.ReclassifyMember(dimID, mv.ID, snap.At, oldPs, newPs)...)
+	}
+	sortOps(reclass)
+	ops = append(ops, reclass...)
+
+	// 5. Deletions: current members absent from the snapshot.
+	var deletions []evolution.Op
+	for name, mv := range currentVersion {
+		if handled[name] {
+			continue
+		}
+		if _, keep := desired[name]; keep {
+			continue
+		}
+		deletions = append(deletions, evolution.DeleteMember(dimID, mv.ID, snap.At)...)
+	}
+	sortOps(deletions)
+	ops = append(ops, deletions...)
+	return ops, nil
+}
+
+func sameNameSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortIDs(ids []core.MVID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+func sortNames(names []string) {
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+}
+
+// sortOps orders a block of independent operators deterministically by
+// their description. Use only on blocks with no ordering constraints
+// (e.g. deletions).
+func sortOps(ops []evolution.Op) {
+	for i := 1; i < len(ops); i++ {
+		for j := i; j > 0 && ops[j].Describe() < ops[j-1].Describe(); j-- {
+			ops[j], ops[j-1] = ops[j-1], ops[j]
+		}
+	}
+}
+
+// Record is one fact record flowing through the cleaning pipeline.
+type Record struct {
+	Member string
+	Time   temporal.Instant
+	Values []float64
+}
+
+// Transform is one cleaning step: it returns the transformed record,
+// whether to keep it, and an error for malformed input.
+type Transform func(Record) (Record, bool, error)
+
+// TrimMemberSpace normalizes member names.
+func TrimMemberSpace() Transform {
+	return func(r Record) (Record, bool, error) {
+		r.Member = strings.TrimSpace(r.Member)
+		return r, true, nil
+	}
+}
+
+// RenameMembers consolidates member naming across heterogeneous
+// sources (the §1.1 "semantic heterogeneity" step).
+func RenameMembers(mapping map[string]string) Transform {
+	return func(r Record) (Record, bool, error) {
+		if nn, ok := mapping[r.Member]; ok {
+			r.Member = nn
+		}
+		return r, true, nil
+	}
+}
+
+// ScaleMeasure converts units of one measure.
+func ScaleMeasure(idx int, factor float64) Transform {
+	return func(r Record) (Record, bool, error) {
+		if idx < 0 || idx >= len(r.Values) {
+			return r, false, fmt.Errorf("etl: scale: no measure %d", idx)
+		}
+		r.Values[idx] *= factor
+		return r, true, nil
+	}
+}
+
+// DropNegative discards records with negative values in the measure
+// (a cleaning rule).
+func DropNegative(idx int) Transform {
+	return func(r Record) (Record, bool, error) {
+		if idx < 0 || idx >= len(r.Values) {
+			return r, false, fmt.Errorf("etl: drop: no measure %d", idx)
+		}
+		return r, r.Values[idx] >= 0, nil
+	}
+}
+
+// Pipeline applies transforms in order.
+type Pipeline []Transform
+
+// Apply runs the record through all steps; keep reports whether the
+// record survived.
+func (p Pipeline) Apply(r Record) (Record, bool, error) {
+	for _, t := range p {
+		var keep bool
+		var err error
+		r, keep, err = t(r)
+		if err != nil || !keep {
+			return r, false, err
+		}
+	}
+	return r, true, nil
+}
+
+// ReadFacts parses a fact CSV: member,time,v1[,v2...] with a header
+// line. Times accept "YYYY" or "MM/YYYY".
+func ReadFacts(r io.Reader, measures int) ([]Record, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("etl: reading facts: %w", err)
+	}
+	if len(records) < 1 {
+		return nil, fmt.Errorf("etl: fact feed needs a header row")
+	}
+	var out []Record
+	for i, row := range records[1:] {
+		if len(row) != 2+measures {
+			return nil, fmt.Errorf("etl: fact row %d has %d fields, want %d", i+2, len(row), 2+measures)
+		}
+		at, err := temporal.ParseInstant(row[1])
+		if err != nil {
+			return nil, fmt.Errorf("etl: fact row %d: %w", i+2, err)
+		}
+		rec := Record{Member: row[0], Time: at, Values: make([]float64, measures)}
+		for k := 0; k < measures; k++ {
+			v, err := strconv.ParseFloat(strings.TrimSpace(row[2+k]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("etl: fact row %d measure %d: %w", i+2, k, err)
+			}
+			rec.Values[k] = v
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// LoadFacts cleans the records through the pipeline and inserts them
+// into the schema, resolving each member name to the member version of
+// the dimension valid at the record's time. It returns how many records
+// were loaded (dropped records are not errors).
+func LoadFacts(s *core.Schema, dimID core.DimID, records []Record, clean Pipeline) (int, error) {
+	d := s.Dimension(dimID)
+	if d == nil {
+		return 0, fmt.Errorf("etl: unknown dimension %q", dimID)
+	}
+	if len(s.Dimensions()) != 1 {
+		return 0, fmt.Errorf("etl: LoadFacts supports single-dimension schemas; got %d dimensions", len(s.Dimensions()))
+	}
+	loaded := 0
+	for _, rec := range records {
+		out, keep, err := clean.Apply(rec)
+		if err != nil {
+			return loaded, err
+		}
+		if !keep {
+			continue
+		}
+		mv := versionByNameAt(d, out.Member, out.Time)
+		if mv == nil {
+			return loaded, fmt.Errorf("etl: no member version named %q valid at %s", out.Member, out.Time)
+		}
+		if err := s.InsertFact(core.Coords{mv.ID}, out.Time, out.Values...); err != nil {
+			return loaded, err
+		}
+		loaded++
+	}
+	return loaded, nil
+}
+
+func versionByNameAt(d *core.Dimension, name string, t temporal.Instant) *core.MemberVersion {
+	for _, mv := range d.VersionsAt(t) {
+		if mv.Member == name || mv.DisplayName() == name {
+			return mv
+		}
+	}
+	return nil
+}
+
+// ToYearStart buckets an instant to January of its year, for
+// consolidation to year grain.
+func ToYearStart(t temporal.Instant) temporal.Instant {
+	return temporal.Year(t.YearOf())
+}
+
+// ToQuarterStart buckets an instant to the first month of its quarter.
+func ToQuarterStart(t temporal.Instant) temporal.Instant {
+	q := (t.MonthOf() - 1) / 3
+	return temporal.YM(t.YearOf(), q*3+1)
+}
+
+// Consolidate reduces a fact feed to a coarser grain before loading —
+// the §1.1 "reduce data in order to make it conform to the data
+// warehouse model (using aggregation ...)" step. Records of the same
+// member falling into the same bucket merge by summing their measures.
+// Output order follows first appearance, for reproducible loads.
+func Consolidate(records []Record, bucket func(temporal.Instant) temporal.Instant) []Record {
+	type key struct {
+		member string
+		t      temporal.Instant
+	}
+	index := make(map[key]int)
+	var out []Record
+	for _, r := range records {
+		k := key{r.Member, bucket(r.Time)}
+		if i, ok := index[k]; ok {
+			for m := range out[i].Values {
+				out[i].Values[m] += r.Values[m]
+			}
+			continue
+		}
+		nr := Record{Member: r.Member, Time: k.t, Values: append([]float64(nil), r.Values...)}
+		index[k] = len(out)
+		out = append(out, nr)
+	}
+	return out
+}
+
+// DiscretizeMeasure replaces a measure with its bin number under the
+// ascending cut points (value < cuts[0] → 0, < cuts[1] → 1, ..., else
+// len(cuts)) — the §1.1 "discretization functions" step.
+func DiscretizeMeasure(idx int, cuts []float64) Transform {
+	return func(r Record) (Record, bool, error) {
+		if idx < 0 || idx >= len(r.Values) {
+			return r, false, fmt.Errorf("etl: discretize: no measure %d", idx)
+		}
+		v := r.Values[idx]
+		bin := len(cuts)
+		for i, c := range cuts {
+			if v < c {
+				bin = i
+				break
+			}
+		}
+		r.Values[idx] = float64(bin)
+		return r, true, nil
+	}
+}

@@ -1,0 +1,86 @@
+package evolution
+
+import (
+	"fmt"
+	"strings"
+
+	"mvolap/internal/core"
+)
+
+// LogEntry records one applied operator for the §5.2 evolution
+// metadata: its sequence number, its Table 11 notation, and the member
+// versions it touched.
+type LogEntry struct {
+	Seq         int
+	Description string
+	Touched     []core.MVID
+}
+
+// Applier applies evolution operators to a schema, keeping the
+// evolution log and invalidating the schema's derived caches after each
+// batch.
+type Applier struct {
+	schema *core.Schema
+	log    []LogEntry
+}
+
+// NewApplier creates an applier bound to the schema.
+func NewApplier(s *core.Schema) *Applier { return &Applier{schema: s} }
+
+// Apply runs the operators in order, stopping at the first failure.
+// Applied operators are logged; on error the schema may be left with a
+// prefix of the batch applied (operators are not transactional, like
+// the DDL of the paper's prototype platform).
+func (a *Applier) Apply(ops ...Op) error {
+	for _, op := range ops {
+		if err := op.Apply(a.schema); err != nil {
+			a.schema.Invalidate()
+			return fmt.Errorf("evolution: applying %s: %w", op.Describe(), err)
+		}
+		a.log = append(a.log, LogEntry{
+			Seq:         len(a.log) + 1,
+			Description: op.Describe(),
+			Touched:     op.Touches(),
+		})
+	}
+	a.schema.Invalidate()
+	return nil
+}
+
+// Log returns the applied-operator log.
+func (a *Applier) Log() []LogEntry { return a.log }
+
+// History returns the textual descriptions of all logged operators that
+// touched the given member version — the paper's "short textual
+// description of the transformations that have affected a member".
+func (a *Applier) History(id core.MVID) []string {
+	var out []string
+	for _, e := range a.log {
+		for _, t := range e.Touched {
+			if t == id {
+				out = append(out, e.Description)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Script renders the whole log as a readable evolution script.
+func (a *Applier) Script() string {
+	var b strings.Builder
+	for _, e := range a.log {
+		fmt.Fprintf(&b, "%3d. %s\n", e.Seq, e.Description)
+	}
+	return b.String()
+}
+
+// Describe renders a compiled operation (a sequence of basic operators)
+// in the two-column style of Table 11.
+func Describe(ops []Op) string {
+	lines := make([]string, len(ops))
+	for i, op := range ops {
+		lines[i] = "- " + op.Describe()
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,225 @@
+package evolution
+
+import (
+	"mvolap/internal/core"
+	"mvolap/internal/temporal"
+)
+
+// This file compiles the six simple and three complex evolution
+// operations of §2.3 into sequences of the four basic operators,
+// following the paper's Table 11.
+
+// NewMember describes a member version to be created by a compiled
+// operation.
+type NewMember struct {
+	ID      core.MVID
+	Name    string
+	Level   string
+	Attrs   map[string]string
+	Parents []core.MVID
+}
+
+// CreateMember compiles "Creation of V at time T in the dimension Org as
+// a child of P1" (Table 11, first entry):
+//
+//	Insert(Org, idV, V, T, {idP1}, ∅)
+func CreateMember(dim core.DimID, m NewMember, at temporal.Instant) []Op {
+	return []Op{Insert{
+		Dim: dim, ID: m.ID, Name: m.Name, Level: m.Level, Attrs: m.Attrs,
+		Start: at, Parents: m.Parents,
+	}}
+}
+
+// DeleteMember compiles "Deletion of a dimension member" at time T:
+//
+//	Exclude(Org, idV, T)
+func DeleteMember(dim core.DimID, id core.MVID, at temporal.Instant) []Op {
+	return []Op{Exclude{Dim: dim, ID: id, At: at}}
+}
+
+// Transform compiles "Change from V to V' at time T" (Table 11, second
+// entry): the old version is excluded, the new one inserted in the same
+// position, and the two are associated by an equivalence (identity, em)
+// relationship in both directions:
+//
+//	Exclude(Org, idV, T)
+//	Insert(Org, idV', V', T, {idP1}, ∅)
+//	Associate(idV, idV', {(x→x, em)}, {(x→x, em)})
+//
+// measures is the schema measure count (the identity applies to all).
+func Transform(dim core.DimID, old core.MVID, replacement NewMember, at temporal.Instant, measures int) []Op {
+	return []Op{
+		Exclude{Dim: dim, ID: old, At: at},
+		Insert{Dim: dim, ID: replacement.ID, Name: replacement.Name, Level: replacement.Level,
+			Attrs: replacement.Attrs, Start: at, Parents: replacement.Parents},
+		Associate{Mapping: core.MappingRelationship{
+			From:     old,
+			To:       replacement.ID,
+			Forward:  core.UniformMapping(measures, core.Identity, core.ExactMapping),
+			Backward: core.UniformMapping(measures, core.Identity, core.ExactMapping),
+		}},
+	}
+}
+
+// MergeSource is one of the members folded by a Merge, with the
+// per-measure mappings of its values to (Forward) and from (Backward)
+// the merged member.
+type MergeSource struct {
+	ID       core.MVID
+	Forward  []core.MeasureMapping
+	Backward []core.MeasureMapping
+}
+
+// Merge compiles "Merge of V1 and V2 into V12 at time T" (Table 11,
+// third entry):
+//
+//	Exclude(Org, idV1, T)
+//	Exclude(Org, idV2, T)
+//	Insert(Org, idV12, V12, T, {idP1}, ∅)
+//	Associate(idV1, idV12, F1, F1⁻¹)
+//	Associate(idV2, idV12, F2, F2⁻¹)
+func Merge(dim core.DimID, sources []MergeSource, merged NewMember, at temporal.Instant) []Op {
+	ops := make([]Op, 0, 2*len(sources)+1)
+	for _, src := range sources {
+		ops = append(ops, Exclude{Dim: dim, ID: src.ID, At: at})
+	}
+	ops = append(ops, Insert{
+		Dim: dim, ID: merged.ID, Name: merged.Name, Level: merged.Level,
+		Attrs: merged.Attrs, Start: at, Parents: merged.Parents,
+	})
+	for _, src := range sources {
+		ops = append(ops, Associate{Mapping: core.MappingRelationship{
+			From: src.ID, To: merged.ID, Forward: src.Forward, Backward: src.Backward,
+		}})
+	}
+	return ops
+}
+
+// SplitTarget is one of the members produced by a Split, with the
+// per-measure mappings from the split member (Forward) and back to it
+// (Backward).
+type SplitTarget struct {
+	Member   NewMember
+	Forward  []core.MeasureMapping
+	Backward []core.MeasureMapping
+}
+
+// Split compiles "Splitting of one member into n members" at time T:
+//
+//	Exclude(Org, idV, T)
+//	Insert(Org, idV1, ..., T, P, ∅)  (one per target)
+//	Associate(idV, idVi, Fi, Fi⁻¹)   (one per target)
+//
+// The paper's case study (Example 6) is Split of Dpt.Jones into
+// Dpt.Bill (x→0.4x, am) and Dpt.Paul (x→0.6x, am) with exact identity
+// backward mappings.
+func Split(dim core.DimID, source core.MVID, targets []SplitTarget, at temporal.Instant) []Op {
+	ops := make([]Op, 0, 2*len(targets)+1)
+	ops = append(ops, Exclude{Dim: dim, ID: source, At: at})
+	for _, tg := range targets {
+		ops = append(ops, Insert{
+			Dim: dim, ID: tg.Member.ID, Name: tg.Member.Name, Level: tg.Member.Level,
+			Attrs: tg.Member.Attrs, Start: at, Parents: tg.Member.Parents,
+		})
+	}
+	for _, tg := range targets {
+		ops = append(ops, Associate{Mapping: core.MappingRelationship{
+			From: source, To: tg.Member.ID, Forward: tg.Forward, Backward: tg.Backward,
+		}})
+	}
+	return ops
+}
+
+// ReclassifyMember compiles "Reclassification of a member in the
+// dimension structure": on the conceptual model this is the basic
+// Reclassify operator itself (the §4.2 rewrite into
+// Insert/Exclude/Associate is only needed at the logical level; see
+// package logical).
+func ReclassifyMember(dim core.DimID, id core.MVID, at temporal.Instant, oldParents, newParents []core.MVID) []Op {
+	return []Op{Reclassify{
+		Dim: dim, ID: id, Start: at, OldParents: oldParents, NewParents: newParents,
+	}}
+}
+
+// Increase compiles the complex operation "Increase V in V+ at time T"
+// (Table 11, fourth entry), here with a designer-supplied factor:
+//
+//	Exclude(Org, idV, T)
+//	Insert(Org, idV+, V+, T, {idP1}, ∅)
+//	Associate(idV, idV+, {(x→factor·x, am)}, {(x→x/factor, am)})
+func Increase(dim core.DimID, old core.MVID, grown NewMember, at temporal.Instant, factor float64, measures int) []Op {
+	return []Op{
+		Exclude{Dim: dim, ID: old, At: at},
+		Insert{Dim: dim, ID: grown.ID, Name: grown.Name, Level: grown.Level,
+			Attrs: grown.Attrs, Start: at, Parents: grown.Parents},
+		Associate{Mapping: core.MappingRelationship{
+			From:     old,
+			To:       grown.ID,
+			Forward:  core.UniformMapping(measures, core.Linear{K: factor}, core.ApproxMapping),
+			Backward: core.UniformMapping(measures, core.Linear{K: 1 / factor}, core.ApproxMapping),
+		}},
+	}
+}
+
+// Decrease compiles the complex operation "Decreasing: splitting
+// followed by a deletion" (§2.3): the member splits into a kept part and
+// a dropped part; only the kept part is inserted, carrying the kept
+// fraction of the values.
+func Decrease(dim core.DimID, old core.MVID, kept NewMember, at temporal.Instant, keptShare float64, measures int) []Op {
+	return []Op{
+		Exclude{Dim: dim, ID: old, At: at},
+		Insert{Dim: dim, ID: kept.ID, Name: kept.Name, Level: kept.Level,
+			Attrs: kept.Attrs, Start: at, Parents: kept.Parents},
+		Associate{Mapping: core.MappingRelationship{
+			From:     old,
+			To:       kept.ID,
+			Forward:  core.UniformMapping(measures, core.Linear{K: keptShare}, core.ApproxMapping),
+			Backward: core.UniformMapping(measures, core.Identity, core.ExactMapping),
+		}},
+	}
+}
+
+// PartialAnnexation compiles the complex operation of Table 11's last
+// entry: a portion of V1 is annexed by V2 at time T. With the paper's
+// example numbers (10% of V1's measure goes to V2, which is a 20%
+// increase for V2):
+//
+//	Exclude(Org, idV1, T)
+//	Exclude(Org, idV2, T)
+//	Insert(Org, idV1-, V1-, T, {idP1}, ∅)
+//	Insert(Org, idV2+, V2+, T, {idP1}, ∅)
+//	Associate(idV1, idV1-, {(x→0.9x, am)}, {(x→x, em)})
+//	Associate(idV2, idV2+, {(x→x, em)}, {(x→0.8x, am)})
+//	Associate(idV1, idV2+, {(x→0.1x, am)}, {(x→0.2x, am)})
+//
+// movedShare is the fraction of V1 moved (0.1 above); grownShare is the
+// fraction of V2+ that came from V1 (0.2 above, the reverse weighting).
+func PartialAnnexation(dim core.DimID, v1, v2 core.MVID, v1Minus, v2Plus NewMember,
+	at temporal.Instant, movedShare, grownShare float64, measures int) []Op {
+	return []Op{
+		Exclude{Dim: dim, ID: v1, At: at},
+		Exclude{Dim: dim, ID: v2, At: at},
+		Insert{Dim: dim, ID: v1Minus.ID, Name: v1Minus.Name, Level: v1Minus.Level,
+			Attrs: v1Minus.Attrs, Start: at, Parents: v1Minus.Parents},
+		Insert{Dim: dim, ID: v2Plus.ID, Name: v2Plus.Name, Level: v2Plus.Level,
+			Attrs: v2Plus.Attrs, Start: at, Parents: v2Plus.Parents},
+		Associate{Mapping: core.MappingRelationship{
+			From:     v1,
+			To:       v1Minus.ID,
+			Forward:  core.UniformMapping(measures, core.Linear{K: 1 - movedShare}, core.ApproxMapping),
+			Backward: core.UniformMapping(measures, core.Identity, core.ExactMapping),
+		}},
+		Associate{Mapping: core.MappingRelationship{
+			From:     v2,
+			To:       v2Plus.ID,
+			Forward:  core.UniformMapping(measures, core.Identity, core.ExactMapping),
+			Backward: core.UniformMapping(measures, core.Linear{K: 1 - grownShare}, core.ApproxMapping),
+		}},
+		Associate{Mapping: core.MappingRelationship{
+			From:     v1,
+			To:       v2Plus.ID,
+			Forward:  core.UniformMapping(measures, core.Linear{K: movedShare}, core.ApproxMapping),
+			Backward: core.UniformMapping(measures, core.Linear{K: grownShare}, core.ApproxMapping),
+		}},
+	}
+}

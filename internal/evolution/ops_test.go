@@ -1,0 +1,286 @@
+package evolution
+
+import (
+	"strings"
+	"testing"
+
+	"mvolap/internal/core"
+	"mvolap/internal/temporal"
+)
+
+func y(year int) temporal.Instant   { return temporal.Year(year) }
+func ym(yr, m int) temporal.Instant { return temporal.YM(yr, m) }
+
+// freshOrg builds the 2001 organization only (Table 1); evolutions are
+// applied by the tests.
+func freshOrg(t testing.TB) *core.Schema {
+	t.Helper()
+	s := core.NewSchema("org", core.Measure{Name: "Amount", Agg: core.Sum})
+	d := core.NewDimension("Org", "Org")
+	add := func(id core.MVID, name, level string) {
+		if err := d.AddVersion(&core.MemberVersion{
+			ID: id, Member: name, Name: name, Level: level, Valid: temporal.Since(y(2001)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("Sales", "Sales", "Division")
+	add("R&D", "R&D", "Division")
+	add("Jones", "Dpt.Jones", "Department")
+	add("Smith", "Dpt.Smith", "Department")
+	add("Brian", "Dpt.Brian", "Department")
+	for _, r := range []core.TemporalRelationship{
+		{From: "Jones", To: "Sales", Valid: temporal.Since(y(2001))},
+		{From: "Smith", To: "Sales", Valid: temporal.Since(y(2001))},
+		{From: "Brian", To: "R&D", Valid: temporal.Since(y(2001))},
+	} {
+		if err := d.AddRelationship(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AddDimension(d); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestInsertOperator(t *testing.T) {
+	s := freshOrg(t)
+	a := NewApplier(s)
+	op := Insert{
+		Dim: "Org", ID: "Dave", Name: "Dpt.Dave", Level: "Department",
+		Start: y(2002), Parents: []core.MVID{"Sales"},
+	}
+	if err := a.Apply(op); err != nil {
+		t.Fatal(err)
+	}
+	d := s.Dimension("Org")
+	mv := d.Version("Dave")
+	if mv == nil || !mv.Valid.Equal(temporal.Since(y(2002))) {
+		t.Fatalf("inserted version = %v", mv)
+	}
+	ps := d.ParentsAt("Dave", y(2002))
+	if len(ps) != 1 || ps[0].ID != "Sales" {
+		t.Errorf("parents = %v", ps)
+	}
+	// Bounded insert.
+	op2 := Insert{Dim: "Org", ID: "Temp", Name: "Temp", Level: "Department",
+		Start: y(2002), End: ym(2002, 12), Parents: []core.MVID{"Sales"}}
+	if err := a.Apply(op2); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Version("Temp").Valid; !got.Equal(temporal.Between(y(2002), ym(2002, 12))) {
+		t.Errorf("bounded validity = %v", got)
+	}
+}
+
+func TestInsertWithChildren(t *testing.T) {
+	s := freshOrg(t)
+	a := NewApplier(s)
+	// Insert an intermediate "Group" node over Jones and Smith.
+	op := Insert{
+		Dim: "Org", ID: "GroupA", Name: "GroupA", Level: "Group",
+		Start: y(2002), Parents: []core.MVID{"Sales"}, Children: []core.MVID{"Jones", "Smith"},
+	}
+	if err := a.Apply(op); err != nil {
+		t.Fatal(err)
+	}
+	d := s.Dimension("Org")
+	cs := d.ChildrenAt("GroupA", y(2002))
+	if len(cs) != 2 {
+		t.Errorf("children = %v", cs)
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	s := freshOrg(t)
+	cases := []struct {
+		name string
+		op   Insert
+	}{
+		{"unknown dimension", Insert{Dim: "zz", ID: "x", Start: y(2002)}},
+		{"duplicate id", Insert{Dim: "Org", ID: "Jones", Start: y(2002)}},
+		{"unknown parent", Insert{Dim: "Org", ID: "x", Start: y(2002), Parents: []core.MVID{"zz"}}},
+		{"unknown child", Insert{Dim: "Org", ID: "x2", Start: y(2002), Children: []core.MVID{"zz"}}},
+	}
+	for _, c := range cases {
+		if err := NewApplier(s).Apply(c.op); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	// Disjoint validity with parent.
+	s2 := freshOrg(t)
+	a := NewApplier(s2)
+	if err := a.Apply(Insert{Dim: "Org", ID: "old", Start: ym(1999, 1), End: ym(2000, 1), Parents: []core.MVID{"Sales"}}); err == nil {
+		t.Error("no common validity with parent: expected error")
+	}
+}
+
+func TestExcludeOperator(t *testing.T) {
+	s := freshOrg(t)
+	a := NewApplier(s)
+	if err := a.Apply(Exclude{Dim: "Org", ID: "Jones", At: y(2003)}); err != nil {
+		t.Fatal(err)
+	}
+	d := s.Dimension("Org")
+	// "on and after tf": end time set to tf-1.
+	if got := d.Version("Jones").Valid.End; got != ym(2002, 12) {
+		t.Errorf("end = %v, want 12/2002", got)
+	}
+	for _, r := range d.Relationships() {
+		if r.From == "Jones" && r.Valid.End > ym(2002, 12) {
+			t.Error("relationships must be truncated")
+		}
+	}
+	if err := NewApplier(s).Apply(Exclude{Dim: "zz", ID: "Jones", At: y(2003)}); err == nil {
+		t.Error("unknown dimension must fail")
+	}
+	if err := NewApplier(s).Apply(Exclude{Dim: "Org", ID: "zz", At: y(2003)}); err == nil {
+		t.Error("unknown member must fail")
+	}
+}
+
+func TestAssociateOperator(t *testing.T) {
+	s := freshOrg(t)
+	a := NewApplier(s)
+	op := Associate{Mapping: core.MappingRelationship{
+		From:     "Jones",
+		To:       "Smith",
+		Forward:  core.UniformMapping(1, core.Identity, core.ExactMapping),
+		Backward: core.UniformMapping(1, core.Identity, core.ExactMapping),
+	}}
+	if err := a.Apply(op); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Mappings()) != 1 {
+		t.Error("mapping not registered")
+	}
+	bad := Associate{Mapping: core.MappingRelationship{From: "Jones", To: "zz",
+		Forward:  core.UniformMapping(1, core.Identity, core.ExactMapping),
+		Backward: core.UniformMapping(1, core.Identity, core.ExactMapping)}}
+	if err := a.Apply(bad); err == nil {
+		t.Error("inconsistent mapping must be rejected")
+	}
+}
+
+func TestReclassifyOperator(t *testing.T) {
+	s := freshOrg(t)
+	a := NewApplier(s)
+	ops := ReclassifyMember("Org", "Smith", y(2002), []core.MVID{"Sales"}, []core.MVID{"R&D"})
+	if err := a.Apply(ops...); err != nil {
+		t.Fatal(err)
+	}
+	d := s.Dimension("Org")
+	p01 := d.ParentsAt("Smith", y(2001))
+	if len(p01) != 1 || p01[0].ID != "Sales" {
+		t.Errorf("2001 parent = %v", p01)
+	}
+	p02 := d.ParentsAt("Smith", y(2002))
+	if len(p02) != 1 || p02[0].ID != "R&D" {
+		t.Errorf("2002 parent = %v", p02)
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("dimension invalid after reclassify: %v", err)
+	}
+}
+
+func TestReclassifyErrors(t *testing.T) {
+	s := freshOrg(t)
+	if err := NewApplier(s).Apply(Reclassify{Dim: "zz", ID: "Smith", Start: y(2002)}); err == nil {
+		t.Error("unknown dimension must fail")
+	}
+	if err := NewApplier(s).Apply(Reclassify{Dim: "Org", ID: "zz", Start: y(2002)}); err == nil {
+		t.Error("unknown member must fail")
+	}
+	if err := NewApplier(s).Apply(Reclassify{
+		Dim: "Org", ID: "Smith", Start: y(2002), NewParents: []core.MVID{"zz"},
+	}); err == nil {
+		t.Error("unknown new parent must fail")
+	}
+	// Parent with disjoint validity.
+	a := NewApplier(s)
+	if err := a.Apply(Insert{Dim: "Org", ID: "late", Name: "late", Level: "Division", Start: y(2010)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Apply(Reclassify{
+		Dim: "Org", ID: "Jones", Start: y(2002), End: ym(2002, 12), NewParents: []core.MVID{"late"},
+	}); err == nil {
+		t.Error("disjoint parent validity must fail")
+	}
+}
+
+func TestDescribeNotation(t *testing.T) {
+	ins := Insert{Dim: "Org", ID: "idV", Name: "V", Start: y(2002), Parents: []core.MVID{"idP1"}}
+	if got := ins.Describe(); got != "Insert(Org, idV, V, 01/2002, {idP1}, {})" {
+		t.Errorf("Insert notation = %q", got)
+	}
+	ex := Exclude{Dim: "Org", ID: "idV", At: y(2002)}
+	if got := ex.Describe(); got != "Exclude(Org, idV, 01/2002)" {
+		t.Errorf("Exclude notation = %q", got)
+	}
+	as := Associate{Mapping: core.MappingRelationship{
+		From:     "idV",
+		To:       "idV'",
+		Forward:  core.UniformMapping(1, core.Identity, core.ExactMapping),
+		Backward: core.UniformMapping(1, core.Linear{K: 0.5}, core.ApproxMapping),
+	}}
+	if got := as.Describe(); got != "Associate(idV, idV', {(x->x, em)}, {(x->0.5*x, am)})" {
+		t.Errorf("Associate notation = %q", got)
+	}
+	rc := Reclassify{Dim: "Org", ID: "idV", Start: y(2002),
+		OldParents: []core.MVID{"a"}, NewParents: []core.MVID{"b"}}
+	if got := rc.Describe(); got != "Reclassify(Org, idV, 01/2002, {a}, {b})" {
+		t.Errorf("Reclassify notation = %q", got)
+	}
+	if len(rc.Touches()) != 3 {
+		t.Error("Reclassify must touch member and parents")
+	}
+}
+
+func TestApplierLogAndHistory(t *testing.T) {
+	s := freshOrg(t)
+	a := NewApplier(s)
+	ops := Transform("Org", "Jones", NewMember{
+		ID: "Jones2", Name: "Dpt.Jones-NewOffice", Level: "Department", Parents: []core.MVID{"Sales"},
+	}, y(2002), 1)
+	if err := a.Apply(ops...); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Log()) != 3 {
+		t.Fatalf("log = %v", a.Log())
+	}
+	hist := a.History("Jones")
+	if len(hist) != 2 { // Exclude + Associate touch Jones
+		t.Errorf("history of Jones = %v", hist)
+	}
+	if hist := a.History("nobody"); hist != nil {
+		t.Errorf("history of unknown member = %v", hist)
+	}
+	script := a.Script()
+	if !strings.Contains(script, "1. Exclude(Org, Jones, 01/2002)") {
+		t.Errorf("script = %q", script)
+	}
+	if got := Describe(ops); !strings.HasPrefix(got, "- Exclude(") {
+		t.Errorf("Describe = %q", got)
+	}
+}
+
+func TestApplierStopsOnError(t *testing.T) {
+	s := freshOrg(t)
+	a := NewApplier(s)
+	err := a.Apply(
+		Exclude{Dim: "Org", ID: "Jones", At: y(2002)},
+		Exclude{Dim: "Org", ID: "zz", At: y(2002)}, // fails
+		Exclude{Dim: "Org", ID: "Smith", At: y(2002)},
+	)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if len(a.Log()) != 1 {
+		t.Errorf("log after failure = %v", a.Log())
+	}
+	// Smith untouched because application stopped.
+	if s.Dimension("Org").Version("Smith").Valid.End != temporal.Now {
+		t.Error("operators after the failure must not run")
+	}
+}

@@ -1,0 +1,442 @@
+package evolution
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mvolap/internal/core"
+	"mvolap/internal/temporal"
+)
+
+// This file implements a line-oriented evolution script language so
+// administrators can apply structural evolutions from files (cmd/evolve).
+// One statement per line; '#' starts a comment. Names with spaces are
+// double-quoted. Instants are "MM/YYYY" or "YYYY".
+//
+//	INSERT <dim> <id> <name> [LEVEL <level>] AT <t> [UNTIL <t>] [PARENTS a,b] [CHILDREN a,b]
+//	EXCLUDE <dim> <id> AT <t>
+//	ASSOCIATE <from> <to> FORWARD <k|-> <cf> BACKWARD <k|-> <cf>
+//	RECLASSIFY <dim> <id> AT <t> [FROM a,b] [TO a,b]
+//	SPLIT <dim> <id> AT <t> [LEVEL <level>] [PARENTS a,b] INTO <id>=<k> <id>=<k> ...
+//	MERGE <dim> <a,b> AT <t> [LEVEL <level>] [PARENTS a,b] INTO <id> [BACK <k|->,<k|->]
+//
+// ASSOCIATE, SPLIT and MERGE apply the same mapping to every measure
+// (the paper's common case); per-measure functions need the Go API.
+
+// ParseScript parses an evolution script for a schema with the given
+// measure count.
+func ParseScript(r io.Reader, measures int) ([]Op, error) {
+	var ops []Op
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		lineOps, err := parseLine(line, measures)
+		if err != nil {
+			return nil, fmt.Errorf("evolution: script line %d: %w", lineNo, err)
+		}
+		ops = append(ops, lineOps...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("evolution: reading script: %w", err)
+	}
+	return ops, nil
+}
+
+func parseLine(line string, measures int) ([]Op, error) {
+	words, err := splitQuoted(line)
+	if err != nil {
+		return nil, err
+	}
+	p := &scriptParser{words: words}
+	verb, err := p.word("statement")
+	if err != nil {
+		return nil, err
+	}
+	switch strings.ToUpper(verb) {
+	case "INSERT":
+		return p.parseInsert()
+	case "EXCLUDE":
+		return p.parseExclude()
+	case "ASSOCIATE":
+		return p.parseAssociate(measures)
+	case "RECLASSIFY":
+		return p.parseReclassify()
+	case "SPLIT":
+		return p.parseSplit(measures)
+	case "MERGE":
+		return p.parseMerge(measures)
+	}
+	return nil, fmt.Errorf("unknown statement %q", verb)
+}
+
+// splitQuoted splits on spaces, honouring double quotes.
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"':
+			if inQuote {
+				out = append(out, cur.String())
+				cur.Reset()
+				inQuote = false
+			} else {
+				flush()
+				inQuote = true
+			}
+		case (c == ' ' || c == '\t') && !inQuote:
+			flush()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("unterminated quote")
+	}
+	flush()
+	return out, nil
+}
+
+type scriptParser struct {
+	words []string
+	pos   int
+}
+
+func (p *scriptParser) word(what string) (string, error) {
+	if p.pos >= len(p.words) {
+		return "", fmt.Errorf("expected %s", what)
+	}
+	w := p.words[p.pos]
+	p.pos++
+	return w, nil
+}
+
+func (p *scriptParser) kw(s string) bool {
+	if p.pos < len(p.words) && strings.EqualFold(p.words[p.pos], s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *scriptParser) done() error {
+	if p.pos != len(p.words) {
+		return fmt.Errorf("trailing input at %q", p.words[p.pos])
+	}
+	return nil
+}
+
+func (p *scriptParser) instantAfter(kw string) (temporal.Instant, error) {
+	if !p.kw(kw) {
+		return 0, fmt.Errorf("expected %s", kw)
+	}
+	w, err := p.word("instant")
+	if err != nil {
+		return 0, err
+	}
+	return temporal.ParseInstant(w)
+}
+
+func (p *scriptParser) idList(w string) []core.MVID {
+	parts := strings.Split(w, ",")
+	out := make([]core.MVID, 0, len(parts))
+	for _, s := range parts {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, core.MVID(s))
+		}
+	}
+	return out
+}
+
+func (p *scriptParser) parseInsert() ([]Op, error) {
+	dim, err := p.word("dimension")
+	if err != nil {
+		return nil, err
+	}
+	id, err := p.word("id")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.word("name")
+	if err != nil {
+		return nil, err
+	}
+	op := Insert{Dim: core.DimID(dim), ID: core.MVID(id), Name: name}
+	if p.kw("LEVEL") {
+		if op.Level, err = p.word("level"); err != nil {
+			return nil, err
+		}
+	}
+	if op.Start, err = p.instantAfter("AT"); err != nil {
+		return nil, err
+	}
+	if p.kw("UNTIL") {
+		w, err := p.word("instant")
+		if err != nil {
+			return nil, err
+		}
+		if op.End, err = temporal.ParseInstant(w); err != nil {
+			return nil, err
+		}
+	}
+	if p.kw("PARENTS") {
+		w, err := p.word("parents")
+		if err != nil {
+			return nil, err
+		}
+		op.Parents = p.idList(w)
+	}
+	if p.kw("CHILDREN") {
+		w, err := p.word("children")
+		if err != nil {
+			return nil, err
+		}
+		op.Children = p.idList(w)
+	}
+	return []Op{op}, p.done()
+}
+
+func (p *scriptParser) parseExclude() ([]Op, error) {
+	dim, err := p.word("dimension")
+	if err != nil {
+		return nil, err
+	}
+	id, err := p.word("id")
+	if err != nil {
+		return nil, err
+	}
+	at, err := p.instantAfter("AT")
+	if err != nil {
+		return nil, err
+	}
+	return []Op{Exclude{Dim: core.DimID(dim), ID: core.MVID(id), At: at}}, p.done()
+}
+
+// parseMapper parses "<k|-> <cf>" into a uniform measure mapping.
+func (p *scriptParser) parseMapper(measures int) ([]core.MeasureMapping, error) {
+	kw, err := p.word("mapping factor")
+	if err != nil {
+		return nil, err
+	}
+	cfw, err := p.word("confidence")
+	if err != nil {
+		return nil, err
+	}
+	cf, err := core.ParseConfidence(cfw)
+	if err != nil {
+		return nil, err
+	}
+	if kw == "-" {
+		return core.UniformMapping(measures, core.Unknown{}, cf), nil
+	}
+	k, err := strconv.ParseFloat(kw, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad factor %q", kw)
+	}
+	return core.UniformMapping(measures, core.Linear{K: k}, cf), nil
+}
+
+func (p *scriptParser) parseAssociate(measures int) ([]Op, error) {
+	from, err := p.word("from id")
+	if err != nil {
+		return nil, err
+	}
+	to, err := p.word("to id")
+	if err != nil {
+		return nil, err
+	}
+	if !p.kw("FORWARD") {
+		return nil, fmt.Errorf("expected FORWARD")
+	}
+	fwd, err := p.parseMapper(measures)
+	if err != nil {
+		return nil, err
+	}
+	if !p.kw("BACKWARD") {
+		return nil, fmt.Errorf("expected BACKWARD")
+	}
+	back, err := p.parseMapper(measures)
+	if err != nil {
+		return nil, err
+	}
+	return []Op{Associate{Mapping: core.MappingRelationship{
+		From: core.MVID(from), To: core.MVID(to), Forward: fwd, Backward: back,
+	}}}, p.done()
+}
+
+func (p *scriptParser) parseReclassify() ([]Op, error) {
+	dim, err := p.word("dimension")
+	if err != nil {
+		return nil, err
+	}
+	id, err := p.word("id")
+	if err != nil {
+		return nil, err
+	}
+	at, err := p.instantAfter("AT")
+	if err != nil {
+		return nil, err
+	}
+	op := Reclassify{Dim: core.DimID(dim), ID: core.MVID(id), Start: at}
+	if p.kw("FROM") {
+		w, err := p.word("old parents")
+		if err != nil {
+			return nil, err
+		}
+		op.OldParents = p.idList(w)
+	}
+	if p.kw("TO") {
+		w, err := p.word("new parents")
+		if err != nil {
+			return nil, err
+		}
+		op.NewParents = p.idList(w)
+	}
+	return []Op{op}, p.done()
+}
+
+func (p *scriptParser) parseSplit(measures int) ([]Op, error) {
+	dim, err := p.word("dimension")
+	if err != nil {
+		return nil, err
+	}
+	id, err := p.word("id")
+	if err != nil {
+		return nil, err
+	}
+	at, err := p.instantAfter("AT")
+	if err != nil {
+		return nil, err
+	}
+	level := ""
+	var parents []core.MVID
+	if p.kw("LEVEL") {
+		if level, err = p.word("level"); err != nil {
+			return nil, err
+		}
+	}
+	if p.kw("PARENTS") {
+		w, err := p.word("parents")
+		if err != nil {
+			return nil, err
+		}
+		parents = p.idList(w)
+	}
+	if !p.kw("INTO") {
+		return nil, fmt.Errorf("expected INTO")
+	}
+	var targets []SplitTarget
+	for p.pos < len(p.words) {
+		w, _ := p.word("target")
+		name, kStr, ok := strings.Cut(w, "=")
+		if !ok {
+			return nil, fmt.Errorf("split target %q needs id=weight", w)
+		}
+		k, err := strconv.ParseFloat(kStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad split weight %q", kStr)
+		}
+		targets = append(targets, SplitTarget{
+			Member:   NewMember{ID: core.MVID(name), Name: name, Level: level, Parents: parents},
+			Forward:  core.UniformMapping(measures, core.Linear{K: k}, core.ApproxMapping),
+			Backward: core.UniformMapping(measures, core.Identity, core.ExactMapping),
+		})
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("split needs at least one target")
+	}
+	return Split(core.DimID(dim), core.MVID(id), targets, at), nil
+}
+
+func (p *scriptParser) parseMerge(measures int) ([]Op, error) {
+	dim, err := p.word("dimension")
+	if err != nil {
+		return nil, err
+	}
+	srcWord, err := p.word("source ids")
+	if err != nil {
+		return nil, err
+	}
+	srcIDs := p.idList(srcWord)
+	if len(srcIDs) == 0 {
+		return nil, fmt.Errorf("merge needs sources")
+	}
+	at, err := p.instantAfter("AT")
+	if err != nil {
+		return nil, err
+	}
+	level := ""
+	var parents []core.MVID
+	if p.kw("LEVEL") {
+		if level, err = p.word("level"); err != nil {
+			return nil, err
+		}
+	}
+	if p.kw("PARENTS") {
+		w, err := p.word("parents")
+		if err != nil {
+			return nil, err
+		}
+		parents = p.idList(w)
+	}
+	if !p.kw("INTO") {
+		return nil, fmt.Errorf("expected INTO")
+	}
+	target, err := p.word("target id")
+	if err != nil {
+		return nil, err
+	}
+	backs := make([][]core.MeasureMapping, len(srcIDs))
+	for i := range backs {
+		backs[i] = core.UniformMapping(measures, core.Unknown{}, core.UnknownMapping)
+	}
+	if p.kw("BACK") {
+		w, err := p.word("back weights")
+		if err != nil {
+			return nil, err
+		}
+		parts := strings.Split(w, ",")
+		if len(parts) != len(srcIDs) {
+			return nil, fmt.Errorf("BACK needs %d weights", len(srcIDs))
+		}
+		for i, part := range parts {
+			if part == "-" {
+				continue
+			}
+			k, err := strconv.ParseFloat(part, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad back weight %q", part)
+			}
+			backs[i] = core.UniformMapping(measures, core.Linear{K: k}, core.ApproxMapping)
+		}
+	}
+	sources := make([]MergeSource, len(srcIDs))
+	for i, sid := range srcIDs {
+		sources[i] = MergeSource{
+			ID:       sid,
+			Forward:  core.UniformMapping(measures, core.Identity, core.ExactMapping),
+			Backward: backs[i],
+		}
+	}
+	merged := NewMember{ID: core.MVID(target), Name: target, Level: level, Parents: parents}
+	if err := p.done(); err != nil {
+		return nil, err
+	}
+	return Merge(core.DimID(dim), sources, merged, at), nil
+}

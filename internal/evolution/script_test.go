@@ -1,0 +1,156 @@
+package evolution
+
+import (
+	"strings"
+	"testing"
+
+	"mvolap/internal/core"
+	"mvolap/internal/temporal"
+)
+
+// TestScriptCaseStudy replays the full case study from a script.
+func TestScriptCaseStudy(t *testing.T) {
+	s := freshOrg(t)
+	script := `
+# Smith moves to R&D in 2002 (Table 2)
+RECLASSIFY Org Smith AT 01/2002 FROM Sales TO R&D
+
+# Jones splits into Bill (40%) and Paul (60%) in 2003 (Table 7, Ex. 6)
+SPLIT Org Jones AT 01/2003 LEVEL Department PARENTS Sales INTO Bill=0.4 Paul=0.6
+`
+	ops, err := ParseScript(strings.NewReader(script), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewApplier(s)
+	if err := a.Apply(ops...); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.StructureVersions()); got != 3 {
+		t.Fatalf("structure versions = %d", got)
+	}
+	d := s.Dimension("Org")
+	if d.Version("Bill") == nil || d.Version("Paul") == nil {
+		t.Fatal("split targets missing")
+	}
+	if d.Version("Jones").Valid.End != temporal.YM(2002, 12) {
+		t.Error("Jones must end at 12/2002")
+	}
+	if len(s.Mappings()) != 2 {
+		t.Errorf("mappings = %d", len(s.Mappings()))
+	}
+}
+
+func TestScriptInsertExcludeAssociate(t *testing.T) {
+	s := freshOrg(t)
+	script := `
+INSERT Org Dave "Dpt. Dave & Co" LEVEL Department AT 01/2002 UNTIL 12/2003 PARENTS Sales
+EXCLUDE Org Brian AT 01/2003
+ASSOCIATE Brian Dave FORWARD 0.5 am BACKWARD - uk
+`
+	ops, err := ParseScript(strings.NewReader(script), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewApplier(s).Apply(ops...); err != nil {
+		t.Fatal(err)
+	}
+	d := s.Dimension("Org")
+	dave := d.Version("Dave")
+	if dave == nil || dave.Name != "Dpt. Dave & Co" {
+		t.Fatalf("quoted name lost: %v", dave)
+	}
+	if !dave.Valid.Equal(temporal.Between(temporal.YM(2002, 1), temporal.YM(2003, 12))) {
+		t.Errorf("bounded validity = %v", dave.Valid)
+	}
+	if d.Version("Brian").Valid.End != temporal.YM(2002, 12) {
+		t.Error("exclude failed")
+	}
+	m := s.Mappings()[0]
+	if v, _ := m.Forward[0].Fn.Map(100); v != 50 {
+		t.Errorf("forward factor = %v", v)
+	}
+	if _, ok := m.Backward[0].Fn.Map(1); ok {
+		t.Error("backward must be unknown")
+	}
+}
+
+func TestScriptMerge(t *testing.T) {
+	s := freshOrg(t)
+	script := `MERGE Org Jones,Smith AT 01/2002 LEVEL Department PARENTS Sales INTO JS BACK 0.7,-`
+	ops, err := ParseScript(strings.NewReader(script), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewApplier(s).Apply(ops...); err != nil {
+		t.Fatal(err)
+	}
+	d := s.Dimension("Org")
+	if d.Version("JS") == nil {
+		t.Fatal("merge target missing")
+	}
+	if len(s.Mappings()) != 2 {
+		t.Fatalf("mappings = %d", len(s.Mappings()))
+	}
+	// First source maps back with 0.7, second is unknown.
+	var jones, smith core.MappingRelationship
+	for _, m := range s.Mappings() {
+		switch m.From {
+		case "Jones":
+			jones = m
+		case "Smith":
+			smith = m
+		}
+	}
+	if v, _ := jones.Backward[0].Fn.Map(100); v != 70 {
+		t.Errorf("Jones back = %v", v)
+	}
+	if _, ok := smith.Backward[0].Fn.Map(1); ok {
+		t.Error("Smith back must be unknown")
+	}
+}
+
+func TestScriptCommentsAndBlank(t *testing.T) {
+	ops, err := ParseScript(strings.NewReader("\n# only a comment\n\n"), 1)
+	if err != nil || len(ops) != 0 {
+		t.Errorf("comment-only script = %v, %v", ops, err)
+	}
+}
+
+func TestScriptErrors(t *testing.T) {
+	cases := []string{
+		"FROBNICATE x",
+		"INSERT Org",
+		"INSERT Org id",
+		"INSERT Org id name",         // missing AT
+		"INSERT Org id name AT junk", // bad instant
+		"INSERT Org id name AT 01/2002 UNTIL junk",
+		"INSERT Org id name AT 01/2002 extra",
+		"EXCLUDE Org",
+		"EXCLUDE Org id",
+		"EXCLUDE Org id AT junk",
+		"ASSOCIATE a",
+		"ASSOCIATE a b",
+		"ASSOCIATE a b FORWARD",
+		"ASSOCIATE a b FORWARD x em BACKWARD 1 em",
+		"ASSOCIATE a b FORWARD 1 zz BACKWARD 1 em",
+		"ASSOCIATE a b FORWARD 1 em",
+		"ASSOCIATE a b FORWARD 1 em BACKWARD 1 em extra",
+		"RECLASSIFY Org",
+		"RECLASSIFY Org id",
+		"RECLASSIFY Org id AT junk",
+		"RECLASSIFY Org id AT 01/2002 junk",
+		"SPLIT Org id AT 01/2002",
+		"SPLIT Org id AT 01/2002 INTO noweight",
+		"SPLIT Org id AT 01/2002 INTO a=x",
+		"MERGE Org a,b AT 01/2002",
+		"MERGE Org a,b AT 01/2002 INTO c BACK 0.5",
+		"MERGE Org a,b AT 01/2002 INTO c BACK x,y",
+		`INSERT Org id "unterminated AT 01/2002`,
+	}
+	for _, in := range cases {
+		if _, err := ParseScript(strings.NewReader(in), 1); err == nil {
+			t.Errorf("script %q must fail", in)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package molap is a dense multidimensional array store — the MOLAP
+// alternative of §4.2 ("it can therefore be implemented either on
+// ROLAP, MOLAP or HOLAP servers"). Each temporal mode of presentation
+// materializes into a dense array indexed by (leaf member, time) with
+// one value plane per measure and a confidence plane, plus prefix sums
+// over the time axis so that range aggregations over time run in O(1)
+// per cell row instead of scanning facts.
+//
+// The store trades memory (dense arrays over the full member × time
+// grid, mirroring the §5.1 duplication discussion) for constant-time
+// cell access — the classic MOLAP trade-off.
+package molap
+
+import (
+	"fmt"
+	"math"
+
+	"mvolap/internal/core"
+	"mvolap/internal/temporal"
+)
+
+// Store holds the dense arrays of one schema, one grid per temporal
+// mode of presentation.
+type Store struct {
+	schema *core.Schema
+	grids  map[string]*Grid
+}
+
+// Grid is the dense array of one mode: rows are the leaf member
+// versions of the mode's structure (all dimensions flattened into one
+// composite axis in coordinate order), columns are instants.
+type Grid struct {
+	Mode core.Mode
+	// Times spans the fact instants [min, max].
+	Times temporal.Interval
+	// rowIndex maps a composite coordinate key to a row.
+	rowIndex map[string]int
+	// rowCoords remembers each row's coordinates.
+	rowCoords []core.Coords
+	// values[measure][row][col]; NaN marks empty or unknown cells.
+	values [][][]float64
+	// cfs[measure][row][col]; meaningful only where a value exists.
+	cfs [][][]core.Confidence
+	// prefix[measure][row][col] is the prefix sum of non-NaN values up
+	// to and including col, for O(1) time-range sums of Sum measures.
+	prefix [][][]float64
+	// width is the number of time columns.
+	width int
+}
+
+// Build materializes the dense store for every mode of the schema.
+func Build(s *core.Schema) (*Store, error) {
+	st := &Store{schema: s, grids: make(map[string]*Grid)}
+	span := s.Facts().TimeSpan()
+	if span.Empty() {
+		return nil, fmt.Errorf("molap: schema has no facts")
+	}
+	for _, mode := range s.Modes() {
+		mt, err := s.MultiVersion().Mode(mode)
+		if err != nil {
+			return nil, err
+		}
+		g := &Grid{
+			Mode:     mode,
+			Times:    span,
+			rowIndex: make(map[string]int),
+			width:    int(span.End-span.Start) + 1,
+		}
+		measures := len(s.Measures())
+		addRow := func(coords core.Coords) int {
+			key := coords.Key()
+			if i, ok := g.rowIndex[key]; ok {
+				return i
+			}
+			i := len(g.rowCoords)
+			g.rowIndex[key] = i
+			g.rowCoords = append(g.rowCoords, coords.Clone())
+			for k := 0; k < measures; k++ {
+				row := make([]float64, g.width)
+				for c := range row {
+					row[c] = math.NaN()
+				}
+				g.values[k] = append(g.values[k], row)
+				g.cfs[k] = append(g.cfs[k], make([]core.Confidence, g.width))
+			}
+			return i
+		}
+		g.values = make([][][]float64, measures)
+		g.cfs = make([][][]core.Confidence, measures)
+		for _, f := range mt.Facts() {
+			row := addRow(f.Coords)
+			col := int(f.Time - span.Start)
+			if col < 0 || col >= g.width {
+				continue
+			}
+			for k := 0; k < measures; k++ {
+				g.values[k][row][col] = f.Values[k]
+				g.cfs[k][row][col] = f.CFs[k]
+			}
+		}
+		g.buildPrefix(measures)
+		st.grids[mode.String()] = g
+	}
+	return st, nil
+}
+
+func (g *Grid) buildPrefix(measures int) {
+	g.prefix = make([][][]float64, measures)
+	for k := 0; k < measures; k++ {
+		g.prefix[k] = make([][]float64, len(g.rowCoords))
+		for r := range g.rowCoords {
+			ps := make([]float64, g.width)
+			run := 0.0
+			for c := 0; c < g.width; c++ {
+				if v := g.values[k][r][c]; !math.IsNaN(v) {
+					run += v
+				}
+				ps[c] = run
+			}
+			g.prefix[k][r] = ps
+		}
+	}
+}
+
+// Grid returns the dense grid of a mode.
+func (st *Store) Grid(mode core.Mode) (*Grid, error) {
+	g, ok := st.grids[mode.String()]
+	if !ok {
+		return nil, fmt.Errorf("molap: mode %s not materialized", mode)
+	}
+	return g, nil
+}
+
+// Rows reports the number of composite member rows.
+func (g *Grid) Rows() int { return len(g.rowCoords) }
+
+// Coords returns the coordinates of row r.
+func (g *Grid) Coords(r int) core.Coords { return g.rowCoords[r] }
+
+// Cell returns the value and confidence at (coords, t); ok is false for
+// empty cells.
+func (g *Grid) Cell(coords core.Coords, t temporal.Instant, measure int) (float64, core.Confidence, bool) {
+	r, ok := g.rowIndex[coords.Key()]
+	if !ok || !g.Times.Contains(t) {
+		return 0, core.UnknownMapping, false
+	}
+	c := int(t - g.Times.Start)
+	v := g.values[measure][r][c]
+	if math.IsNaN(v) {
+		return 0, core.UnknownMapping, false
+	}
+	return v, g.cfs[measure][r][c], true
+}
+
+// RangeSum returns the sum of the measure for the row over the closed
+// time range, in O(1) via prefix sums. Instants outside the grid clamp
+// to its bounds.
+func (g *Grid) RangeSum(coords core.Coords, from, to temporal.Instant, measure int) (float64, bool) {
+	r, ok := g.rowIndex[coords.Key()]
+	if !ok {
+		return 0, false
+	}
+	lo := int(temporal.Max(from, g.Times.Start) - g.Times.Start)
+	hi := int(temporal.Min(to, g.Times.End) - g.Times.Start)
+	if hi < lo {
+		return 0, true
+	}
+	ps := g.prefix[measure][r]
+	sum := ps[hi]
+	if lo > 0 {
+		sum -= ps[lo-1]
+	}
+	return sum, true
+}
+
+// TotalSum returns the grand total of the measure over the whole grid.
+func (g *Grid) TotalSum(measure int) float64 {
+	total := 0.0
+	for r := range g.rowCoords {
+		ps := g.prefix[measure][r]
+		total += ps[len(ps)-1]
+	}
+	return total
+}
+
+// MemoryCells reports the allocated cell count (rows × width), the
+// MOLAP density cost.
+func (g *Grid) MemoryCells() int { return len(g.rowCoords) * g.width }
+
+// Density is the fraction of allocated cells holding a value.
+func (g *Grid) Density(measure int) float64 {
+	if g.MemoryCells() == 0 {
+		return 0
+	}
+	n := 0
+	for r := range g.rowCoords {
+		for c := 0; c < g.width; c++ {
+			if !math.IsNaN(g.values[measure][r][c]) {
+				n++
+			}
+		}
+	}
+	return float64(n) / float64(g.MemoryCells())
+}

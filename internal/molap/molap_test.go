@@ -1,0 +1,146 @@
+package molap
+
+import (
+	"math"
+	"testing"
+
+	"mvolap/internal/casestudy"
+	"mvolap/internal/core"
+	"mvolap/internal/temporal"
+	"mvolap/internal/workload"
+)
+
+func caseStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := casestudy.New(casestudy.Config{WithFacts: true, WithSplitMappings: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestBuildAndCell(t *testing.T) {
+	st := caseStore(t)
+	s := st.schema
+	g, err := st.Grid(core.TCM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, cf, ok := g.Cell(core.Coords{casestudy.Smith}, temporal.Year(2002), 0)
+	if !ok || v != 100 || cf != core.SourceData {
+		t.Errorf("Smith@2002 = %v (%v) ok=%v", v, cf, ok)
+	}
+	// Empty cell.
+	if _, _, ok := g.Cell(core.Coords{casestudy.Smith}, temporal.YM(2002, 6), 0); ok {
+		t.Error("mid-year cell must be empty")
+	}
+	// Out of grid.
+	if _, _, ok := g.Cell(core.Coords{casestudy.Smith}, temporal.Year(1990), 0); ok {
+		t.Error("out-of-span cell must be empty")
+	}
+	if _, _, ok := g.Cell(core.Coords{"zz"}, temporal.Year(2002), 0); ok {
+		t.Error("unknown row must be empty")
+	}
+	// V2 mode: the merged Jones 2003 cell.
+	v2 := s.VersionAt(temporal.Year(2002))
+	g2, err := st.Grid(core.InVersion(v2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, cf, ok = g2.Cell(core.Coords{casestudy.Jones}, temporal.Year(2003), 0)
+	if !ok || v != 200 || cf != core.ExactMapping {
+		t.Errorf("V2 Jones@2003 = %v (%v)", v, cf)
+	}
+	if _, err := st.Grid(core.Mode{Kind: core.VersionKind}); err == nil {
+		t.Error("unknown mode must fail")
+	}
+}
+
+func TestRangeSum(t *testing.T) {
+	st := caseStore(t)
+	g, err := st.Grid(core.TCM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smith over all three years: 50 + 100 + 110.
+	sum, ok := g.RangeSum(core.Coords{casestudy.Smith}, temporal.Year(2001), temporal.Year(2003), 0)
+	if !ok || sum != 260 {
+		t.Errorf("Smith total = %v", sum)
+	}
+	// Clamped range.
+	sum, ok = g.RangeSum(core.Coords{casestudy.Smith}, temporal.Year(1990), temporal.Year(2050), 0)
+	if !ok || sum != 260 {
+		t.Errorf("clamped total = %v", sum)
+	}
+	// Sub-range.
+	sum, _ = g.RangeSum(core.Coords{casestudy.Smith}, temporal.Year(2002), temporal.Year(2002), 0)
+	if sum != 100 {
+		t.Errorf("2002 only = %v", sum)
+	}
+	// Inverted range is zero.
+	sum, ok = g.RangeSum(core.Coords{casestudy.Smith}, temporal.Year(2003), temporal.Year(2001), 0)
+	if !ok || sum != 0 {
+		t.Errorf("inverted range = %v", sum)
+	}
+	if _, ok := g.RangeSum(core.Coords{"zz"}, temporal.Year(2001), temporal.Year(2003), 0); ok {
+		t.Error("unknown row must report not-ok")
+	}
+}
+
+// TestRangeSumMatchesQueryEngine: the O(1) prefix sums agree with the
+// query engine on every mode of a synthetic workload.
+func TestRangeSumMatchesQueryEngine(t *testing.T) {
+	w := workload.MustGenerate(workload.Config{Seed: 11, Departments: 10, Years: 5, EvolutionsPerYear: 2})
+	s := w.Schema
+	st, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range s.Modes() {
+		g, err := st.Grid(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Grand totals must match a GrainAll query.
+		res, err := s.Execute(core.Query{Grain: core.GrainAll, Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0.0
+		if len(res.Rows) > 0 && !math.IsNaN(res.Rows[0].Values[0]) {
+			want = res.Rows[0].Values[0]
+		}
+		if got := g.TotalSum(0); math.Abs(got-want) > 1e-6 {
+			t.Errorf("mode %s: molap total %v, engine total %v", mode, got, want)
+		}
+	}
+}
+
+func TestDensityAndMemory(t *testing.T) {
+	st := caseStore(t)
+	g, _ := st.Grid(core.TCM())
+	if g.Rows() != 5 {
+		t.Errorf("rows = %d, want 5 leaf versions with data", g.Rows())
+	}
+	if g.MemoryCells() != g.Rows()*25 { // 01/2001..01/2003 = 25 months
+		t.Errorf("cells = %d", g.MemoryCells())
+	}
+	d := g.Density(0)
+	if d <= 0 || d >= 1 {
+		t.Errorf("density = %v; yearly facts on a monthly grid must be sparse", d)
+	}
+	if len(g.Coords(0)) != 1 {
+		t.Errorf("coords arity = %d", len(g.Coords(0)))
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	s := core.NewSchema("empty", core.Measure{Name: "m", Agg: core.Sum})
+	if _, err := Build(s); err == nil {
+		t.Error("schema without facts must fail")
+	}
+}

@@ -1,0 +1,61 @@
+package rolap
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Database is a named collection of tables.
+type Database struct {
+	Name   string
+	tables map[string]*Table
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase(name string) *Database {
+	return &Database{Name: name, tables: make(map[string]*Table)}
+}
+
+// CreateTable creates and registers a table.
+func (db *Database) CreateTable(name string, schema Schema) (*Table, error) {
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("rolap: table %q already exists", name)
+	}
+	t, err := NewTable(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+// Table returns the named table, or nil.
+func (db *Database) Table(name string) *Table { return db.tables[name] }
+
+// DropTable removes the named table.
+func (db *Database) DropTable(name string) error {
+	if _, ok := db.tables[name]; !ok {
+		return fmt.Errorf("rolap: no table %q", name)
+	}
+	delete(db.tables, name)
+	return nil
+}
+
+// TableNames lists the tables in lexical order.
+func (db *Database) TableNames() []string {
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Query parses and executes a SQL SELECT against the database.
+func (db *Database) Query(sql string) (*Relation, error) {
+	stmt, err := ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	return stmt.Execute(db)
+}

@@ -1,0 +1,35 @@
+package rolap
+
+import "testing"
+
+// FuzzParseSelect checks the SQL parser never panics and that parsed
+// statements always carry a FROM table.
+func FuzzParseSelect(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM fact",
+		"SELECT a, SUM(b) AS t FROM fact JOIN dim ON fact.a = dim.id WHERE x > 3 AND y = 'z' GROUP BY a ORDER BY a DESC LIMIT 5",
+		"SELECT COUNT(*) FROM t WHERE NOT (a = 1 OR b <= -2)",
+		"select a from t where s = 'it''s'",
+		"SELECT",
+		"",
+		"SELECT * FROM t WHERE a ! b",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1024 {
+			return
+		}
+		stmt, err := ParseSelect(input)
+		if err != nil {
+			return
+		}
+		if stmt == nil || stmt.From == "" {
+			t.Fatal("accepted statement without FROM")
+		}
+		if len(stmt.Items) == 0 {
+			t.Fatal("accepted statement without select items")
+		}
+	})
+}

@@ -1,0 +1,431 @@
+package rolap
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Relation is an immutable derived table produced by the relational
+// algebra. Rows are shared with their sources; operators never mutate
+// rows in place.
+type Relation struct {
+	Cols Schema
+	Rows [][]any
+}
+
+// Get returns the value of the named column in row i.
+func (r *Relation) Get(i int, col string) (any, error) {
+	ci := r.Cols.IndexOf(col)
+	if ci < 0 {
+		return nil, fmt.Errorf("rolap: no column %q", col)
+	}
+	return r.Rows[i][ci], nil
+}
+
+// Filter keeps the rows satisfying the predicate.
+func (r *Relation) Filter(pred func(row []any) bool) *Relation {
+	out := &Relation{Cols: r.Cols}
+	for _, row := range r.Rows {
+		if pred(row) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// FilterEq keeps rows whose column equals the value.
+func (r *Relation) FilterEq(col string, value any) (*Relation, error) {
+	ci := r.Cols.IndexOf(col)
+	if ci < 0 {
+		return nil, fmt.Errorf("rolap: no column %q", col)
+	}
+	nv, err := checkValue(r.Cols[ci].Type, value)
+	if err != nil {
+		return nil, err
+	}
+	return r.Filter(func(row []any) bool { return compareValues(row[ci], nv) == 0 }), nil
+}
+
+// Project keeps the named columns, in the given order. A projection may
+// rename with "col AS name".
+func (r *Relation) Project(cols ...string) (*Relation, error) {
+	idx := make([]int, len(cols))
+	out := &Relation{Cols: make(Schema, len(cols))}
+	for i, spec := range cols {
+		name, alias := spec, ""
+		if a, b, ok := cutFold(spec, " as "); ok {
+			name, alias = strings.TrimSpace(a), strings.TrimSpace(b)
+		}
+		ci := r.Cols.IndexOf(name)
+		if ci < 0 {
+			return nil, fmt.Errorf("rolap: no column %q", name)
+		}
+		idx[i] = ci
+		outName := alias
+		if outName == "" {
+			outName = r.Cols[ci].Name
+		}
+		out.Cols[i] = Column{Name: outName, Type: r.Cols[ci].Type}
+	}
+	for _, row := range r.Rows {
+		nr := make([]any, len(idx))
+		for i, ci := range idx {
+			nr[i] = row[ci]
+		}
+		out.Rows = append(out.Rows, nr)
+	}
+	return out, nil
+}
+
+func cutFold(s, sep string) (string, string, bool) {
+	ls, lsep := strings.ToLower(s), strings.ToLower(sep)
+	i := strings.Index(ls, lsep)
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+len(sep):], true
+}
+
+// Join hash-joins the relation with other on leftCol = rightCol
+// (equi-join). The result concatenates the column lists.
+func (r *Relation) Join(other *Relation, leftCol, rightCol string) (*Relation, error) {
+	li := r.Cols.IndexOf(leftCol)
+	if li < 0 {
+		return nil, fmt.Errorf("rolap: join: no column %q on the left", leftCol)
+	}
+	ri := other.Cols.IndexOf(rightCol)
+	if ri < 0 {
+		return nil, fmt.Errorf("rolap: join: no column %q on the right", rightCol)
+	}
+	out := &Relation{Cols: append(append(Schema{}, r.Cols...), other.Cols...)}
+	// Build on the smaller side.
+	build, probe := other, r
+	bi, pi := ri, li
+	swapped := false
+	if len(r.Rows) < len(other.Rows) {
+		build, probe = r, other
+		bi, pi = li, ri
+		swapped = true
+	}
+	ht := make(map[any][][]any, len(build.Rows))
+	for _, row := range build.Rows {
+		if row[bi] == nil {
+			continue // NULL never joins
+		}
+		ht[row[bi]] = append(ht[row[bi]], row)
+	}
+	for _, prow := range probe.Rows {
+		if prow[pi] == nil {
+			continue
+		}
+		for _, brow := range ht[prow[pi]] {
+			var lrow, rrow []any
+			if swapped {
+				lrow, rrow = brow, prow
+			} else {
+				lrow, rrow = prow, brow
+			}
+			nr := make([]any, 0, len(lrow)+len(rrow))
+			nr = append(nr, lrow...)
+			nr = append(nr, rrow...)
+			out.Rows = append(out.Rows, nr)
+		}
+	}
+	return out, nil
+}
+
+// AggFunc is an aggregate over a group of rows.
+type AggFunc uint8
+
+// Supported aggregates.
+const (
+	AggSum AggFunc = iota
+	AggCount
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// String names the aggregate.
+func (a AggFunc) String() string {
+	switch a {
+	case AggSum:
+		return "SUM"
+	case AggCount:
+		return "COUNT"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggAvg:
+		return "AVG"
+	}
+	return fmt.Sprintf("AggFunc(%d)", uint8(a))
+}
+
+// AggSpec names an aggregated column: Fn over Col, output name As.
+type AggSpec struct {
+	Fn  AggFunc
+	Col string // "*" allowed for COUNT
+	As  string
+}
+
+// GroupBy groups rows by the key columns and computes the aggregates.
+// The output has the key columns followed by one column per aggregate.
+// Grouping with no keys produces a single row over all input rows.
+func (r *Relation) GroupBy(keys []string, aggs []AggSpec) (*Relation, error) {
+	keyIdx := make([]int, len(keys))
+	out := &Relation{}
+	for i, k := range keys {
+		ci := r.Cols.IndexOf(k)
+		if ci < 0 {
+			return nil, fmt.Errorf("rolap: group by: no column %q", k)
+		}
+		keyIdx[i] = ci
+		out.Cols = append(out.Cols, r.Cols[ci])
+	}
+	aggIdx := make([]int, len(aggs))
+	for i, a := range aggs {
+		if a.Col == "*" {
+			if a.Fn != AggCount {
+				return nil, fmt.Errorf("rolap: %s(*) not supported", a.Fn)
+			}
+			aggIdx[i] = -1
+		} else {
+			ci := r.Cols.IndexOf(a.Col)
+			if ci < 0 {
+				return nil, fmt.Errorf("rolap: aggregate: no column %q", a.Col)
+			}
+			aggIdx[i] = ci
+		}
+		name := a.As
+		if name == "" {
+			name = fmt.Sprintf("%s(%s)", a.Fn, a.Col)
+		}
+		typ := Float
+		if a.Fn == AggCount {
+			typ = Int
+		}
+		out.Cols = append(out.Cols, Column{Name: name, Type: typ})
+	}
+
+	type group struct {
+		key   []any
+		sums  []float64
+		mins  []float64
+		maxs  []float64
+		ns    []int64
+		first bool
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, row := range r.Rows {
+		kb := make([]string, len(keyIdx))
+		key := make([]any, len(keyIdx))
+		for i, ci := range keyIdx {
+			key[i] = row[ci]
+			kb[i] = fmt.Sprint(row[ci])
+		}
+		ks := strings.Join(kb, "\x1f")
+		g, ok := groups[ks]
+		if !ok {
+			g = &group{
+				key:  key,
+				sums: make([]float64, len(aggs)),
+				mins: make([]float64, len(aggs)),
+				maxs: make([]float64, len(aggs)),
+				ns:   make([]int64, len(aggs)),
+			}
+			for i := range aggs {
+				g.mins[i] = math.Inf(1)
+				g.maxs[i] = math.Inf(-1)
+			}
+			groups[ks] = g
+			order = append(order, ks)
+		}
+		for i, a := range aggs {
+			if aggIdx[i] == -1 { // COUNT(*)
+				g.ns[i]++
+				continue
+			}
+			v := row[aggIdx[i]]
+			if v == nil {
+				continue
+			}
+			f, ok := toFloat(v)
+			if !ok {
+				if a.Fn == AggCount {
+					g.ns[i]++
+				}
+				continue
+			}
+			if math.IsNaN(f) {
+				continue
+			}
+			g.ns[i]++
+			g.sums[i] += f
+			if f < g.mins[i] {
+				g.mins[i] = f
+			}
+			if f > g.maxs[i] {
+				g.maxs[i] = f
+			}
+		}
+	}
+	for _, ks := range order {
+		g := groups[ks]
+		row := append([]any{}, g.key...)
+		for i, a := range aggs {
+			switch a.Fn {
+			case AggCount:
+				row = append(row, g.ns[i])
+			case AggSum:
+				row = append(row, g.sums[i])
+			case AggMin:
+				row = append(row, nanIfEmpty(g.mins[i], g.ns[i]))
+			case AggMax:
+				row = append(row, nanIfEmpty(g.maxs[i], g.ns[i]))
+			case AggAvg:
+				if g.ns[i] == 0 {
+					row = append(row, math.NaN())
+				} else {
+					row = append(row, g.sums[i]/float64(g.ns[i]))
+				}
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func nanIfEmpty(v float64, n int64) float64 {
+	if n == 0 {
+		return math.NaN()
+	}
+	return v
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case int64:
+		return float64(x), true
+	}
+	return 0, false
+}
+
+// OrderBy sorts the rows by the given columns. A column name prefixed
+// with '-' sorts descending. The sort is stable.
+func (r *Relation) OrderBy(cols ...string) (*Relation, error) {
+	type key struct {
+		ci   int
+		desc bool
+	}
+	ks := make([]key, len(cols))
+	for i, c := range cols {
+		desc := false
+		if strings.HasPrefix(c, "-") {
+			desc = true
+			c = c[1:]
+		}
+		ci := r.Cols.IndexOf(c)
+		if ci < 0 {
+			return nil, fmt.Errorf("rolap: order by: no column %q", c)
+		}
+		ks[i] = key{ci, desc}
+	}
+	out := &Relation{Cols: r.Cols, Rows: append([][]any{}, r.Rows...)}
+	sort.SliceStable(out.Rows, func(i, j int) bool {
+		for _, k := range ks {
+			c := compareValues(out.Rows[i][k.ci], out.Rows[j][k.ci])
+			if c == 0 {
+				continue
+			}
+			if k.desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return out, nil
+}
+
+// Limit keeps the first n rows.
+func (r *Relation) Limit(n int) *Relation {
+	if n < 0 || n > len(r.Rows) {
+		n = len(r.Rows)
+	}
+	return &Relation{Cols: r.Cols, Rows: r.Rows[:n]}
+}
+
+// Distinct removes duplicate rows, keeping first occurrences.
+func (r *Relation) Distinct() *Relation {
+	seen := make(map[string]bool)
+	out := &Relation{Cols: r.Cols}
+	for _, row := range r.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = fmt.Sprint(v)
+		}
+		key := strings.Join(parts, "\x1f")
+		if !seen[key] {
+			seen[key] = true
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// String renders the relation as an aligned text table.
+func (r *Relation) String() string {
+	widths := make([]int, len(r.Cols))
+	header := make([]string, len(r.Cols))
+	for i, c := range r.Cols {
+		header[i] = c.Name
+		widths[i] = len(c.Name)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := "NULL"
+			if v != nil {
+				if f, ok := v.(float64); ok && f == math.Trunc(f) && !math.IsInf(f, 0) && !math.IsNaN(f) {
+					s = fmt.Sprintf("%d", int64(f))
+				} else {
+					s = fmt.Sprint(v)
+				}
+			}
+			cells[ri][ci] = s
+			if len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cols []string) {
+		for i, c := range cols {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i := range widths {
+		if i > 0 {
+			b.WriteString("-+-")
+		}
+		b.WriteString(strings.Repeat("-", widths[i]))
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return b.String()
+}

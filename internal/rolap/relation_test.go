@@ -1,0 +1,268 @@
+package rolap
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mvolap/internal/temporal"
+)
+
+func factTable(t testing.TB) *Table {
+	t.Helper()
+	tab := MustNewTable("fact", Schema{
+		{Name: "dept", Type: Text},
+		{Name: "year", Type: Int},
+		{Name: "amount", Type: Float},
+	})
+	rows := [][]any{
+		{"jones", 2001, 100.0},
+		{"smith", 2001, 50.0},
+		{"brian", 2001, 100.0},
+		{"jones", 2002, 100.0},
+		{"smith2", 2002, 100.0},
+		{"brian", 2002, 50.0},
+	}
+	for _, r := range rows {
+		tab.MustInsert(r...)
+	}
+	return tab
+}
+
+func TestFilterProject(t *testing.T) {
+	rel := factTable(t).Relation()
+	f, err := rel.FilterEq("year", 2001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 3 {
+		t.Fatalf("filter = %d rows", len(f.Rows))
+	}
+	p, err := f.Project("dept", "amount AS amt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Cols) != 2 || p.Cols[1].Name != "amt" {
+		t.Errorf("projected cols = %v", p.Cols)
+	}
+	v, err := p.Get(0, "amt")
+	if err != nil || v != 100.0 {
+		t.Errorf("Get = %v, %v", v, err)
+	}
+	if _, err := p.Get(0, "zz"); err == nil {
+		t.Error("Get unknown column must fail")
+	}
+	if _, err := rel.Project("zz"); err == nil {
+		t.Error("project unknown column must fail")
+	}
+	if _, err := rel.FilterEq("zz", 1); err == nil {
+		t.Error("filter unknown column must fail")
+	}
+}
+
+func TestJoin(t *testing.T) {
+	facts := factTable(t)
+	dept := deptTable(t)
+	j, err := facts.Relation().Join(dept.Relation(), "fact.dept", "dept.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Rows) != 6 {
+		t.Fatalf("join = %d rows, want 6", len(j.Rows))
+	}
+	if len(j.Cols) != 8 {
+		t.Errorf("join cols = %d, want 8", len(j.Cols))
+	}
+	// Join in the other direction gives the same row count.
+	j2, err := dept.Relation().Join(facts.Relation(), "dept.id", "fact.dept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j2.Rows) != 6 {
+		t.Errorf("reverse join = %d rows", len(j2.Rows))
+	}
+	if _, err := facts.Relation().Join(dept.Relation(), "zz", "dept.id"); err == nil {
+		t.Error("join on unknown left column must fail")
+	}
+	if _, err := facts.Relation().Join(dept.Relation(), "fact.dept", "zz"); err == nil {
+		t.Error("join on unknown right column must fail")
+	}
+}
+
+func TestJoinSkipsNulls(t *testing.T) {
+	a := MustNewTable("a", Schema{{Name: "k", Type: Text}})
+	b := MustNewTable("b", Schema{{Name: "k", Type: Text}})
+	a.MustInsert(nil)
+	a.MustInsert("x")
+	b.MustInsert("x")
+	b.MustInsert(nil)
+	j, err := a.Relation().Join(b.Relation(), "a.k", "b.k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Rows) != 1 {
+		t.Errorf("NULL keys must not join; got %d rows", len(j.Rows))
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	rel := factTable(t).Relation()
+	g, err := rel.GroupBy([]string{"year"}, []AggSpec{
+		{Fn: AggSum, Col: "amount", As: "total"},
+		{Fn: AggCount, Col: "*", As: "n"},
+		{Fn: AggMin, Col: "amount", As: "lo"},
+		{Fn: AggMax, Col: "amount", As: "hi"},
+		{Fn: AggAvg, Col: "amount", As: "mean"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Rows) != 2 {
+		t.Fatalf("groups = %d", len(g.Rows))
+	}
+	get := func(i int, col string) any {
+		v, err := g.Get(i, col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if get(0, "total") != 250.0 || get(0, "n") != int64(3) {
+		t.Errorf("2001 totals = %v, %v", get(0, "total"), get(0, "n"))
+	}
+	if get(0, "lo") != 50.0 || get(0, "hi") != 100.0 {
+		t.Errorf("2001 min/max = %v, %v", get(0, "lo"), get(0, "hi"))
+	}
+	if math.Abs(get(0, "mean").(float64)-250.0/3) > 1e-9 {
+		t.Errorf("2001 mean = %v", get(0, "mean"))
+	}
+	// Grand total with no keys.
+	g2, err := rel.GroupBy(nil, []AggSpec{{Fn: AggSum, Col: "amount"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g2.Rows) != 1 || g2.Rows[0][0] != 500.0 {
+		t.Errorf("grand total = %+v", g2.Rows)
+	}
+	if g2.Cols[0].Name != "SUM(amount)" {
+		t.Errorf("default agg name = %q", g2.Cols[0].Name)
+	}
+	// Errors.
+	if _, err := rel.GroupBy([]string{"zz"}, nil); err == nil {
+		t.Error("group by unknown column must fail")
+	}
+	if _, err := rel.GroupBy(nil, []AggSpec{{Fn: AggSum, Col: "zz"}}); err == nil {
+		t.Error("aggregate over unknown column must fail")
+	}
+	if _, err := rel.GroupBy(nil, []AggSpec{{Fn: AggSum, Col: "*"}}); err == nil {
+		t.Error("SUM(*) must fail")
+	}
+}
+
+func TestGroupBySkipsNaNAndNull(t *testing.T) {
+	tab := MustNewTable("t", Schema{{Name: "k", Type: Text}, {Name: "v", Type: Float}})
+	tab.MustInsert("a", 1.0)
+	tab.MustInsert("a", math.NaN())
+	tab.MustInsert("a", nil)
+	tab.MustInsert("a", 2.0)
+	g, err := tab.Relation().GroupBy([]string{"k"}, []AggSpec{
+		{Fn: AggSum, Col: "v", As: "s"}, {Fn: AggCount, Col: "v", As: "n"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Rows[0][1] != 3.0 {
+		t.Errorf("sum = %v, want 3 (NaN and NULL skipped)", g.Rows[0][1])
+	}
+	if g.Rows[0][2] != int64(2) {
+		t.Errorf("count = %v, want 2", g.Rows[0][2])
+	}
+}
+
+func TestGroupByEmptyAggregates(t *testing.T) {
+	tab := MustNewTable("t", Schema{{Name: "k", Type: Text}, {Name: "v", Type: Float}})
+	tab.MustInsert("a", nil)
+	g, err := tab.Relation().GroupBy([]string{"k"}, []AggSpec{
+		{Fn: AggMin, Col: "v"}, {Fn: AggMax, Col: "v"}, {Fn: AggAvg, Col: "v"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if !math.IsNaN(g.Rows[0][i].(float64)) {
+			t.Errorf("empty aggregate %d = %v, want NaN", i, g.Rows[0][i])
+		}
+	}
+}
+
+func TestOrderByLimitDistinct(t *testing.T) {
+	rel := factTable(t).Relation()
+	o, err := rel.OrderBy("-amount", "dept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Rows[0][2] != 100.0 {
+		t.Errorf("desc order first = %v", o.Rows[0])
+	}
+	if v, _ := o.Get(0, "amount"); v != 100.0 {
+		t.Error("OrderBy changed values")
+	}
+	if _, err := rel.OrderBy("zz"); err == nil {
+		t.Error("order by unknown column must fail")
+	}
+	l := o.Limit(2)
+	if len(l.Rows) != 2 {
+		t.Errorf("limit = %d", len(l.Rows))
+	}
+	if n := len(o.Limit(-1).Rows); n != 6 {
+		t.Errorf("limit -1 = %d rows", n)
+	}
+	if n := len(o.Limit(100).Rows); n != 6 {
+		t.Errorf("limit beyond size = %d rows", n)
+	}
+	d, err := rel.Project("year")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(d.Distinct().Rows); n != 2 {
+		t.Errorf("distinct years = %d", n)
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	rel := factTable(t).Relation()
+	s := rel.String()
+	if !strings.Contains(s, "fact.dept") || !strings.Contains(s, "jones") {
+		t.Errorf("String missing content:\n%s", s)
+	}
+	// Whole floats render as integers.
+	if !strings.Contains(s, " 100") || strings.Contains(s, "100.0") {
+		t.Errorf("float rendering:\n%s", s)
+	}
+	// NULL rendering.
+	tab := MustNewTable("t", Schema{{Name: "v", Type: Float}})
+	tab.MustInsert(nil)
+	if !strings.Contains(tab.Relation().String(), "NULL") {
+		t.Error("NULL must render")
+	}
+}
+
+func TestTimeColumnsInRelations(t *testing.T) {
+	tab := MustNewTable("t", Schema{{Name: "at", Type: Time}, {Name: "v", Type: Float}})
+	tab.MustInsert(temporal.Year(2001), 1.0)
+	tab.MustInsert(temporal.Year(2002), 2.0)
+	f, err := tab.Relation().FilterEq("at", temporal.Year(2002))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 1 || f.Rows[0][1] != 2.0 {
+		t.Errorf("time filter = %+v", f.Rows)
+	}
+	o, err := tab.Relation().OrderBy("-at")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Rows[0][1] != 2.0 {
+		t.Error("time ordering wrong")
+	}
+}

@@ -1,0 +1,619 @@
+package rolap
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file implements a compact SQL SELECT dialect:
+//
+//	SELECT item [, item]...
+//	FROM table [JOIN table ON col = col]...
+//	[WHERE cond]
+//	[GROUP BY col [, col]...]
+//	[ORDER BY col [ASC|DESC] [, ...]]
+//	[LIMIT n]
+//
+// item := col [AS name] | SUM|COUNT|MIN|MAX|AVG ( col | * ) [AS name]
+// cond := comparisons of a column against a literal, combined with
+// AND, OR, NOT and parentheses.
+
+// SelectStmt is a parsed SELECT statement.
+type SelectStmt struct {
+	Items   []selectItem
+	From    string
+	Joins   []joinClause
+	Where   boolExpr // nil when absent
+	GroupBy []string
+	OrderBy []orderItem
+	Limit   int // -1 when absent
+}
+
+type selectItem struct {
+	Col   string
+	Agg   AggFunc
+	IsAgg bool
+	Alias string
+}
+
+type joinClause struct {
+	Table    string
+	LeftCol  string
+	RightCol string
+}
+
+type orderItem struct {
+	Col  string
+	Desc bool
+}
+
+// boolExpr evaluates a WHERE condition against a row.
+type boolExpr interface {
+	eval(cols Schema, row []any) (bool, error)
+}
+
+type andExpr struct{ l, r boolExpr }
+type orExpr struct{ l, r boolExpr }
+type notExpr struct{ e boolExpr }
+
+func (e andExpr) eval(cols Schema, row []any) (bool, error) {
+	l, err := e.l.eval(cols, row)
+	if err != nil || !l {
+		return false, err
+	}
+	return e.r.eval(cols, row)
+}
+
+func (e orExpr) eval(cols Schema, row []any) (bool, error) {
+	l, err := e.l.eval(cols, row)
+	if err != nil || l {
+		return l, err
+	}
+	return e.r.eval(cols, row)
+}
+
+func (e notExpr) eval(cols Schema, row []any) (bool, error) {
+	v, err := e.e.eval(cols, row)
+	return !v, err
+}
+
+type cmpExpr struct {
+	col string
+	op  string
+	lit any // untyped literal: float64, string or bool
+}
+
+func (e cmpExpr) eval(cols Schema, row []any) (bool, error) {
+	ci := cols.IndexOf(e.col)
+	if ci < 0 {
+		return false, fmt.Errorf("rolap: sql: no column %q", e.col)
+	}
+	v := row[ci]
+	if v == nil {
+		return false, nil // NULL compares false, SQL-style
+	}
+	lit := e.lit
+	// Coerce the literal to the column type.
+	if f, ok := lit.(float64); ok {
+		switch cols[ci].Type {
+		case Int:
+			lit = int64(f)
+		case Time:
+			nv, err := checkValue(Time, int64(f))
+			if err != nil {
+				return false, err
+			}
+			lit = nv
+		}
+	}
+	c := compareValues(v, lit)
+	switch e.op {
+	case "=":
+		return c == 0, nil
+	case "!=", "<>":
+		return c != 0, nil
+	case "<":
+		return c < 0, nil
+	case "<=":
+		return c <= 0, nil
+	case ">":
+		return c > 0, nil
+	case ">=":
+		return c >= 0, nil
+	}
+	return false, fmt.Errorf("rolap: sql: unknown operator %q", e.op)
+}
+
+// --- lexer ---
+
+type token struct {
+	kind tokenKind
+	text string
+}
+
+type tokenKind uint8
+
+const (
+	tkIdent tokenKind = iota
+	tkNumber
+	tkString
+	tkPunct
+	tkEOF
+)
+
+func lexSQL(s string) ([]token, error) {
+	var out []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(s) {
+				if s[j] == '\'' {
+					if j+1 < len(s) && s[j+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(s[j])
+				j++
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("rolap: sql: unterminated string")
+			}
+			out = append(out, token{tkString, sb.String()})
+			i = j + 1
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < len(s) && s[i+1] >= '0' && s[i+1] <= '9' && numberContext(out)):
+			j := i + 1
+			for j < len(s) && (s[j] >= '0' && s[j] <= '9' || s[j] == '.') {
+				j++
+			}
+			out = append(out, token{tkNumber, s[i:j]})
+			i = j
+		case isIdentStart(c):
+			j := i + 1
+			for j < len(s) && isIdentPart(s[j]) {
+				j++
+			}
+			out = append(out, token{tkIdent, s[i:j]})
+			i = j
+		case strings.ContainsRune("(),*=", rune(c)):
+			out = append(out, token{tkPunct, string(c)})
+			i++
+		case c == '<':
+			if i+1 < len(s) && (s[i+1] == '=' || s[i+1] == '>') {
+				out = append(out, token{tkPunct, s[i : i+2]})
+				i += 2
+			} else {
+				out = append(out, token{tkPunct, "<"})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(s) && s[i+1] == '=' {
+				out = append(out, token{tkPunct, ">="})
+				i += 2
+			} else {
+				out = append(out, token{tkPunct, ">"})
+				i++
+			}
+		case c == '!':
+			if i+1 < len(s) && s[i+1] == '=' {
+				out = append(out, token{tkPunct, "!="})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("rolap: sql: unexpected '!'")
+			}
+		default:
+			return nil, fmt.Errorf("rolap: sql: unexpected character %q", c)
+		}
+	}
+	out = append(out, token{tkEOF, ""})
+	return out, nil
+}
+
+// numberContext reports whether a '-' can start a negative number here
+// (after an operator or '(' rather than after a value).
+func numberContext(toks []token) bool {
+	if len(toks) == 0 {
+		return false
+	}
+	last := toks[len(toks)-1]
+	return last.kind == tkPunct && last.text != ")"
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == '.'
+}
+
+// --- parser ---
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) kw(s string) bool {
+	t := p.peek()
+	if t.kind == tkIdent && strings.EqualFold(t.text, s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.next()
+	if t.kind != tkPunct || t.text != s {
+		return fmt.Errorf("rolap: sql: expected %q, got %q", s, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.next()
+	if t.kind != tkIdent {
+		return "", fmt.Errorf("rolap: sql: expected identifier, got %q", t.text)
+	}
+	return t.text, nil
+}
+
+// ParseSelect parses the SELECT dialect described in the file comment.
+func ParseSelect(sql string) (*SelectStmt, error) {
+	toks, err := lexSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	if !p.kw("SELECT") {
+		return nil, fmt.Errorf("rolap: sql: expected SELECT")
+	}
+	stmt := &SelectStmt{Limit: -1}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if p.peek().kind == tkPunct && p.peek().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if !p.kw("FROM") {
+		return nil, fmt.Errorf("rolap: sql: expected FROM")
+	}
+	if stmt.From, err = p.expectIdent(); err != nil {
+		return nil, err
+	}
+	for p.kw("JOIN") {
+		var jc joinClause
+		if jc.Table, err = p.expectIdent(); err != nil {
+			return nil, err
+		}
+		if !p.kw("ON") {
+			return nil, fmt.Errorf("rolap: sql: expected ON")
+		}
+		if jc.LeftCol, err = p.expectIdent(); err != nil {
+			return nil, err
+		}
+		if err = p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		if jc.RightCol, err = p.expectIdent(); err != nil {
+			return nil, err
+		}
+		stmt.Joins = append(stmt.Joins, jc)
+	}
+	if p.kw("WHERE") {
+		if stmt.Where, err = p.parseOr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.kw("GROUP") {
+		if !p.kw("BY") {
+			return nil, fmt.Errorf("rolap: sql: expected BY after GROUP")
+		}
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, col)
+			if p.peek().kind == tkPunct && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.kw("ORDER") {
+		if !p.kw("BY") {
+			return nil, fmt.Errorf("rolap: sql: expected BY after ORDER")
+		}
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			it := orderItem{Col: col}
+			if p.kw("DESC") {
+				it.Desc = true
+			} else {
+				p.kw("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, it)
+			if p.peek().kind == tkPunct && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.kw("LIMIT") {
+		t := p.next()
+		if t.kind != tkNumber {
+			return nil, fmt.Errorf("rolap: sql: expected number after LIMIT")
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil {
+			return nil, fmt.Errorf("rolap: sql: bad LIMIT %q", t.text)
+		}
+		stmt.Limit = n
+	}
+	if p.peek().kind != tkEOF {
+		return nil, fmt.Errorf("rolap: sql: trailing input at %q", p.peek().text)
+	}
+	return stmt, nil
+}
+
+var aggNames = map[string]AggFunc{
+	"SUM": AggSum, "COUNT": AggCount, "MIN": AggMin, "MAX": AggMax, "AVG": AggAvg,
+}
+
+func (p *parser) parseSelectItem() (selectItem, error) {
+	t := p.next()
+	if t.kind != tkIdent && !(t.kind == tkPunct && t.text == "*") {
+		return selectItem{}, fmt.Errorf("rolap: sql: bad select item %q", t.text)
+	}
+	item := selectItem{Col: t.text}
+	if fn, isAgg := aggNames[strings.ToUpper(t.text)]; isAgg &&
+		p.peek().kind == tkPunct && p.peek().text == "(" {
+		p.next()
+		inner := p.next()
+		if inner.kind != tkIdent && !(inner.kind == tkPunct && inner.text == "*") {
+			return selectItem{}, fmt.Errorf("rolap: sql: bad aggregate argument %q", inner.text)
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return selectItem{}, err
+		}
+		item = selectItem{Col: inner.text, Agg: fn, IsAgg: true}
+	}
+	if p.kw("AS") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return selectItem{}, err
+		}
+		item.Alias = alias
+	}
+	return item, nil
+}
+
+func (p *parser) parseOr() (boolExpr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.kw("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = orExpr{l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (boolExpr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.kw("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = andExpr{l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (boolExpr, error) {
+	if p.kw("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return notExpr{e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (boolExpr, error) {
+	if p.peek().kind == tkPunct && p.peek().text == "(" {
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	col, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	opTok := p.next()
+	if opTok.kind != tkPunct {
+		return nil, fmt.Errorf("rolap: sql: expected comparison operator, got %q", opTok.text)
+	}
+	switch opTok.text {
+	case "=", "!=", "<>", "<", "<=", ">", ">=":
+	default:
+		return nil, fmt.Errorf("rolap: sql: bad operator %q", opTok.text)
+	}
+	lit := p.next()
+	var v any
+	switch lit.kind {
+	case tkNumber:
+		f, err := strconv.ParseFloat(lit.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("rolap: sql: bad number %q", lit.text)
+		}
+		v = f
+	case tkString:
+		v = lit.text
+	case tkIdent:
+		switch strings.ToUpper(lit.text) {
+		case "TRUE":
+			v = true
+		case "FALSE":
+			v = false
+		default:
+			return nil, fmt.Errorf("rolap: sql: expected literal, got %q", lit.text)
+		}
+	default:
+		return nil, fmt.Errorf("rolap: sql: expected literal, got %q", lit.text)
+	}
+	return cmpExpr{col: col, op: opTok.text, lit: v}, nil
+}
+
+// Execute runs the statement against the database.
+func (s *SelectStmt) Execute(db *Database) (*Relation, error) {
+	base := db.Table(s.From)
+	if base == nil {
+		return nil, fmt.Errorf("rolap: sql: no table %q", s.From)
+	}
+	rel := base.Relation()
+	var err error
+	for _, jc := range s.Joins {
+		jt := db.Table(jc.Table)
+		if jt == nil {
+			return nil, fmt.Errorf("rolap: sql: no table %q", jc.Table)
+		}
+		rel, err = rel.Join(jt.Relation(), jc.LeftCol, jc.RightCol)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if s.Where != nil {
+		var evalErr error
+		rel = rel.Filter(func(row []any) bool {
+			ok, err := s.Where.eval(rel.Cols, row)
+			if err != nil && evalErr == nil {
+				evalErr = err
+			}
+			return ok
+		})
+		if evalErr != nil {
+			return nil, evalErr
+		}
+	}
+	hasAgg := false
+	for _, it := range s.Items {
+		if it.IsAgg {
+			hasAgg = true
+		}
+	}
+	if hasAgg || len(s.GroupBy) > 0 {
+		var aggs []AggSpec
+		for _, it := range s.Items {
+			if !it.IsAgg {
+				continue // must be a group key; checked below
+			}
+			aggs = append(aggs, AggSpec{Fn: it.Agg, Col: it.Col, As: it.Alias})
+		}
+		rel, err = rel.GroupBy(s.GroupBy, aggs)
+		if err != nil {
+			return nil, err
+		}
+		// Reorder/rename columns to the select list.
+		var proj []string
+		for _, it := range s.Items {
+			switch {
+			case it.IsAgg:
+				name := it.Alias
+				if name == "" {
+					name = fmt.Sprintf("%s(%s)", it.Agg, it.Col)
+				}
+				proj = append(proj, name)
+			case it.Alias != "":
+				proj = append(proj, it.Col+" AS "+it.Alias)
+			default:
+				proj = append(proj, it.Col)
+			}
+		}
+		rel, err = rel.Project(proj...)
+		if err != nil {
+			return nil, err
+		}
+		if rel, err = applyOrder(rel, s.OrderBy); err != nil {
+			return nil, err
+		}
+	} else {
+		// Without aggregation, sort before projecting so ORDER BY may
+		// reference columns absent from the select list.
+		if rel, err = applyOrder(rel, s.OrderBy); err != nil {
+			return nil, err
+		}
+		if !(len(s.Items) == 1 && s.Items[0].Col == "*") {
+			var proj []string
+			for _, it := range s.Items {
+				if it.Alias != "" {
+					proj = append(proj, it.Col+" AS "+it.Alias)
+				} else {
+					proj = append(proj, it.Col)
+				}
+			}
+			rel, err = rel.Project(proj...)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		rel = rel.Limit(s.Limit)
+	}
+	return rel, nil
+}
+
+func applyOrder(rel *Relation, items []orderItem) (*Relation, error) {
+	if len(items) == 0 {
+		return rel, nil
+	}
+	cols := make([]string, len(items))
+	for i, o := range items {
+		if o.Desc {
+			cols[i] = "-" + o.Col
+		} else {
+			cols[i] = o.Col
+		}
+	}
+	return rel.OrderBy(cols...)
+}

@@ -1,0 +1,275 @@
+package rolap
+
+import (
+	"strings"
+	"testing"
+)
+
+func testDB(t testing.TB) *Database {
+	t.Helper()
+	db := NewDatabase("dw")
+	facts := factTable(t)
+	dept := deptTable(t)
+	db.tables[facts.Name] = facts
+	db.tables[dept.Name] = dept
+	return db
+}
+
+func TestDatabaseBasics(t *testing.T) {
+	db := NewDatabase("x")
+	tab, err := db.CreateTable("t", Schema{{Name: "a", Type: Int}})
+	if err != nil || tab == nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("t", Schema{{Name: "a", Type: Int}}); err == nil {
+		t.Error("duplicate table must fail")
+	}
+	if _, err := db.CreateTable("bad", nil); err == nil {
+		t.Error("bad schema must fail")
+	}
+	if db.Table("t") != tab || db.Table("zz") != nil {
+		t.Error("Table lookup wrong")
+	}
+	if got := db.TableNames(); len(got) != 1 || got[0] != "t" {
+		t.Errorf("TableNames = %v", got)
+	}
+	if err := db.DropTable("t"); err != nil {
+		t.Error(err)
+	}
+	if err := db.DropTable("t"); err == nil {
+		t.Error("dropping a missing table must fail")
+	}
+}
+
+func TestSQLSimpleSelect(t *testing.T) {
+	db := testDB(t)
+	rel, err := db.Query("SELECT dept, amount FROM fact WHERE year = 2001 ORDER BY amount DESC, dept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Rows) != 3 {
+		t.Fatalf("rows = %d", len(rel.Rows))
+	}
+	if rel.Rows[0][0] != "brian" || rel.Rows[0][1] != 100.0 {
+		t.Errorf("first row = %v", rel.Rows[0])
+	}
+}
+
+func TestSQLSelectStar(t *testing.T) {
+	db := testDB(t)
+	rel, err := db.Query("SELECT * FROM fact LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Rows) != 2 || len(rel.Cols) != 3 {
+		t.Errorf("star select = %d rows, %d cols", len(rel.Rows), len(rel.Cols))
+	}
+}
+
+func TestSQLGroupBy(t *testing.T) {
+	db := testDB(t)
+	rel, err := db.Query("SELECT year, SUM(amount) AS total FROM fact GROUP BY year ORDER BY year")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Rows) != 2 {
+		t.Fatalf("groups = %d", len(rel.Rows))
+	}
+	if rel.Rows[0][0] != int64(2001) || rel.Rows[0][1] != 250.0 {
+		t.Errorf("2001 = %v", rel.Rows[0])
+	}
+	if rel.Cols[1].Name != "total" {
+		t.Errorf("alias = %q", rel.Cols[1].Name)
+	}
+}
+
+// TestSQLJoinRollup replays the paper's Q1 (amount by year and division)
+// against a star layout, in "consistent time": the fact rows joined to
+// the dimension rows valid at the fact's year.
+func TestSQLJoinRollup(t *testing.T) {
+	db := testDB(t)
+	rel, err := db.Query(
+		"SELECT year, division, SUM(amount) AS total " +
+			"FROM fact JOIN dept ON fact.dept = dept.id " +
+			"GROUP BY year, division ORDER BY year, division")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]any{
+		{int64(2001), "R&D", 100.0},
+		{int64(2001), "Sales", 150.0},
+		{int64(2002), "R&D", 150.0},
+		{int64(2002), "Sales", 100.0},
+	}
+	if len(rel.Rows) != len(want) {
+		t.Fatalf("rows:\n%s", rel)
+	}
+	for i, w := range want {
+		for j := range w {
+			if rel.Rows[i][j] != w[j] {
+				t.Errorf("row %d col %d = %v, want %v", i, j, rel.Rows[i][j], w[j])
+			}
+		}
+	}
+}
+
+func TestSQLWhereOperators(t *testing.T) {
+	db := testDB(t)
+	cases := []struct {
+		where string
+		want  int
+	}{
+		{"amount > 50", 4},
+		{"amount >= 50", 6},
+		{"amount < 100", 2},
+		{"amount <= 50", 2},
+		{"amount != 100", 2},
+		{"amount <> 100", 2},
+		{"dept = 'jones'", 2},
+		{"dept = 'jones' AND year = 2001", 1},
+		{"dept = 'jones' OR dept = 'brian'", 4},
+		{"NOT dept = 'jones'", 4},
+		{"(dept = 'jones' OR dept = 'brian') AND year = 2002", 2},
+		{"amount = -1", 0},
+	}
+	for _, c := range cases {
+		rel, err := db.Query("SELECT * FROM fact WHERE " + c.where)
+		if err != nil {
+			t.Errorf("WHERE %s: %v", c.where, err)
+			continue
+		}
+		if len(rel.Rows) != c.want {
+			t.Errorf("WHERE %s: %d rows, want %d", c.where, len(rel.Rows), c.want)
+		}
+	}
+}
+
+func TestSQLStringEscapes(t *testing.T) {
+	db := NewDatabase("x")
+	tab, _ := db.CreateTable("t", Schema{{Name: "s", Type: Text}})
+	tab.MustInsert("it's")
+	rel, err := db.Query("SELECT * FROM t WHERE s = 'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Rows) != 1 {
+		t.Error("escaped quote must match")
+	}
+}
+
+func TestSQLBooleans(t *testing.T) {
+	db := NewDatabase("x")
+	tab, _ := db.CreateTable("t", Schema{{Name: "b", Type: Bool}})
+	tab.MustInsert(true)
+	tab.MustInsert(false)
+	rel, err := db.Query("SELECT * FROM t WHERE b = TRUE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Rows) != 1 {
+		t.Error("boolean literal must work")
+	}
+}
+
+func TestSQLNullNeverMatches(t *testing.T) {
+	db := NewDatabase("x")
+	tab, _ := db.CreateTable("t", Schema{{Name: "v", Type: Float}})
+	tab.MustInsert(nil)
+	tab.MustInsert(1.0)
+	rel, err := db.Query("SELECT * FROM t WHERE v < 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Rows) != 1 {
+		t.Error("NULL must not satisfy comparisons")
+	}
+}
+
+func TestSQLParseErrors(t *testing.T) {
+	db := testDB(t)
+	bad := []string{
+		"",
+		"UPDATE fact",
+		"SELECT FROM fact",
+		"SELECT * fact",
+		"SELECT * FROM",
+		"SELECT * FROM fact WHERE",
+		"SELECT * FROM fact WHERE amount",
+		"SELECT * FROM fact WHERE amount ~ 3",
+		"SELECT * FROM fact WHERE amount = ",
+		"SELECT * FROM fact WHERE (amount = 1",
+		"SELECT * FROM fact GROUP year",
+		"SELECT * FROM fact ORDER year",
+		"SELECT * FROM fact LIMIT x",
+		"SELECT * FROM fact JOIN dept",
+		"SELECT * FROM fact JOIN dept ON a b",
+		"SELECT * FROM fact trailing",
+		"SELECT SUM( FROM fact",
+		"SELECT SUM(a FROM fact",
+		"SELECT * FROM fact WHERE s = 'unterminated",
+		"SELECT * FROM fact WHERE a = b!c",
+	}
+	for _, q := range bad {
+		if _, err := db.Query(q); err == nil {
+			t.Errorf("query %q must fail", q)
+		}
+	}
+}
+
+func TestSQLExecErrors(t *testing.T) {
+	db := testDB(t)
+	bad := []string{
+		"SELECT * FROM nope",
+		"SELECT * FROM fact JOIN nope ON fact.dept = nope.id",
+		"SELECT zz FROM fact",
+		"SELECT * FROM fact WHERE zz = 1",
+		"SELECT SUM(zz) FROM fact",
+		"SELECT year FROM fact GROUP BY zz",
+		"SELECT * FROM fact ORDER BY zz",
+		"SELECT * FROM fact JOIN dept ON zz = dept.id",
+	}
+	for _, q := range bad {
+		if _, err := db.Query(q); err == nil {
+			t.Errorf("query %q must fail at execution", q)
+		}
+	}
+}
+
+func TestSQLCountStar(t *testing.T) {
+	db := testDB(t)
+	rel, err := db.Query("SELECT COUNT(*) AS n FROM fact WHERE year = 2002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Rows[0][0] != int64(3) {
+		t.Errorf("count = %v", rel.Rows[0][0])
+	}
+}
+
+func TestSQLTimeComparison(t *testing.T) {
+	db := NewDatabase("x")
+	tab, _ := db.CreateTable("t", Schema{{Name: "at", Type: Time}})
+	tab.MustInsert(int64(100))
+	tab.MustInsert(int64(200))
+	rel, err := db.Query("SELECT * FROM t WHERE at >= 150")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Rows) != 1 {
+		t.Error("time comparison against numeric literal must work")
+	}
+}
+
+func TestSQLProjectionAliasWithoutAgg(t *testing.T) {
+	db := testDB(t)
+	rel, err := db.Query("SELECT dept AS d FROM fact LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Cols[0].Name != "d" {
+		t.Errorf("alias = %q", rel.Cols[0].Name)
+	}
+	if !strings.Contains(rel.String(), "d") {
+		t.Error("rendered header must use alias")
+	}
+}

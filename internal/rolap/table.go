@@ -1,0 +1,150 @@
+package rolap
+
+import (
+	"fmt"
+)
+
+// Table is a named, typed, row-oriented in-memory table with optional
+// hash indexes.
+type Table struct {
+	Name string
+
+	schema  Schema
+	rows    [][]any
+	indexes map[string]*hashIndex
+}
+
+type hashIndex struct {
+	col     int
+	buckets map[any][]int // value -> row numbers
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, schema Schema) (*Table, error) {
+	if len(schema) == 0 {
+		return nil, fmt.Errorf("rolap: table %q needs at least one column", name)
+	}
+	seen := make(map[string]bool, len(schema))
+	for _, c := range schema {
+		if c.Name == "" {
+			return nil, fmt.Errorf("rolap: table %q has an unnamed column", name)
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("rolap: table %q: duplicate column %q", name, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return &Table{Name: name, schema: schema, indexes: make(map[string]*hashIndex)}, nil
+}
+
+// MustNewTable is NewTable panicking on error, for fixtures.
+func MustNewTable(name string, schema Schema) *Table {
+	t, err := NewTable(name, schema)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Schema returns the table schema. The slice is shared.
+func (t *Table) Schema() Schema { return t.schema }
+
+// Len reports the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Insert appends a row after validating arity and types.
+func (t *Table) Insert(values ...any) error {
+	if len(values) != len(t.schema) {
+		return fmt.Errorf("rolap: table %q: %d values for %d columns", t.Name, len(values), len(t.schema))
+	}
+	row := make([]any, len(values))
+	for i, v := range values {
+		nv, err := checkValue(t.schema[i].Type, v)
+		if err != nil {
+			return fmt.Errorf("rolap: table %q column %q: %w", t.Name, t.schema[i].Name, err)
+		}
+		row[i] = nv
+	}
+	rowNum := len(t.rows)
+	t.rows = append(t.rows, row)
+	for _, idx := range t.indexes {
+		idx.buckets[row[idx.col]] = append(idx.buckets[row[idx.col]], rowNum)
+	}
+	return nil
+}
+
+// MustInsert is Insert panicking on error.
+func (t *Table) MustInsert(values ...any) {
+	if err := t.Insert(values...); err != nil {
+		panic(err)
+	}
+}
+
+// CreateIndex builds a hash index over the named column. Creating an
+// existing index is a no-op.
+func (t *Table) CreateIndex(col string) error {
+	if _, ok := t.indexes[col]; ok {
+		return nil
+	}
+	ci := t.schema.IndexOf(col)
+	if ci < 0 {
+		return fmt.Errorf("rolap: table %q: no column %q", t.Name, col)
+	}
+	idx := &hashIndex{col: ci, buckets: make(map[any][]int)}
+	for rn, row := range t.rows {
+		idx.buckets[row[ci]] = append(idx.buckets[row[ci]], rn)
+	}
+	t.indexes[col] = idx
+	return nil
+}
+
+// LookupEq returns the rows whose column equals the value, using the
+// index when present and scanning otherwise.
+func (t *Table) LookupEq(col string, value any) ([][]any, error) {
+	ci := t.schema.IndexOf(col)
+	if ci < 0 {
+		return nil, fmt.Errorf("rolap: table %q: no column %q", t.Name, col)
+	}
+	nv, err := checkValue(t.schema[ci].Type, value)
+	if err != nil {
+		return nil, err
+	}
+	if idx, ok := t.indexes[col]; ok && idx.col == ci {
+		nums := idx.buckets[nv]
+		out := make([][]any, len(nums))
+		for i, rn := range nums {
+			out[i] = t.rows[rn]
+		}
+		return out, nil
+	}
+	var out [][]any
+	for _, row := range t.rows {
+		if compareValues(row[ci], nv) == 0 {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// Rows returns the table rows. The slice and rows are shared; callers
+// must not mutate them.
+func (t *Table) Rows() [][]any { return t.rows }
+
+// Relation snapshots the table as a relation for algebraic processing.
+// Column names are qualified with the table name ("table.col"); the
+// Schema.IndexOf resolution accepts unqualified names when unambiguous.
+func (t *Table) Relation() *Relation {
+	cols := make(Schema, len(t.schema))
+	for i, c := range t.schema {
+		cols[i] = Column{Name: t.Name + "." + c.Name, Type: c.Type}
+	}
+	return &Relation{Cols: cols, Rows: t.rows}
+}
+
+// Truncate removes all rows, keeping schema and indexes.
+func (t *Table) Truncate() {
+	t.rows = nil
+	for _, idx := range t.indexes {
+		idx.buckets = make(map[any][]int)
+	}
+}

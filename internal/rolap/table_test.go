@@ -1,0 +1,209 @@
+package rolap
+
+import (
+	"testing"
+
+	"mvolap/internal/temporal"
+)
+
+func deptTable(t testing.TB) *Table {
+	t.Helper()
+	tab, err := NewTable("dept", Schema{
+		{Name: "id", Type: Text},
+		{Name: "name", Type: Text},
+		{Name: "division", Type: Text},
+		{Name: "from", Type: Time},
+		{Name: "to", Type: Time},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := [][]any{
+		{"jones", "Dpt.Jones", "Sales", temporal.Year(2001), temporal.YM(2002, 12)},
+		{"smith", "Dpt.Smith", "Sales", temporal.Year(2001), temporal.YM(2001, 12)},
+		{"smith2", "Dpt.Smith", "R&D", temporal.Year(2002), temporal.Now},
+		{"brian", "Dpt.Brian", "R&D", temporal.Year(2001), temporal.Now},
+	}
+	for _, r := range rows {
+		if err := tab.Insert(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+func TestNewTableErrors(t *testing.T) {
+	if _, err := NewTable("x", nil); err == nil {
+		t.Error("empty schema must be rejected")
+	}
+	if _, err := NewTable("x", Schema{{Name: "", Type: Int}}); err == nil {
+		t.Error("unnamed column must be rejected")
+	}
+	if _, err := NewTable("x", Schema{{Name: "a", Type: Int}, {Name: "a", Type: Int}}); err == nil {
+		t.Error("duplicate column must be rejected")
+	}
+}
+
+func TestInsertTypeChecking(t *testing.T) {
+	tab := MustNewTable("t", Schema{
+		{Name: "i", Type: Int}, {Name: "f", Type: Float},
+		{Name: "s", Type: Text}, {Name: "tm", Type: Time}, {Name: "b", Type: Bool},
+	})
+	if err := tab.Insert(1, 2.5, "x", temporal.Year(2001), true); err != nil {
+		t.Fatalf("valid insert rejected: %v", err)
+	}
+	// Widenings: int into float, int64 into int, int64 into time.
+	if err := tab.Insert(int64(2), 3, "y", int64(100), false); err != nil {
+		t.Fatalf("widened insert rejected: %v", err)
+	}
+	// NULLs allowed.
+	if err := tab.Insert(nil, nil, nil, nil, nil); err != nil {
+		t.Fatalf("NULL insert rejected: %v", err)
+	}
+	if err := tab.Insert(1, 2.5, "x", temporal.Year(2001)); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+	if err := tab.Insert("no", 2.5, "x", temporal.Year(2001), true); err == nil {
+		t.Error("type mismatch must fail")
+	}
+	if tab.Len() != 3 {
+		t.Errorf("Len = %d", tab.Len())
+	}
+}
+
+func TestLookupEqWithAndWithoutIndex(t *testing.T) {
+	tab := deptTable(t)
+	// Without index.
+	rows, err := tab.LookupEq("division", "R&D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("scan lookup = %d rows", len(rows))
+	}
+	// With index.
+	if err := tab.CreateIndex("division"); err != nil {
+		t.Fatal(err)
+	}
+	rows2, err := tab.LookupEq("division", "R&D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows2) != len(rows) {
+		t.Errorf("indexed lookup = %d rows, scan = %d", len(rows2), len(rows))
+	}
+	// Index stays current across inserts.
+	tab.MustInsert("new", "Dpt.New", "R&D", temporal.Year(2003), temporal.Now)
+	rows3, _ := tab.LookupEq("division", "R&D")
+	if len(rows3) != 3 {
+		t.Errorf("post-insert indexed lookup = %d rows", len(rows3))
+	}
+	// Re-creating is a no-op.
+	if err := tab.CreateIndex("division"); err != nil {
+		t.Error(err)
+	}
+	if err := tab.CreateIndex("zz"); err == nil {
+		t.Error("index on unknown column must fail")
+	}
+	if _, err := tab.LookupEq("zz", 1); err == nil {
+		t.Error("lookup on unknown column must fail")
+	}
+	if _, err := tab.LookupEq("division", 42); err == nil {
+		t.Error("lookup with wrong type must fail")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	tab := deptTable(t)
+	if err := tab.CreateIndex("division"); err != nil {
+		t.Fatal(err)
+	}
+	tab.Truncate()
+	if tab.Len() != 0 {
+		t.Error("truncate must remove rows")
+	}
+	rows, _ := tab.LookupEq("division", "R&D")
+	if len(rows) != 0 {
+		t.Error("index must be cleared")
+	}
+	tab.MustInsert("a", "b", "R&D", temporal.Year(2001), temporal.Now)
+	rows, _ = tab.LookupEq("division", "R&D")
+	if len(rows) != 1 {
+		t.Error("index must keep working after truncate")
+	}
+}
+
+func TestSchemaIndexOf(t *testing.T) {
+	s := Schema{{Name: "dept.id", Type: Text}, {Name: "dept.name", Type: Text}, {Name: "fact.id", Type: Text}}
+	if s.IndexOf("dept.name") != 1 {
+		t.Error("qualified lookup failed")
+	}
+	if s.IndexOf("name") != 1 {
+		t.Error("unambiguous unqualified lookup failed")
+	}
+	if s.IndexOf("id") != -1 {
+		t.Error("ambiguous unqualified lookup must fail")
+	}
+	if s.IndexOf("zz") != -1 {
+		t.Error("unknown column must be -1")
+	}
+}
+
+func TestColTypeString(t *testing.T) {
+	for ct, want := range map[ColType]string{Int: "INT", Float: "FLOAT", Text: "TEXT", Time: "TIME", Bool: "BOOL"} {
+		if ct.String() != want {
+			t.Errorf("String(%d) = %q", ct, ct.String())
+		}
+	}
+	if ColType(9).String() == "" {
+		t.Error("out-of-range ColType String")
+	}
+}
+
+func TestCompareValues(t *testing.T) {
+	cases := []struct {
+		a, b any
+		want int
+	}{
+		{int64(1), int64(2), -1},
+		{int64(2), int64(2), 0},
+		{3.5, 2.5, 1},
+		{"a", "b", -1},
+		{temporal.Year(2001), temporal.Year(2002), -1},
+		{false, true, -1},
+		{true, true, 0},
+		{nil, int64(1), -1},
+		{int64(1), nil, 1},
+		{nil, nil, 0},
+	}
+	for _, c := range cases {
+		if got := compareValues(c.a, c.b); got != c.want {
+			t.Errorf("compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTableAccessors(t *testing.T) {
+	tab := deptTable(t)
+	if len(tab.Schema()) != 5 {
+		t.Errorf("schema = %v", tab.Schema())
+	}
+	if len(tab.Rows()) != tab.Len() {
+		t.Error("Rows length mismatch")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustInsert must panic on bad row")
+		}
+	}()
+	tab.MustInsert("too", "few")
+}
+
+func TestMustNewTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewTable must panic on bad schema")
+		}
+	}()
+	MustNewTable("x", nil)
+}

@@ -1,0 +1,189 @@
+// Package rolap is the relational substrate of the prototype: a small
+// in-memory relational engine playing the role that Microsoft SQL
+// Server 2000 played for the paper's prototype (§5.1). It provides
+// typed tables, hash indexes, a relational algebra (filter, project,
+// hash join, group-by, order-by) and a compact SQL SELECT dialect.
+//
+// The temporal and multiversion data warehouses (package warehouse) lay
+// their star, snowflake and parent-child schemas out on these tables.
+package rolap
+
+import (
+	"fmt"
+
+	"mvolap/internal/temporal"
+)
+
+// ColType is the type of a column.
+type ColType uint8
+
+// Supported column types.
+const (
+	Int ColType = iota
+	Float
+	Text
+	Time // a temporal.Instant
+	Bool
+)
+
+// String names the type.
+func (c ColType) String() string {
+	switch c {
+	case Int:
+		return "INT"
+	case Float:
+		return "FLOAT"
+	case Text:
+		return "TEXT"
+	case Time:
+		return "TIME"
+	case Bool:
+		return "BOOL"
+	}
+	return fmt.Sprintf("ColType(%d)", uint8(c))
+}
+
+// Column describes one column of a table or derived relation.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// IndexOf returns the position of the named column, or -1. Qualified
+// names ("t.col") match their unqualified suffix when unambiguous.
+func (s Schema) IndexOf(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	// Unqualified match against qualified column names.
+	found := -1
+	for i, c := range s {
+		if suffixAfterDot(c.Name) == name {
+			if found >= 0 {
+				return -1 // ambiguous
+			}
+			found = i
+		}
+	}
+	return found
+}
+
+func suffixAfterDot(s string) string {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return s[i+1:]
+		}
+	}
+	return s
+}
+
+// checkValue validates that v is acceptable for the column type and
+// normalizes it (ints may be given as int or int64; times as
+// temporal.Instant).
+func checkValue(t ColType, v any) (any, error) {
+	if v == nil {
+		return nil, nil // NULL is allowed in every column
+	}
+	switch t {
+	case Int:
+		switch x := v.(type) {
+		case int:
+			return int64(x), nil
+		case int64:
+			return x, nil
+		}
+	case Float:
+		switch x := v.(type) {
+		case float64:
+			return x, nil
+		case int:
+			return float64(x), nil
+		case int64:
+			return float64(x), nil
+		}
+	case Text:
+		if x, ok := v.(string); ok {
+			return x, nil
+		}
+	case Time:
+		switch x := v.(type) {
+		case temporal.Instant:
+			return x, nil
+		case int64:
+			return temporal.Instant(x), nil
+		}
+	case Bool:
+		if x, ok := v.(bool); ok {
+			return x, nil
+		}
+	}
+	return nil, fmt.Errorf("rolap: value %v (%T) not valid for %s column", v, v, t)
+}
+
+// compareValues orders two normalized values of the same column type.
+// NULL sorts first. It returns -1, 0 or 1.
+func compareValues(a, b any) int {
+	if a == nil || b == nil {
+		switch {
+		case a == nil && b == nil:
+			return 0
+		case a == nil:
+			return -1
+		default:
+			return 1
+		}
+	}
+	switch x := a.(type) {
+	case int64:
+		y := b.(int64)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	case float64:
+		y := b.(float64)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	case string:
+		y := b.(string)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	case temporal.Instant:
+		y := b.(temporal.Instant)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	case bool:
+		y := b.(bool)
+		switch {
+		case !x && y:
+			return -1
+		case x && !y:
+			return 1
+		}
+		return 0
+	}
+	return 0
+}

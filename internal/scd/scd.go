@@ -1,0 +1,288 @@
+// Package scd implements the baselines the paper positions itself
+// against (§1.2, §2.2): Kimball's three types of Slowly Changing
+// Dimensions and the "updating model" behaviour of mapping everything
+// into the most recent structure.
+//
+//   - Type 1 overwrites the dimension attribute: history is lost, every
+//     fact is presented in the latest structure, and facts whose member
+//     disappeared become unanswerable ("avoids the real goal", Kimball).
+//   - Type 2 versions the dimension rows: history is tracked and
+//     queries are temporally consistent, but "comparisons across the
+//     transitions cannot be made, since links between them are not
+//     kept".
+//   - Type 3 keeps the previous value inside the member: one transition
+//     is comparable, but "overlapping between versions may occur and
+//     cannot be handled" and it is "equipped to handle only changes" on
+//     attributes — merges and splits are out of reach.
+//
+// The package exposes a common interface so the experiments can run the
+// same workload through every baseline and through the multiversion
+// model and compare answers, lost facts, and comparability.
+package scd
+
+import (
+	"fmt"
+	"sort"
+
+	"mvolap/internal/temporal"
+)
+
+// Fact is a measure value recorded for a member key at an instant.
+type Fact struct {
+	Key   string
+	Time  temporal.Instant
+	Value float64
+}
+
+// View selects how a dimension resolves grouping attributes.
+type View uint8
+
+// The presentation views a baseline may support.
+const (
+	// Current presents every fact in the latest structure.
+	Current View = iota
+	// AtTime presents each fact in the structure valid at its instant
+	// (temporally consistent).
+	AtTime
+	// Previous presents facts in the structure before the last change
+	// (only Type 3 supports this).
+	Previous
+)
+
+// String names the view.
+func (v View) String() string {
+	switch v {
+	case Current:
+		return "current"
+	case AtTime:
+		return "at-time"
+	case Previous:
+		return "previous"
+	}
+	return fmt.Sprintf("View(%d)", uint8(v))
+}
+
+// Dimension is a slowly-changing dimension handler mapping a member key
+// to a grouping attribute (the paper's department → division link).
+type Dimension interface {
+	// Name identifies the baseline.
+	Name() string
+	// Set records the attribute value for a key from the given instant.
+	Set(key, value string, at temporal.Instant)
+	// Delete removes the key from the dimension at the given instant.
+	Delete(key string, at temporal.Instant)
+	// Resolve returns the grouping value for a fact at t under the
+	// view; ok is false when the baseline cannot answer.
+	Resolve(key string, t temporal.Instant, view View) (string, bool)
+	// Supports reports whether the baseline can answer the view at all.
+	Supports(view View) bool
+}
+
+// Type1 is the overwrite baseline (also the §2.2 "updating model"
+// behaviour: all data mapped to the most recent version).
+type Type1 struct {
+	attrs map[string]string
+}
+
+// NewType1 creates an empty Type 1 dimension.
+func NewType1() *Type1 { return &Type1{attrs: make(map[string]string)} }
+
+// Name identifies the baseline.
+func (d *Type1) Name() string { return "scd-type1" }
+
+// Set overwrites the attribute; prior history is destroyed.
+func (d *Type1) Set(key, value string, _ temporal.Instant) { d.attrs[key] = value }
+
+// Delete removes the member entirely; its facts become unanswerable.
+func (d *Type1) Delete(key string, _ temporal.Instant) { delete(d.attrs, key) }
+
+// Resolve always answers with the current structure, whatever the view
+// asked for: a Type 1 dimension cannot distinguish them.
+func (d *Type1) Resolve(key string, _ temporal.Instant, _ View) (string, bool) {
+	v, ok := d.attrs[key]
+	return v, ok
+}
+
+// Supports reports Current only.
+func (d *Type1) Supports(view View) bool { return view == Current }
+
+// Type2 is the row-versioning baseline.
+type Type2 struct {
+	rows map[string][]type2Row
+}
+
+type type2Row struct {
+	value string
+	valid temporal.Interval
+}
+
+// NewType2 creates an empty Type 2 dimension.
+func NewType2() *Type2 { return &Type2{rows: make(map[string][]type2Row)} }
+
+// Name identifies the baseline.
+func (d *Type2) Name() string { return "scd-type2" }
+
+// Set ends the open row for the key and opens a new one at the instant.
+func (d *Type2) Set(key, value string, at temporal.Instant) {
+	rows := d.rows[key]
+	if n := len(rows); n > 0 && rows[n-1].valid.End == temporal.Now {
+		rows[n-1].valid.End = at.Prev()
+		if rows[n-1].valid.Empty() {
+			rows = rows[:n-1]
+		}
+	}
+	d.rows[key] = append(rows, type2Row{value: value, valid: temporal.Since(at)})
+}
+
+// Delete ends the open row at the instant.
+func (d *Type2) Delete(key string, at temporal.Instant) {
+	rows := d.rows[key]
+	if n := len(rows); n > 0 && rows[n-1].valid.End == temporal.Now {
+		rows[n-1].valid.End = at.Prev()
+		if rows[n-1].valid.Empty() {
+			rows = rows[:n-1]
+		}
+		d.rows[key] = rows
+	}
+}
+
+// Resolve answers AtTime with the row valid at t; Current with the
+// open row. Cross-version presentation is impossible: versions carry
+// no links (the Kimball limitation the paper quotes).
+func (d *Type2) Resolve(key string, t temporal.Instant, view View) (string, bool) {
+	rows := d.rows[key]
+	switch view {
+	case AtTime:
+		for _, r := range rows {
+			if r.valid.Contains(t) {
+				return r.value, true
+			}
+		}
+	case Current:
+		if n := len(rows); n > 0 && rows[n-1].valid.End == temporal.Now {
+			// Only facts recorded during the current row's validity can
+			// be presented: earlier versions have no link forward.
+			if rows[n-1].valid.Contains(t) {
+				return rows[n-1].value, true
+			}
+		}
+	}
+	return "", false
+}
+
+// Supports reports AtTime and (partially) Current.
+func (d *Type2) Supports(view View) bool { return view == AtTime || view == Current }
+
+// Type3 keeps the current and one previous attribute value inside the
+// member.
+type Type3 struct {
+	attrs map[string]*type3Attrs
+}
+
+type type3Attrs struct {
+	current   string
+	previous  string
+	changedAt temporal.Instant
+	hasPrev   bool
+}
+
+// NewType3 creates an empty Type 3 dimension.
+func NewType3() *Type3 { return &Type3{attrs: make(map[string]*type3Attrs)} }
+
+// Name identifies the baseline.
+func (d *Type3) Name() string { return "scd-type3" }
+
+// Set shifts current into previous; only the last transition survives.
+func (d *Type3) Set(key, value string, at temporal.Instant) {
+	a, ok := d.attrs[key]
+	if !ok {
+		d.attrs[key] = &type3Attrs{current: value, changedAt: at}
+		return
+	}
+	a.previous = a.current
+	a.hasPrev = true
+	a.current = value
+	a.changedAt = at
+}
+
+// Delete removes the member.
+func (d *Type3) Delete(key string, _ temporal.Instant) { delete(d.attrs, key) }
+
+// Resolve answers Current with the current value, Previous with the
+// previous one (when a transition happened), and AtTime by picking
+// whichever of the two columns was valid — possible only for the single
+// tracked transition.
+func (d *Type3) Resolve(key string, t temporal.Instant, view View) (string, bool) {
+	a, ok := d.attrs[key]
+	if !ok {
+		return "", false
+	}
+	switch view {
+	case Current:
+		return a.current, true
+	case Previous:
+		if a.hasPrev {
+			return a.previous, true
+		}
+		return a.current, true
+	case AtTime:
+		if a.hasPrev && t.Before(a.changedAt) {
+			return a.previous, true
+		}
+		return a.current, true
+	}
+	return "", false
+}
+
+// Supports reports all three views, within the one-transition limit.
+func (d *Type3) Supports(View) bool { return true }
+
+// TotalsRow is one line of a baseline query result: a time bucket, a
+// group value, and the total.
+type TotalsRow struct {
+	Year  int
+	Group string
+	Total float64
+}
+
+// Report is the outcome of running a workload through a baseline.
+type Report struct {
+	Baseline string
+	View     View
+	Rows     []TotalsRow
+	// LostFacts counts facts the baseline could not attribute to any
+	// group under the view.
+	LostFacts int
+}
+
+// Totals groups facts by year and resolved attribute under the view,
+// counting unresolvable facts as lost.
+func Totals(d Dimension, facts []Fact, view View) Report {
+	rep := Report{Baseline: d.Name(), View: view}
+	acc := map[[2]string]float64{}
+	var order [][2]string
+	for _, f := range facts {
+		group, ok := d.Resolve(f.Key, f.Time, view)
+		if !ok {
+			rep.LostFacts++
+			continue
+		}
+		key := [2]string{fmt.Sprintf("%04d", f.Time.YearOf()), group}
+		if _, seen := acc[key]; !seen {
+			order = append(order, key)
+		}
+		acc[key] += f.Value
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i][0] != order[j][0] {
+			return order[i][0] < order[j][0]
+		}
+		return order[i][1] < order[j][1]
+	})
+	for _, key := range order {
+		year := 0
+		fmt.Sscanf(key[0], "%d", &year)
+		rep.Rows = append(rep.Rows, TotalsRow{Year: year, Group: key[1], Total: acc[key]})
+	}
+	return rep
+}

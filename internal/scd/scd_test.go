@@ -1,0 +1,195 @@
+package scd
+
+import (
+	"testing"
+
+	"mvolap/internal/temporal"
+)
+
+func y(year int) temporal.Instant { return temporal.Year(year) }
+
+// caseFacts is the paper's Table 3 keyed by department name.
+func caseFacts() []Fact {
+	return []Fact{
+		{"Dpt.Jones", y(2001), 100}, {"Dpt.Smith", y(2001), 50}, {"Dpt.Brian", y(2001), 100},
+		{"Dpt.Jones", y(2002), 100}, {"Dpt.Smith", y(2002), 100}, {"Dpt.Brian", y(2002), 50},
+		{"Dpt.Bill", y(2003), 150}, {"Dpt.Paul", y(2003), 50},
+		{"Dpt.Smith", y(2003), 110}, {"Dpt.Brian", y(2003), 40},
+	}
+}
+
+// playHistory replays the case-study history on any baseline: the 2001
+// org, Smith's 2002 move, and the 2003 split of Jones into Bill/Paul
+// (expressed as delete + create, the only vocabulary SCDs have).
+func playHistory(d Dimension) {
+	d.Set("Dpt.Jones", "Sales", y(2001))
+	d.Set("Dpt.Smith", "Sales", y(2001))
+	d.Set("Dpt.Brian", "R&D", y(2001))
+	d.Set("Dpt.Smith", "R&D", y(2002))
+	d.Delete("Dpt.Jones", y(2003))
+	d.Set("Dpt.Bill", "Sales", y(2003))
+	d.Set("Dpt.Paul", "Sales", y(2003))
+}
+
+func find(rep Report, year int, group string) (float64, bool) {
+	for _, r := range rep.Rows {
+		if r.Year == year && r.Group == group {
+			return r.Total, true
+		}
+	}
+	return 0, false
+}
+
+// TestType1LosesHistoryAndFacts: the overwrite baseline presents
+// everything in the latest structure and loses the deleted member's
+// facts entirely — the paper's core criticism of updating models
+// ("some data are corrupted, or even lost").
+func TestType1LosesHistoryAndFacts(t *testing.T) {
+	d := NewType1()
+	playHistory(d)
+	rep := Totals(d, caseFacts(), Current)
+	// Jones's 200 across 2001-2002 is gone.
+	if rep.LostFacts != 2 {
+		t.Errorf("lost facts = %d, want 2 (Jones 2001, 2002)", rep.LostFacts)
+	}
+	// Smith's 2001 fact is presented under R&D: history rewritten.
+	if v, ok := find(rep, 2001, "R&D"); !ok || v != 150 {
+		t.Errorf("2001 R&D = %v (Smith's 50 must be misattributed here)", v)
+	}
+	if _, ok := find(rep, 2001, "Sales"); ok {
+		t.Error("2001 Sales should have vanished entirely under Type 1")
+	}
+	if !d.Supports(Current) || d.Supports(AtTime) {
+		t.Error("Type 1 supports only the current view")
+	}
+}
+
+// TestType2IsConsistentButIncomparable: row versioning reproduces the
+// temporally consistent Table 4, but cannot present old facts in the
+// current structure (no links across versions).
+func TestType2IsConsistentButIncomparable(t *testing.T) {
+	d := NewType2()
+	playHistory(d)
+	rep := Totals(d, caseFacts(), AtTime)
+	if rep.LostFacts != 0 {
+		t.Errorf("at-time lost facts = %d", rep.LostFacts)
+	}
+	// Table 4 values.
+	for _, w := range []struct {
+		year  int
+		group string
+		total float64
+	}{
+		{2001, "Sales", 150}, {2001, "R&D", 100},
+		{2002, "Sales", 100}, {2002, "R&D", 150},
+	} {
+		if v, ok := find(rep, w.year, w.group); !ok || v != w.total {
+			t.Errorf("%d %s = %v, want %v", w.year, w.group, v, w.total)
+		}
+	}
+	// Current view: Smith's 2001 fact has no link to the current row's
+	// validity, so it is lost — comparisons across the transition are
+	// impossible.
+	cur := Totals(d, caseFacts(), Current)
+	if cur.LostFacts == 0 {
+		t.Error("Type 2 must lose pre-transition facts in the current view")
+	}
+	if v, ok := find(cur, 2001, "Sales"); ok && v != 100 {
+		t.Errorf("2001 Sales current view = %v", v)
+	}
+}
+
+// TestType3HandlesOneTransitionOnly: the previous-column baseline
+// answers the Smith move but cannot express the Jones split, and a
+// second change destroys the first.
+func TestType3HandlesOneTransitionOnly(t *testing.T) {
+	d := NewType3()
+	playHistory(d)
+	rep := Totals(d, caseFacts(), AtTime)
+	// Smith's 2001 fact resolves to the previous value Sales — the one
+	// transition Type 3 can answer. Jones is gone (the split is just
+	// delete+create to an SCD), so 2001 Sales is Smith's 50 alone and
+	// Jones's two facts are lost.
+	if v, ok := find(rep, 2001, "Sales"); !ok || v != 50 {
+		t.Errorf("2001 Sales = %v, want 50 (Jones lost)", v)
+	}
+	if rep.LostFacts != 2 {
+		t.Errorf("lost facts = %d, want 2", rep.LostFacts)
+	}
+	// The previous view exists but, with Bill and Paul carrying no
+	// transition, it mixes structures: 2003 Sales = Bill 150 + Paul 50
+	// + Smith 110 (Smith's previous division). Compare the paper's V1
+	// presentation of 2003, which maps Bill and Paul back onto Jones.
+	prev := Totals(d, caseFacts(), Previous)
+	if v, ok := find(prev, 2003, "Sales"); !ok || v != 310 {
+		t.Errorf("previous view 2003 Sales = %v, want 310", v)
+	}
+	// A second move of Smith forgets the first.
+	d.Set("Dpt.Smith", "Ops", y(2004))
+	if v, _ := d.Resolve("Dpt.Smith", y(2001), AtTime); v != "R&D" {
+		t.Errorf("after second change, 2001 Smith = %q (first transition destroyed, as documented)", v)
+	}
+	if !d.Supports(Previous) {
+		t.Error("Type 3 supports the previous view")
+	}
+}
+
+func TestType2RowMaintenance(t *testing.T) {
+	d := NewType2()
+	d.Set("k", "a", y(2001))
+	d.Set("k", "b", y(2003))
+	if v, ok := d.Resolve("k", y(2002), AtTime); !ok || v != "a" {
+		t.Errorf("2002 = %v", v)
+	}
+	if v, ok := d.Resolve("k", y(2004), AtTime); !ok || v != "b" {
+		t.Errorf("2004 = %v", v)
+	}
+	d.Delete("k", y(2005))
+	if _, ok := d.Resolve("k", y(2006), AtTime); ok {
+		t.Error("deleted key must not resolve after deletion")
+	}
+	if v, ok := d.Resolve("k", y(2004), AtTime); !ok || v != "b" {
+		t.Errorf("history must survive deletion: %v", v)
+	}
+	// Same-instant replacement drops the empty row.
+	d2 := NewType2()
+	d2.Set("k", "a", y(2001))
+	d2.Set("k", "b", y(2001))
+	if v, _ := d2.Resolve("k", y(2001), AtTime); v != "b" {
+		t.Errorf("same-instant replacement = %v", v)
+	}
+	// Deleting an unknown key is a no-op.
+	d2.Delete("zz", y(2002))
+}
+
+func TestViewString(t *testing.T) {
+	if Current.String() != "current" || AtTime.String() != "at-time" || Previous.String() != "previous" {
+		t.Error("view names wrong")
+	}
+	if View(9).String() == "" {
+		t.Error("out-of-range view String")
+	}
+}
+
+func TestType3UnknownKeyAndView(t *testing.T) {
+	d := NewType3()
+	if _, ok := d.Resolve("zz", y(2001), Current); ok {
+		t.Error("unknown key must not resolve")
+	}
+	d.Set("k", "a", y(2001))
+	if v, ok := d.Resolve("k", y(2000), Previous); !ok || v != "a" {
+		t.Error("previous without transition falls back to current")
+	}
+	if _, ok := d.Resolve("k", y(2001), View(9)); ok {
+		t.Error("unknown view must not resolve")
+	}
+}
+
+func TestSupports(t *testing.T) {
+	if !NewType2().Supports(AtTime) || NewType2().Supports(Previous) {
+		t.Error("Type 2 view support wrong")
+	}
+	if !NewType3().Supports(Previous) {
+		t.Error("Type 3 supports previous")
+	}
+}

@@ -1,0 +1,318 @@
+// Package server is the front-end tier of the Figure-1 architecture: an
+// HTTP service exposing the temporal multidimensional warehouse to
+// analysis tools. It answers TQL queries as JSON (values paired with
+// their §5.2 confidence factors and the result's quality factor), lists
+// the temporal modes of presentation, serves the Table-12 mapping
+// metadata, and — when enabled — applies evolution scripts.
+//
+// Endpoints:
+//
+//	GET  /query?q=<TQL>     run a statement; JSON result
+//	GET  /modes             the set TMP of temporal modes
+//	GET  /schema            dimensions, levels, measures, mappings
+//	POST /evolve            apply an evolution script (requires enabling)
+//	GET  /healthz           liveness
+//
+// Queries run concurrently; evolution takes an exclusive lock so the
+// derived caches rebuild consistently.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+
+	"mvolap/internal/core"
+	"mvolap/internal/evolution"
+	"mvolap/internal/metadata"
+	"mvolap/internal/quality"
+	"mvolap/internal/tql"
+)
+
+// Server wraps a schema with HTTP handlers.
+type Server struct {
+	mu          sync.RWMutex
+	schema      *core.Schema
+	applier     *evolution.Applier
+	allowEvolve bool
+}
+
+// Option configures the server.
+type Option func(*Server)
+
+// WithEvolution enables the POST /evolve endpoint.
+func WithEvolution() Option {
+	return func(s *Server) { s.allowEvolve = true }
+}
+
+// New creates a server over the schema.
+func New(sch *core.Schema, opts ...Option) *Server {
+	s := &Server{schema: sch, applier: evolution.NewApplier(sch)}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+	mux.HandleFunc("GET /query", s.handleQuery)
+	mux.HandleFunc("GET /modes", s.handleModes)
+	mux.HandleFunc("GET /schema", s.handleSchema)
+	mux.HandleFunc("POST /evolve", s.handleEvolve)
+	return mux
+}
+
+// handleIndex serves a minimal front-end page: a TQL form posting to
+// /query, in the spirit of the paper's analysis client.
+func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, `<!DOCTYPE html>
+<html><head><title>mvolap</title></head>
+<body>
+<h1>mvolap — multiversion temporal OLAP</h1>
+<p>Query the warehouse in any temporal mode of presentation
+(Body, Miquel, B&eacute;dard &amp; Tchounikine, ICDE 2003).</p>
+<form action="/query" method="get">
+<input name="q" size="100"
+ value="SELECT * BY Org.Division, TIME.YEAR MODE tcm">
+<button>Run</button>
+</form>
+<p>Also: <a href="/modes">/modes</a> &middot; <a href="/schema">/schema</a>
+&middot; <a href="/healthz">/healthz</a></p>
+</body></html>
+`)
+}
+
+// jsonError writes a JSON error envelope.
+func jsonError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// queryResponse is the JSON shape of a query result.
+type queryResponse struct {
+	Measures []string   `json:"measures,omitempty"`
+	Groups   []string   `json:"groups,omitempty"`
+	Rows     []queryRow `json:"rows,omitempty"`
+	Mode     string     `json:"mode,omitempty"`
+	Quality  float64    `json:"quality"`
+	Dropped  int        `json:"dropped,omitempty"`
+	// Ranking is set for QUALITY statements.
+	Ranking []rankEntry `json:"ranking,omitempty"`
+	// Modes is set for MODES statements.
+	Modes []modeEntry `json:"modes,omitempty"`
+	// Lineage is set for EXPLAIN statements.
+	Lineage string `json:"lineage,omitempty"`
+}
+
+type queryRow struct {
+	Time   string     `json:"time"`
+	Groups []string   `json:"groups"`
+	Values []*float64 `json:"values"` // null encodes unknown (NaN)
+	CFs    []string   `json:"cfs"`
+	Colors []string   `json:"colors"`
+}
+
+type rankEntry struct {
+	Mode    string  `json:"mode"`
+	Quality float64 `json:"quality"`
+}
+
+type modeEntry struct {
+	Mode  string `json:"mode"`
+	Valid string `json:"valid,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	stmt := r.URL.Query().Get("q")
+	if stmt == "" {
+		jsonError(w, http.StatusBadRequest, fmt.Errorf("missing q parameter"))
+		return
+	}
+	s.mu.RLock()
+	out, err := tql.Run(s.schema, stmt)
+	s.mu.RUnlock()
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, toResponse(out))
+}
+
+func toResponse(out *tql.Output) queryResponse {
+	resp := queryResponse{Quality: out.Quality, Lineage: out.Lineage}
+	for _, m := range out.Modes {
+		e := modeEntry{Mode: m.String()}
+		if m.Kind == core.VersionKind && m.Version != nil {
+			e.Valid = m.Version.Valid.String()
+		}
+		resp.Modes = append(resp.Modes, e)
+	}
+	for _, rk := range out.Ranking {
+		resp.Ranking = append(resp.Ranking, rankEntry{Mode: rk.Mode.String(), Quality: rk.Quality})
+	}
+	if res := out.Result; res != nil {
+		resp.Measures = res.MeasureNames
+		resp.Groups = res.GroupNames
+		resp.Mode = res.Mode.String()
+		resp.Dropped = res.Dropped
+		for _, row := range res.Rows {
+			qr := queryRow{Time: row.TimeKey, Groups: row.Groups}
+			if qr.Groups == nil {
+				qr.Groups = []string{}
+			}
+			for i, v := range row.Values {
+				if math.IsNaN(v) {
+					qr.Values = append(qr.Values, nil)
+				} else {
+					vv := v
+					qr.Values = append(qr.Values, &vv)
+				}
+				qr.CFs = append(qr.CFs, row.CFs[i].String())
+				qr.Colors = append(qr.Colors, quality.CellColor(row.CFs[i]).String())
+			}
+			resp.Rows = append(resp.Rows, qr)
+		}
+	}
+	return resp
+}
+
+func (s *Server) handleModes(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []modeEntry
+	for _, m := range s.schema.Modes() {
+		e := modeEntry{Mode: m.String()}
+		if m.Kind == core.VersionKind {
+			e.Valid = m.Version.Valid.String()
+		}
+		out = append(out, e)
+	}
+	writeJSON(w, out)
+}
+
+// schemaResponse describes the warehouse structure.
+type schemaResponse struct {
+	Name       string           `json:"name"`
+	Measures   []measureEntry   `json:"measures"`
+	Dimensions []dimensionEntry `json:"dimensions"`
+	Mappings   []mappingEntry   `json:"mappings,omitempty"`
+	Facts      int              `json:"facts"`
+	Modes      int              `json:"modes"`
+	Evolution  []evolutionEntry `json:"evolution,omitempty"`
+}
+
+type measureEntry struct {
+	Name string `json:"name"`
+	Agg  string `json:"agg"`
+}
+
+type dimensionEntry struct {
+	ID       string         `json:"id"`
+	Name     string         `json:"name"`
+	Versions []versionEntry `json:"versions"`
+}
+
+type versionEntry struct {
+	ID     string `json:"id"`
+	Name   string `json:"name"`
+	Level  string `json:"level,omitempty"`
+	Valid  string `json:"valid"`
+	IsLeaf bool   `json:"isLeaf"`
+}
+
+type mappingEntry struct {
+	From    string   `json:"from"`
+	To      string   `json:"to"`
+	K       []string `json:"k"`
+	KInv    []string `json:"kInv"`
+	Conf    int      `json:"confidence"`
+	ConfInv int      `json:"confidenceInv"`
+}
+
+type evolutionEntry struct {
+	Seq         int    `json:"seq"`
+	Description string `json:"description"`
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sch := s.schema
+	resp := schemaResponse{
+		Name:  sch.Name,
+		Facts: sch.Facts().Len(),
+		Modes: len(sch.Modes()),
+	}
+	for _, m := range sch.Measures() {
+		resp.Measures = append(resp.Measures, measureEntry{Name: m.Name, Agg: m.Agg.String()})
+	}
+	for _, d := range sch.Dimensions() {
+		de := dimensionEntry{ID: string(d.ID), Name: d.Name}
+		for _, mv := range d.Versions() {
+			de.Versions = append(de.Versions, versionEntry{
+				ID:     string(mv.ID),
+				Name:   mv.DisplayName(),
+				Level:  mv.Level,
+				Valid:  mv.Valid.String(),
+				IsLeaf: d.IsLeafVersion(mv.ID),
+			})
+		}
+		resp.Dimensions = append(resp.Dimensions, de)
+	}
+	for _, row := range metadata.MappingTable(sch) {
+		resp.Mappings = append(resp.Mappings, mappingEntry{
+			From: row.From, To: row.To, K: row.K, KInv: row.KInv,
+			Conf: row.Conf, ConfInv: row.ConfInv,
+		})
+	}
+	for _, e := range s.applier.Log() {
+		resp.Evolution = append(resp.Evolution, evolutionEntry{Seq: e.Seq, Description: e.Description})
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleEvolve(w http.ResponseWriter, r *http.Request) {
+	if !s.allowEvolve {
+		jsonError(w, http.StatusForbidden, fmt.Errorf("evolution disabled; start with WithEvolution"))
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ops, err := evolution.ParseScript(bytes.NewReader(body), len(s.schema.Measures()))
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.applier.Apply(ops...); err != nil {
+		jsonError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"applied": len(ops),
+		"modes":   len(s.schema.Modes()),
+	})
+}

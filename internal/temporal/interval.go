@@ -1,0 +1,231 @@
+package temporal
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Interval is a closed valid-time interval [Start, End]. An interval that
+// is still valid has End == Now. The zero Interval is empty.
+type Interval struct {
+	Start, End Instant
+}
+
+// Between returns the closed interval [start, end].
+func Between(start, end Instant) Interval { return Interval{start, end} }
+
+// Since returns the still-open interval [start, Now].
+func Since(start Instant) Interval { return Interval{start, Now} }
+
+// Always is the interval covering the whole time axis.
+var Always = Interval{Origin, Now}
+
+// Empty reports whether the interval contains no instant (Start > End).
+func (iv Interval) Empty() bool { return iv.Start > iv.End }
+
+// Contains reports whether t lies inside the interval.
+func (iv Interval) Contains(t Instant) bool { return iv.Start <= t && t <= iv.End }
+
+// ContainsInterval reports whether other lies entirely inside iv.
+// The empty interval is contained in everything.
+func (iv Interval) ContainsInterval(other Interval) bool {
+	if other.Empty() {
+		return true
+	}
+	return iv.Start <= other.Start && other.End <= iv.End
+}
+
+// Overlaps reports whether the two intervals share at least one instant.
+func (iv Interval) Overlaps(other Interval) bool {
+	return !iv.Intersect(other).Empty()
+}
+
+// Intersect returns the common part of two intervals (possibly empty).
+func (iv Interval) Intersect(other Interval) Interval {
+	return Interval{Max(iv.Start, other.Start), Min(iv.End, other.End)}
+}
+
+// Hull returns the smallest interval covering both operands. Empty
+// operands are ignored; the hull of two empty intervals is empty.
+func (iv Interval) Hull(other Interval) Interval {
+	if iv.Empty() {
+		return other
+	}
+	if other.Empty() {
+		return iv
+	}
+	return Interval{Min(iv.Start, other.Start), Max(iv.End, other.End)}
+}
+
+// Adjacent reports whether the intervals touch without overlapping, that
+// is one begins exactly one instant after the other ends.
+func (iv Interval) Adjacent(other Interval) bool {
+	if iv.Empty() || other.Empty() {
+		return false
+	}
+	return (iv.End != Now && iv.End.Next() == other.Start) ||
+		(other.End != Now && other.End.Next() == iv.Start)
+}
+
+// Equal reports whether two intervals denote the same set of instants.
+// All empty intervals are equal.
+func (iv Interval) Equal(other Interval) bool {
+	if iv.Empty() || other.Empty() {
+		return iv.Empty() && other.Empty()
+	}
+	return iv.Start == other.Start && iv.End == other.End
+}
+
+// Clamp restricts the interval to the given bounds.
+func (iv Interval) Clamp(bounds Interval) Interval { return iv.Intersect(bounds) }
+
+// Duration reports the number of instants in the interval. It returns -1
+// for unbounded intervals (End == Now or Start == Origin).
+func (iv Interval) Duration() int64 {
+	if iv.Empty() {
+		return 0
+	}
+	if iv.End == Now || iv.Start == Origin {
+		return -1
+	}
+	return int64(iv.End-iv.Start) + 1
+}
+
+// String renders the interval in the paper's notation "[01/2001 ; Now]".
+func (iv Interval) String() string {
+	if iv.Empty() {
+		return "[empty]"
+	}
+	return fmt.Sprintf("[%s ; %s]", iv.Start, iv.End)
+}
+
+// ParseInterval parses "[start ; end]" or "start..end" using the instant
+// forms accepted by ParseInstant.
+func ParseInterval(s string) (Interval, error) {
+	raw := s
+	if len(s) >= 2 && s[0] == '[' && s[len(s)-1] == ']' {
+		s = s[1 : len(s)-1]
+	}
+	var a, b string
+	var ok bool
+	if a, b, ok = cut2(s, ";"); !ok {
+		if a, b, ok = cut2(s, ".."); !ok {
+			return Interval{}, fmt.Errorf("temporal: cannot parse interval %q", raw)
+		}
+	}
+	start, err := ParseInstant(a)
+	if err != nil {
+		return Interval{}, err
+	}
+	end, err := ParseInstant(b)
+	if err != nil {
+		return Interval{}, err
+	}
+	return Interval{start, end}, nil
+}
+
+func cut2(s, sep string) (before, after string, found bool) {
+	i := indexOf(s, sep)
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+len(sep):], true
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// Partition slices the hull of the given intervals into the coarsest set
+// of elementary intervals such that every input interval is a union of
+// elementary intervals. This is the construction behind Definition 9 of
+// the paper: structure versions are "the intersections of the valid time
+// intervals of all Member Versions and Temporal Relationships".
+//
+// The returned intervals are sorted, pairwise disjoint, and cover exactly
+// the union of the inputs. Empty inputs are ignored.
+func Partition(intervals []Interval) []Interval {
+	type boundary struct {
+		t     Instant
+		start bool
+	}
+	var bs []boundary
+	for _, iv := range intervals {
+		if iv.Empty() {
+			continue
+		}
+		bs = append(bs, boundary{iv.Start, true})
+		// The instant after the end opens a new elementary interval.
+		if iv.End != Now {
+			bs = append(bs, boundary{iv.End.Next(), true})
+		}
+	}
+	if len(bs) == 0 {
+		return nil
+	}
+	// Collect distinct cut points.
+	cuts := make([]Instant, 0, len(bs))
+	for _, b := range bs {
+		cuts = append(cuts, b.t)
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+	cuts = dedupInstants(cuts)
+
+	// Determine global coverage to clip elementary intervals to instants
+	// actually covered by at least one input.
+	var out []Interval
+	for i, c := range cuts {
+		end := Now
+		if i+1 < len(cuts) {
+			end = cuts[i+1].Prev()
+		}
+		elem := Interval{c, end}
+		if coveredByAny(elem.Start, intervals) {
+			out = append(out, elem)
+		}
+	}
+	return out
+}
+
+func dedupInstants(xs []Instant) []Instant {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func coveredByAny(t Instant, intervals []Interval) bool {
+	for _, iv := range intervals {
+		if iv.Contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// MergeAdjacent coalesces sorted, disjoint intervals that touch, keeping
+// the list canonical. It is used after filtering elementary intervals by
+// a predicate (e.g. merging elementary intervals with identical dimension
+// restrictions into a single structure version).
+func MergeAdjacent(intervals []Interval) []Interval {
+	var out []Interval
+	for _, iv := range intervals {
+		if iv.Empty() {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1].Adjacent(iv) {
+			out[n-1] = out[n-1].Hull(iv)
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+// Package timedim builds calendar Time dimensions. The paper keeps
+// time as a dedicated dimension with a {year} hierarchy (§2.1); this
+// package generates such dimensions as ordinary temporal dimensions —
+// month leaves rolling up through quarters to years — so schemas that
+// want time as an explicit axis (rather than the implicit instant of
+// every fact) can have one, including in multidimensional settings.
+//
+// A calendar dimension never evolves: all its member versions are valid
+// over the whole axis, so it adds no structure versions to a schema.
+package timedim
+
+import (
+	"fmt"
+
+	"mvolap/internal/core"
+	"mvolap/internal/temporal"
+)
+
+// Level names used by calendar dimensions.
+const (
+	LevelYear    = "Year"
+	LevelQuarter = "Quarter"
+	LevelMonth   = "Month"
+)
+
+// MonthID returns the member-version ID of a month leaf.
+func MonthID(year, month int) core.MVID {
+	return core.MVID(fmt.Sprintf("%04d-%02d", year, month))
+}
+
+// QuarterID returns the member-version ID of a quarter.
+func QuarterID(year, quarter int) core.MVID {
+	return core.MVID(fmt.Sprintf("%04d-Q%d", year, quarter))
+}
+
+// YearID returns the member-version ID of a year.
+func YearID(year int) core.MVID {
+	return core.MVID(fmt.Sprintf("%04d", year))
+}
+
+// New builds a Time dimension covering [fromYear, toYear] with
+// month > quarter > year rollups.
+func New(id core.DimID, fromYear, toYear int) (*core.Dimension, error) {
+	if toYear < fromYear {
+		return nil, fmt.Errorf("timedim: year range [%d, %d] is empty", fromYear, toYear)
+	}
+	d := core.NewDimension(id, "Time")
+	always := temporal.Always
+	for y := fromYear; y <= toYear; y++ {
+		if err := d.AddVersion(&core.MemberVersion{
+			ID: YearID(y), Member: fmt.Sprintf("%d", y), Level: LevelYear, Valid: always,
+		}); err != nil {
+			return nil, err
+		}
+		for q := 1; q <= 4; q++ {
+			if err := d.AddVersion(&core.MemberVersion{
+				ID: QuarterID(y, q), Member: fmt.Sprintf("Q%d/%d", q, y), Level: LevelQuarter, Valid: always,
+			}); err != nil {
+				return nil, err
+			}
+			if err := d.AddRelationship(core.TemporalRelationship{
+				From: QuarterID(y, q), To: YearID(y), Valid: always,
+			}); err != nil {
+				return nil, err
+			}
+		}
+		for m := 1; m <= 12; m++ {
+			if err := d.AddVersion(&core.MemberVersion{
+				ID: MonthID(y, m), Member: temporal.YM(y, m).String(), Level: LevelMonth, Valid: always,
+			}); err != nil {
+				return nil, err
+			}
+			if err := d.AddRelationship(core.TemporalRelationship{
+				From: MonthID(y, m), To: QuarterID(y, (m-1)/3+1), Valid: always,
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return d, nil
+}
+
+// MonthOf maps an instant to the month-leaf ID of a calendar dimension.
+func MonthOf(t temporal.Instant) core.MVID {
+	return MonthID(t.YearOf(), t.MonthOf())
+}

@@ -1,0 +1,114 @@
+package timedim
+
+import (
+	"testing"
+
+	"mvolap/internal/core"
+	"mvolap/internal/temporal"
+)
+
+func TestNewCalendar(t *testing.T) {
+	d, err := New("Time", 2001, 2002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 2 years × (1 year + 4 quarters + 12 months) member versions.
+	if got := len(d.Versions()); got != 34 {
+		t.Errorf("versions = %d, want 34", got)
+	}
+	at := temporal.Year(2001)
+	// Months are leaves; years roots.
+	leaves := d.LeavesAt(at)
+	if len(leaves) != 24 {
+		t.Errorf("leaves = %d, want 24", len(leaves))
+	}
+	roots := d.RootsAt(at)
+	if len(roots) != 2 {
+		t.Errorf("roots = %d, want 2", len(roots))
+	}
+	// June 2001 rolls up to Q2 2001 and year 2001.
+	ps := d.ParentsAt(MonthID(2001, 6), at)
+	if len(ps) != 1 || ps[0].ID != QuarterID(2001, 2) {
+		t.Errorf("June parent = %v", ps)
+	}
+	ps = d.ParentsAt(QuarterID(2001, 2), at)
+	if len(ps) != 1 || ps[0].ID != YearID(2001) {
+		t.Errorf("Q2 parent = %v", ps)
+	}
+	// A calendar dimension is structurally constant.
+	if got := len(d.ElementaryIntervals()); got != 1 {
+		t.Errorf("elementary intervals = %d, want 1", got)
+	}
+	if _, err := New("T", 2002, 2001); err == nil {
+		t.Error("empty year range must fail")
+	}
+}
+
+func TestMonthOf(t *testing.T) {
+	if MonthOf(temporal.YM(2001, 6)) != MonthID(2001, 6) {
+		t.Error("MonthOf wrong")
+	}
+}
+
+// TestTwoDimensionalSchema exercises a schema with an explicit Time
+// dimension alongside the Org dimension: facts keyed by (dept, month).
+func TestTwoDimensionalSchema(t *testing.T) {
+	s := core.NewSchema("2d", core.Measure{Name: "v", Agg: core.Sum})
+	org := core.NewDimension("Org", "Org")
+	always := temporal.Always
+	for _, mv := range []*core.MemberVersion{
+		{ID: "sales", Name: "Sales", Level: "Division", Valid: always},
+		{ID: "d1", Name: "D1", Level: "Department", Valid: always},
+		{ID: "d2", Name: "D2", Level: "Department", Valid: always},
+	} {
+		if err := org.AddVersion(mv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range []core.TemporalRelationship{
+		{From: "d1", To: "sales", Valid: always},
+		{From: "d2", To: "sales", Valid: always},
+	} {
+		if err := org.AddRelationship(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AddDimension(org); err != nil {
+		t.Fatal(err)
+	}
+	td, err := New("Time", 2001, 2001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddDimension(td); err != nil {
+		t.Fatal(err)
+	}
+	for m := 1; m <= 12; m++ {
+		at := temporal.YM(2001, m)
+		s.MustInsertFact(core.Coords{"d1", MonthOf(at)}, at, 1)
+		s.MustInsertFact(core.Coords{"d2", MonthOf(at)}, at, 2)
+	}
+	// Group by division and calendar quarter via the Time dimension.
+	res, err := s.Execute(core.Query{
+		GroupBy: []core.GroupBy{
+			{Dim: "Org", Level: "Division"},
+			{Dim: "Time", Level: LevelQuarter},
+		},
+		Grain: core.GrainAll,
+		Mode:  core.TCM(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 quarters", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Values[0] != 9 { // (1+2) × 3 months
+			t.Errorf("%v = %v, want 9", r.Groups, r.Values[0])
+		}
+	}
+}

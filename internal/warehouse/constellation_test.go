@@ -1,0 +1,177 @@
+package warehouse
+
+import (
+	"strings"
+	"testing"
+
+	"mvolap/internal/casestudy"
+	"mvolap/internal/core"
+	"mvolap/internal/temporal"
+)
+
+// budgetStar builds a second star over the same Org dimension: a Budget
+// fact table sharing the conformed dimension.
+func budgetStar(t testing.TB) *core.Schema {
+	t.Helper()
+	base := caseSchema(t) // for the conformed dimension shape
+	s := core.NewSchema("budget", core.Measure{Name: "Budget", Agg: core.Sum})
+	d := core.NewDimension(casestudy.OrgDim, "Org")
+	for _, mv := range base.Dimension(casestudy.OrgDim).Versions() {
+		if err := d.AddVersion(mv.Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range base.Dimension(casestudy.OrgDim).Relationships() {
+		if err := d.AddRelationship(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AddDimension(d); err != nil {
+		t.Fatal(err)
+	}
+	type row struct {
+		id  core.MVID
+		yr  int
+		amt float64
+	}
+	for _, r := range []row{
+		{casestudy.Jones, 2001, 90}, {casestudy.Smith, 2001, 60}, {casestudy.Brian, 2001, 110},
+		{casestudy.Smith, 2002, 95}, {casestudy.Brian, 2002, 45},
+	} {
+		if err := s.InsertFact(core.Coords{r.id}, temporal.Year(r.yr), r.amt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestConstellationConformance(t *testing.T) {
+	c := NewConstellation("galaxy")
+	sales := caseSchema(t)
+	if err := c.AddStar(sales); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddStar(budgetStar(t)); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Stars()) != 2 || c.Star("budget") == nil || c.Star("zz") != nil {
+		t.Error("star registry wrong")
+	}
+	// Duplicate names rejected.
+	if err := c.AddStar(caseSchema(t)); err == nil {
+		t.Error("duplicate star name must fail")
+	}
+	// A non-conformed dimension (one version truncated) is rejected.
+	bad := budgetStar(t)
+	bad.Name = "bad-budget"
+	if err := bad.Dimension(casestudy.OrgDim).SetEnd(casestudy.Brian, temporal.YM(2002, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddStar(bad); err == nil {
+		t.Error("non-conformed dimension must be rejected")
+	}
+	// Missing member version.
+	bad2 := core.NewSchema("bad2", core.Measure{Name: "x", Agg: core.Sum})
+	d2 := core.NewDimension(casestudy.OrgDim, "Org")
+	if err := d2.AddVersion(&core.MemberVersion{ID: "only", Valid: temporal.Always}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bad2.AddDimension(d2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddStar(bad2); err == nil {
+		t.Error("differently-sized dimension must be rejected")
+	}
+}
+
+func TestDrillAcross(t *testing.T) {
+	c := NewConstellation("galaxy")
+	if err := c.AddStar(caseSchema(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddStar(budgetStar(t)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.DrillAcross(core.Query{
+		GroupBy: []core.GroupBy{{Dim: casestudy.OrgDim, Level: "Division"}},
+		Grain:   core.GrainYear,
+		Range:   temporal.Between(temporal.Year(2001), temporal.EndOfYear(2002)),
+	}, func(*core.Schema) core.Mode { return core.TCM() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(res.Columns, ",") != "institution.Amount,budget.Budget" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	byKey := map[string][]*float64{}
+	for _, r := range res.Rows {
+		byKey[r.TimeKey+"/"+r.Groups[0]] = r.Values
+	}
+	// 2001 Sales: Amount 150 (Table 4), Budget 90+60 = 150.
+	v := byKey["2001/Sales"]
+	if v[0] == nil || *v[0] != 150 || v[1] == nil || *v[1] != 150 {
+		t.Errorf("2001 Sales = %v", v)
+	}
+	// 2002 Sales: Amount 100; budget has no Sales facts in 2002 (Smith
+	// moved, Jones unbudgeted) → nil cell.
+	v = byKey["2002/Sales"]
+	if v[0] == nil || *v[0] != 100 {
+		t.Errorf("2002 Sales amount = %v", v[0])
+	}
+	if v[1] != nil {
+		t.Errorf("2002 Sales budget must be missing, got %v", *v[1])
+	}
+	// 2002 R&D: Amount 150, Budget 95+45 = 140.
+	v = byKey["2002/R&D"]
+	if v[1] == nil || *v[1] != 140 {
+		t.Errorf("2002 R&D budget = %v", v[1])
+	}
+}
+
+// TestDrillAcrossVersionMode drills across with each star presented in
+// its own structure version containing 2002.
+func TestDrillAcrossVersionMode(t *testing.T) {
+	c := NewConstellation("galaxy")
+	if err := c.AddStar(caseSchema(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddStar(budgetStar(t)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.DrillAcross(core.Query{
+		GroupBy: []core.GroupBy{{Dim: casestudy.OrgDim, Level: "Department"}},
+		Grain:   core.GrainYear,
+		Range:   temporal.Between(temporal.Year(2002), temporal.EndOfYear(2003)),
+	}, func(s *core.Schema) core.Mode {
+		return core.InVersion(s.VersionAt(temporal.Year(2002)))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "V2" {
+		t.Errorf("mode = %s", res.Mode)
+	}
+	// The sales star still shows the Table 9 merge.
+	for _, r := range res.Rows {
+		if r.TimeKey == "2003" && r.Groups[0] == "Dpt.Jones" {
+			if r.Values[0] == nil || *r.Values[0] != 200 || r.CFs[0] != core.ExactMapping {
+				t.Errorf("drill-across Table 9 cell = %+v", r)
+			}
+		}
+	}
+}
+
+func TestDrillAcrossErrors(t *testing.T) {
+	c := NewConstellation("empty")
+	if _, err := c.DrillAcross(core.Query{}, func(*core.Schema) core.Mode { return core.TCM() }); err == nil {
+		t.Error("empty constellation must fail")
+	}
+	if err := c.AddStar(caseSchema(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DrillAcross(core.Query{
+		GroupBy: []core.GroupBy{{Dim: "zz", Level: "x"}},
+	}, func(*core.Schema) core.Mode { return core.TCM() }); err == nil {
+		t.Error("bad query must fail")
+	}
+}

@@ -1,0 +1,108 @@
+package warehouse
+
+import (
+	"fmt"
+
+	"mvolap/internal/core"
+	"mvolap/internal/temporal"
+)
+
+// This file implements the optional data-mart tier of Figure 1: "a data
+// mart handles data sourced from the data warehouse, reduced for a
+// selected subject", isolating data of interest for a smaller scope.
+
+// MartSpec selects the subject of a data mart: a time window and, per
+// dimension, the members (by display name, including ancestors) whose
+// facts to keep. Dimensions without an entry keep everything.
+type MartSpec struct {
+	// Name names the resulting mart schema.
+	Name string
+	// Window restricts fact instants; the zero interval keeps all time.
+	Window temporal.Interval
+	// Members keeps only facts whose coordinate in the dimension lies
+	// under one of the named members (evaluated against the structure
+	// valid at each fact's instant).
+	Members map[core.DimID][]string
+}
+
+// ExtractMart builds a data mart from the warehouse schema: the full
+// dimension structures, mapping relationships and measures are carried
+// over (structure is metadata and stays intact), while the fact table
+// is reduced to the selected subject. The mart is an independent
+// core.Schema: subsequent evolution of the warehouse does not affect it.
+func ExtractMart(s *core.Schema, spec MartSpec) (*core.Schema, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("warehouse: mart needs a name")
+	}
+	window := spec.Window
+	if window == (temporal.Interval{}) {
+		window = temporal.Always
+	}
+	nameSets := make(map[core.DimID]map[string]bool, len(spec.Members))
+	for dim, names := range spec.Members {
+		if s.Dimension(dim) == nil {
+			return nil, fmt.Errorf("warehouse: mart filters unknown dimension %q", dim)
+		}
+		set := make(map[string]bool, len(names))
+		for _, n := range names {
+			set[n] = true
+		}
+		nameSets[dim] = set
+	}
+
+	mart := core.NewSchema(spec.Name, s.Measures()...)
+	mart.SetConfidenceAlgebra(s.ConfidenceAlgebra())
+	// Deep-copy dimensions: member versions are cloned; relationships
+	// are value types.
+	for _, d := range s.Dimensions() {
+		nd := core.NewDimension(d.ID, d.Name)
+		for _, mv := range d.Versions() {
+			if err := nd.AddVersion(mv.Clone()); err != nil {
+				return nil, fmt.Errorf("warehouse: mart dimension copy: %w", err)
+			}
+		}
+		for _, r := range d.Relationships() {
+			if err := nd.AddRelationship(r); err != nil {
+				return nil, fmt.Errorf("warehouse: mart relationship copy: %w", err)
+			}
+		}
+		if err := mart.AddDimension(nd); err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range s.Mappings() {
+		if err := mart.AddMapping(m); err != nil {
+			return nil, err
+		}
+	}
+
+	dims := s.Dimensions()
+	kept := 0
+	for _, f := range s.Facts().Facts() {
+		if !window.Contains(f.Time) {
+			continue
+		}
+		keep := true
+		for i, d := range dims {
+			set, filtered := nameSets[d.ID]
+			if !filtered {
+				continue
+			}
+			if !d.HasAncestorNamedAt(f.Coords[i], set, f.Time) {
+				keep = false
+				break
+			}
+		}
+		if !keep {
+			continue
+		}
+		if err := mart.InsertFact(f.Coords.Clone(), f.Time, f.Values...); err != nil {
+			return nil, fmt.Errorf("warehouse: mart fact copy: %w", err)
+		}
+		kept++
+	}
+	if kept == 0 {
+		return nil, fmt.Errorf("warehouse: mart %q selects no facts", spec.Name)
+	}
+	return mart, nil
+}

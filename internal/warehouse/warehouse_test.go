@@ -1,0 +1,349 @@
+package warehouse
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"mvolap/internal/casestudy"
+	"mvolap/internal/core"
+	"mvolap/internal/evolution"
+	"mvolap/internal/temporal"
+	"mvolap/internal/workload"
+)
+
+func caseSchema(t testing.TB) *core.Schema {
+	t.Helper()
+	s, err := casestudy.New(casestudy.Config{WithFacts: true, WithSplitMappings: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBuildTemporalDW(t *testing.T) {
+	s := caseSchema(t)
+	log := []evolution.LogEntry{
+		{Seq: 1, Description: "Exclude(Org, Dpt.Jones_id, 01/2003)", Touched: []core.MVID{casestudy.Jones}},
+		{Seq: 2, Description: "Insert(Org, Dpt.Bill_id, ...)", Touched: []core.MVID{casestudy.Bill}},
+	}
+	dw, err := BuildTemporal(s, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dw.Schema() != s {
+		t.Error("Schema accessor wrong")
+	}
+	// Fact rows loaded.
+	rel, err := dw.Query("SELECT COUNT(*) AS n FROM fact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Rows[0][0] != int64(10) {
+		t.Errorf("fact rows = %v, want 10 (Table 3)", rel.Rows[0][0])
+	}
+	// The consistent-time Q1 of Table 4, straight in SQL over the
+	// parent-child dimension: join facts to the link valid at the fact
+	// instant. (Here we check 2001 Sales = 150 via two-step filtering.)
+	rel, err = dw.Query(
+		"SELECT SUM(Amount) AS total FROM fact JOIN dim_Org_pc ON fact.d_Org = dim_Org_pc.mv_id " +
+			"WHERE parent_id = 'Sales_id' AND t = 24012 AND valid_from <= 24012 AND valid_to >= 24012")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Rows[0][0] != 150.0 {
+		t.Errorf("2001 Sales total = %v, want 150", rel.Rows[0][0])
+	}
+	// Mapping metadata is the Table 12 layout.
+	rel, err = dw.Query("SELECT from_name, to_name, k_Amount, kinv_Amount, confidence, confidence_inv " +
+		"FROM meta_mappings ORDER BY to_name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Rows) != 2 {
+		t.Fatalf("mapping rows = %d", len(rel.Rows))
+	}
+	if rel.Rows[0][0] != "Dpt.Jones" || rel.Rows[0][1] != "Dpt.Bill" ||
+		rel.Rows[0][2] != "0.4" || rel.Rows[0][3] != "1" ||
+		rel.Rows[0][4] != int64(1) || rel.Rows[0][5] != int64(2) {
+		t.Errorf("Table 12 row = %v", rel.Rows[0])
+	}
+	// Member-version metadata.
+	rel, err = dw.Query("SELECT COUNT(*) AS n FROM meta_versions WHERE is_leaf = TRUE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Rows[0][0] != int64(5) {
+		t.Errorf("leaf versions = %v, want 5", rel.Rows[0][0])
+	}
+	// Member history from the evolution log.
+	hist, err := dw.MemberHistory(casestudy.Jones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 1 || hist[0] != "Exclude(Org, Dpt.Jones_id, 01/2003)" {
+		t.Errorf("history = %v", hist)
+	}
+}
+
+func TestInstantEncodingInTest(t *testing.T) {
+	// Guard for the literal 24012 used above: January 2001.
+	if int64(temporal.Year(2001)) != 24012 {
+		t.Fatalf("Year(2001) = %d; fix the SQL literals in these tests", int64(temporal.Year(2001)))
+	}
+}
+
+func TestBuildMultiVersionFull(t *testing.T) {
+	s := caseSchema(t)
+	dw, err := BuildMultiVersion(s, Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TMP dimension has tcm + V1..V3.
+	rel, err := dw.Query("SELECT COUNT(*) AS n FROM tmp_modes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Rows[0][0] != int64(4) {
+		t.Errorf("tmp members = %v", rel.Rows[0][0])
+	}
+	// Stats: all logical rows stored.
+	if dw.Stats.StoredRows != dw.Stats.LogicalRows {
+		t.Errorf("full policy stored %d of %d", dw.Stats.StoredRows, dw.Stats.LogicalRows)
+	}
+	if dw.Stats.SourceRows != 10 {
+		t.Errorf("source rows = %d", dw.Stats.SourceRows)
+	}
+	if dw.Stats.Redundancy() <= 1 {
+		t.Errorf("redundancy = %v, must exceed 1", dw.Stats.Redundancy())
+	}
+	// Table 9's merged cell, via SQL: Jones 2003 in V2 = 200 with cf em
+	// (code 2).
+	rel, err = dw.Query("SELECT Amount, cf_Amount FROM mvfact " +
+		"WHERE tmp = 'V2' AND d_Org = 'Dpt.Jones_id' AND t = 24036")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Rows) != 1 || rel.Rows[0][0] != 200.0 || rel.Rows[0][1] != int64(2) {
+		t.Errorf("V2 Jones@2003 = %v", rel.Rows)
+	}
+	// FactRows under Full passes stored rows through.
+	rows, err := dw.FactRows("V2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 rows for 2001-2002 plus 3 for 2003 (Bill and Paul merge into
+	// a single Jones tuple).
+	if len(rows.Rows) != 9 {
+		t.Errorf("V2 rows = %d, want 9", len(rows.Rows))
+	}
+}
+
+func TestBuildMultiVersionDelta(t *testing.T) {
+	s := caseSchema(t)
+	full, err := BuildMultiVersion(s, Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := BuildMultiVersion(s, Delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Stats.StoredRows >= full.Stats.StoredRows {
+		t.Errorf("delta stored %d, full stored %d", delta.Stats.StoredRows, full.Stats.StoredRows)
+	}
+	if delta.Stats.Saving() <= 0 {
+		t.Errorf("delta saving = %v", delta.Stats.Saving())
+	}
+	// Reconstruction must reproduce the full view for every mode.
+	for _, mode := range []string{"tcm", "V1", "V2", "V3"} {
+		fr, err := full.FactRows(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dr, err := delta.FactRows(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fr.Rows) != len(dr.Rows) {
+			t.Errorf("mode %s: full %d rows, delta %d rows", mode, len(fr.Rows), len(dr.Rows))
+			continue
+		}
+		key := func(row []any) string {
+			k := ""
+			for _, v := range row {
+				k += "|"
+				if f, ok := v.(float64); ok && math.IsNaN(f) {
+					k += "NaN"
+					continue
+				}
+				k += toS(v)
+			}
+			return k
+		}
+		seen := map[string]int{}
+		for _, r := range fr.Rows {
+			seen[key(r)]++
+		}
+		for _, r := range dr.Rows {
+			seen[key(r)]--
+		}
+		for k, n := range seen {
+			if n != 0 {
+				t.Errorf("mode %s: row multiset differs at %s (%+d)", mode, k, n)
+			}
+		}
+	}
+	if _, err := delta.FactRows("V9"); err == nil {
+		t.Error("unknown mode must fail")
+	}
+}
+
+func toS(v any) string { return fmt.Sprint(v) }
+
+func TestPolicyString(t *testing.T) {
+	if Full.String() != "full" || Delta.String() != "delta" {
+		t.Error("policy names wrong")
+	}
+	if StoragePolicy(9).String() == "" {
+		t.Error("out-of-range policy String")
+	}
+}
+
+func TestRedundancyStatsEdges(t *testing.T) {
+	var r RedundancyStats
+	if r.Redundancy() != 0 || r.Saving() != 0 {
+		t.Error("zero stats must be zero")
+	}
+	r = RedundancyStats{SourceRows: 10, LogicalRows: 40, StoredRows: 15}
+	if r.Redundancy() != 4 {
+		t.Errorf("redundancy = %v", r.Redundancy())
+	}
+	if math.Abs(r.Saving()-0.625) > 1e-12 {
+		t.Errorf("saving = %v", r.Saving())
+	}
+}
+
+// TestDeltaReconstructionProperty: on random evolving workloads the
+// delta-stored warehouse reconstructs exactly the same rows per mode as
+// full duplication.
+func TestDeltaReconstructionProperty(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		w := workload.MustGenerate(workload.Config{
+			Seed: seed, Departments: 8, Years: 4, EvolutionsPerYear: 2,
+		})
+		s := w.Schema
+		full, err := BuildMultiVersion(s, Full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delta, err := BuildMultiVersion(s, Delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range s.Modes() {
+			fr, err := full.FactRows(mode.String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			dr, err := delta.FactRows(mode.String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			multiset := map[string]int{}
+			for _, r := range fr.Rows {
+				multiset[rowKey(r)]++
+			}
+			for _, r := range dr.Rows {
+				multiset[rowKey(r)]--
+			}
+			for k, n := range multiset {
+				if n != 0 {
+					t.Fatalf("seed %d mode %s: row multiset differs at %s (%+d)", seed, mode, k, n)
+				}
+			}
+		}
+	}
+}
+
+func rowKey(row []any) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		if f, ok := v.(float64); ok && math.IsNaN(f) {
+			parts[i] = "NaN"
+			continue
+		}
+		parts[i] = fmt.Sprint(v)
+	}
+	return strings.Join(parts, "|")
+}
+
+// TestTable9PureSQL reproduces Table 9 with nothing but SQL over the
+// logical MultiVersion DW — validating the §4.1 claim that the model
+// runs on plain relational OLAP servers once TMP is a flat dimension
+// and confidence factors are measures.
+func TestTable9PureSQL(t *testing.T) {
+	s := caseSchema(t)
+	dw, err := BuildMultiVersion(s, Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	year := func(y int) (lo, hi int64) {
+		return int64(temporal.Year(y)), int64(temporal.EndOfYear(y))
+	}
+	query := func(y int) map[string][2]float64 {
+		lo, hi := year(y)
+		rel, err := dw.Query(fmt.Sprintf(
+			"SELECT name, SUM(Amount) AS total, MAX(cf_Amount) AS cf "+
+				"FROM mvfact JOIN dim_Org_star ON mvfact.d_Org = dim_Org_star.mv_id "+
+				"WHERE tmp = 'V2' AND sv = 'V2' AND t >= %d AND t <= %d "+
+				"GROUP BY name ORDER BY name", lo, hi))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string][2]float64{}
+		for _, row := range rel.Rows {
+			out[row[0].(string)] = [2]float64{row[1].(float64), float64(row[2].(float64))}
+		}
+		return out
+	}
+	// 2002: all source data (prototype code 3).
+	got := query(2002)
+	for name, want := range map[string]float64{"Dpt.Jones": 100, "Dpt.Smith": 100, "Dpt.Brian": 50} {
+		if got[name][0] != want {
+			t.Errorf("2002 %s = %v, want %v", name, got[name][0], want)
+		}
+		if got[name][1] != 3 {
+			t.Errorf("2002 %s cf code = %v, want 3 (sd)", name, got[name][1])
+		}
+	}
+	// 2003: the merged Jones row with exact-mapping code 2.
+	got = query(2003)
+	if got["Dpt.Jones"][0] != 200 || got["Dpt.Jones"][1] != 2 {
+		t.Errorf("2003 Jones = %v, want 200 with cf code 2 (em)", got["Dpt.Jones"])
+	}
+	if got["Dpt.Smith"][0] != 110 || got["Dpt.Brian"][0] != 40 {
+		t.Errorf("2003 rows = %v", got)
+	}
+	// Rollup to divisions via the star ancestors, 2003 in V2: Sales =
+	// Jones 200.
+	lo, hi := year(2003)
+	rel, err := dw.Query(fmt.Sprintf(
+		"SELECT anc_Division, SUM(Amount) AS total "+
+			"FROM mvfact JOIN dim_Org_star ON mvfact.d_Org = dim_Org_star.mv_id "+
+			"WHERE tmp = 'V2' AND sv = 'V2' AND t >= %d AND t <= %d "+
+			"GROUP BY anc_Division ORDER BY anc_Division", lo, hi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Rows) != 2 {
+		t.Fatalf("division rollup:\n%s", rel)
+	}
+	if rel.Rows[0][0] != "R&D" || rel.Rows[0][1] != 150.0 {
+		t.Errorf("R&D 2003 in V2 = %v", rel.Rows[0])
+	}
+	if rel.Rows[1][0] != "Sales" || rel.Rows[1][1] != 200.0 {
+		t.Errorf("Sales 2003 in V2 = %v", rel.Rows[1])
+	}
+}

@@ -1,0 +1,252 @@
+// Package workload generates synthetic evolving multidimensional
+// schemas. The paper evaluates its model on a case study and reports no
+// absolute performance numbers; these generators produce organizations
+// of parameterized size whose dimensions evolve at a parameterized rate
+// (creations, deletions, reclassifications, merges, splits), so the
+// benchmarks can measure how the costs the paper discusses
+// qualitatively — structure-version inference, multiversion fact table
+// materialization, duplication overhead — scale with size and change
+// rate.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mvolap/internal/core"
+	"mvolap/internal/evolution"
+	"mvolap/internal/temporal"
+)
+
+// Config parameterizes a synthetic organization.
+type Config struct {
+	// Seed makes the workload reproducible.
+	Seed int64
+	// Divisions and Departments size the initial organization.
+	Divisions   int
+	Departments int
+	// Years of history; evolutions happen at each year boundary.
+	Years int
+	// EvolutionsPerYear is how many evolution events fire per boundary.
+	EvolutionsPerYear int
+	// FactsPerYear is how many facts are recorded per active
+	// department per year.
+	FactsPerYear int
+	// Measures is the measure count.
+	Measures int
+}
+
+// Default fills unset fields with a small but non-trivial workload.
+func (c Config) withDefaults() Config {
+	if c.Divisions == 0 {
+		c.Divisions = 3
+	}
+	if c.Departments == 0 {
+		c.Departments = 12
+	}
+	if c.Years == 0 {
+		c.Years = 4
+	}
+	if c.EvolutionsPerYear == 0 {
+		c.EvolutionsPerYear = 2
+	}
+	if c.FactsPerYear == 0 {
+		c.FactsPerYear = 1
+	}
+	if c.Measures == 0 {
+		c.Measures = 1
+	}
+	return c
+}
+
+// Workload is a generated schema with its evolution history.
+type Workload struct {
+	Schema  *core.Schema
+	Applier *evolution.Applier
+	Config  Config
+	// Events counts evolution events by kind.
+	Events map[string]int
+}
+
+// OrgDim is the generated dimension's ID.
+const OrgDim core.DimID = "Org"
+
+// StartYear is the first year of generated history.
+const StartYear = 2000
+
+// Generate builds the synthetic organization: an initial structure at
+// StartYear, EvolutionsPerYear random events at each year boundary
+// (reclassify, split, merge, create, delete — weighted toward the
+// cheap ones, like real organizations), and FactsPerYear facts per
+// active department per year.
+func Generate(cfg Config) (*Workload, error) {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	measures := make([]core.Measure, cfg.Measures)
+	for i := range measures {
+		measures[i] = core.Measure{Name: fmt.Sprintf("m%d", i), Agg: core.Sum}
+	}
+	s := core.NewSchema("synthetic", measures...)
+	d := core.NewDimension(OrgDim, "Org")
+
+	start := temporal.Year(StartYear)
+	divisions := make([]core.MVID, cfg.Divisions)
+	for i := range divisions {
+		id := core.MVID(fmt.Sprintf("div-%d", i))
+		divisions[i] = id
+		if err := d.AddVersion(&core.MemberVersion{
+			ID: id, Member: string(id), Level: "Division", Valid: temporal.Since(start),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.AddDimension(d); err != nil {
+		return nil, err
+	}
+
+	w := &Workload{Schema: s, Applier: evolution.NewApplier(s), Config: cfg, Events: map[string]int{}}
+	active := make([]core.MVID, 0, cfg.Departments)
+	nextID := 0
+	newDept := func(at temporal.Instant, parent core.MVID) (core.MVID, error) {
+		id := core.MVID(fmt.Sprintf("dept-%d", nextID))
+		nextID++
+		err := w.Applier.Apply(evolution.CreateMember(OrgDim, evolution.NewMember{
+			ID: id, Name: string(id), Level: "Department", Parents: []core.MVID{parent},
+		}, at)...)
+		return id, err
+	}
+	for i := 0; i < cfg.Departments; i++ {
+		id, err := newDept(start, divisions[r.Intn(len(divisions))])
+		if err != nil {
+			return nil, err
+		}
+		active = append(active, id)
+	}
+
+	removeActive := func(id core.MVID) {
+		for i, a := range active {
+			if a == id {
+				active = append(active[:i], active[i+1:]...)
+				return
+			}
+		}
+	}
+	parentOf := func(id core.MVID, at temporal.Instant) core.MVID {
+		ps := d.ParentsAt(id, at)
+		if len(ps) == 0 {
+			return divisions[0]
+		}
+		return ps[0].ID
+	}
+
+	for yr := 1; yr < cfg.Years; yr++ {
+		at := temporal.Year(StartYear + yr)
+		before := at.Prev()
+		for e := 0; e < cfg.EvolutionsPerYear; e++ {
+			if len(active) == 0 {
+				break
+			}
+			pick := active[r.Intn(len(active))]
+			if mv := d.Version(pick); mv == nil || !mv.ValidAt(before) {
+				continue // created at this same boundary; not evolvable yet
+			}
+			var err error
+			switch ev := r.Intn(10); {
+			case ev < 4: // reclassify
+				oldP := parentOf(pick, before)
+				newP := divisions[r.Intn(len(divisions))]
+				if newP == oldP {
+					continue
+				}
+				err = w.Applier.Apply(evolution.ReclassifyMember(OrgDim, pick, at,
+					[]core.MVID{oldP}, []core.MVID{newP})...)
+				w.Events["reclassify"]++
+			case ev < 6: // split in two
+				p := parentOf(pick, before)
+				frac := 0.2 + 0.6*r.Float64()
+				mk := func(weight float64) evolution.SplitTarget {
+					id := core.MVID(fmt.Sprintf("dept-%d", nextID))
+					nextID++
+					active = append(active, id)
+					return evolution.SplitTarget{
+						Member:   evolution.NewMember{ID: id, Name: string(id), Level: "Department", Parents: []core.MVID{p}},
+						Forward:  core.UniformMapping(cfg.Measures, core.Linear{K: weight}, core.ApproxMapping),
+						Backward: core.UniformMapping(cfg.Measures, core.Identity, core.ExactMapping),
+					}
+				}
+				err = w.Applier.Apply(evolution.Split(OrgDim, pick,
+					[]evolution.SplitTarget{mk(frac), mk(1 - frac)}, at)...)
+				removeActive(pick)
+				w.Events["split"]++
+			case ev < 8 && len(active) >= 2: // merge two
+				other := active[r.Intn(len(active))]
+				if other == pick {
+					continue
+				}
+				if mv := d.Version(other); mv == nil || !mv.ValidAt(before) {
+					continue
+				}
+				p := parentOf(pick, before)
+				id := core.MVID(fmt.Sprintf("dept-%d", nextID))
+				nextID++
+				err = w.Applier.Apply(evolution.Merge(OrgDim, []evolution.MergeSource{
+					{ID: pick,
+						Forward:  core.UniformMapping(cfg.Measures, core.Identity, core.ExactMapping),
+						Backward: core.UniformMapping(cfg.Measures, core.Linear{K: 0.5}, core.ApproxMapping)},
+					{ID: other,
+						Forward:  core.UniformMapping(cfg.Measures, core.Identity, core.ExactMapping),
+						Backward: core.UniformMapping(cfg.Measures, core.Linear{K: 0.5}, core.ApproxMapping)},
+				}, evolution.NewMember{ID: id, Name: string(id), Level: "Department", Parents: []core.MVID{p}}, at)...)
+				removeActive(pick)
+				removeActive(other)
+				active = append(active, id)
+				w.Events["merge"]++
+			case ev < 9: // create
+				var id core.MVID
+				id, err = newDept(at, divisions[r.Intn(len(divisions))])
+				active = append(active, id)
+				w.Events["create"]++
+			default: // delete
+				if len(active) < 3 {
+					continue
+				}
+				err = w.Applier.Apply(evolution.DeleteMember(OrgDim, pick, at)...)
+				removeActive(pick)
+				w.Events["delete"]++
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Facts: per year, per department active that year.
+	for yr := 0; yr < cfg.Years; yr++ {
+		at := temporal.Year(StartYear + yr)
+		for _, mv := range d.LeavesAt(at) {
+			for f := 0; f < cfg.FactsPerYear; f++ {
+				t := at + temporal.Instant(f%12)
+				if !mv.ValidAt(t) {
+					continue
+				}
+				values := make([]float64, cfg.Measures)
+				for k := range values {
+					values[k] = float64(10 + r.Intn(200))
+				}
+				if err := s.InsertFact(core.Coords{mv.ID}, t, values...); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return w, nil
+}
+
+// MustGenerate is Generate panicking on error, for benchmarks.
+func MustGenerate(cfg Config) *Workload {
+	w, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

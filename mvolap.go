@@ -1,0 +1,167 @@
+// Package mvolap is a multiversion temporal OLAP engine: a full
+// implementation of the temporal multidimensional model of Body,
+// Miquel, Bédard & Tchounikine, "Handling Evolutions in
+// Multidimensional Structures" (IEEE ICDE 2003).
+//
+// Analysis structures evolve: departments merge, split, move; members
+// appear and disappear. Classical OLAP either overwrites the structure
+// (losing history) or versions it without links (losing comparability).
+// This engine tracks every member version and hierarchy link with valid
+// time, keeps mapping relationships with confidence factors across
+// transitions, infers the structure versions of history, and answers
+// every query in the Temporal Mode of Presentation the user chooses:
+// temporally consistent, or mapped into any structure version — with
+// each value carrying a confidence factor (source, exact, approximate,
+// unknown) and each result a global quality factor.
+//
+// The package is a façade over the internal engine:
+//
+//   - building schemas, dimensions and facts (package internal/core);
+//   - evolution operators Insert/Exclude/Associate/Reclassify plus
+//     compiled operations — merge, split, reclassification, partial
+//     annexation (internal/evolution);
+//   - the TQL query language (internal/tql);
+//   - cubes with roll-up/drill-down/slice/dice/pivot (internal/cube);
+//   - quality factors and mode ranking (internal/quality);
+//   - the temporal and multiversion warehouses (internal/warehouse);
+//   - ETL snapshot diffing (internal/etl).
+//
+// Quickstart:
+//
+//	s := mvolap.NewSchema("institution", mvolap.Measure{Name: "Amount", Agg: mvolap.Sum})
+//	org := mvolap.NewDimension("Org", "Org")
+//	// ... add member versions and temporal relationships ...
+//	s.AddDimension(org)
+//	s.InsertFact(mvolap.Coords{"Dpt.Smith"}, mvolap.YM(2001, 1), 50)
+//	out, err := mvolap.Run(s, `SELECT Amount BY Org.Division, TIME.YEAR MODE VERSION AT 2002`)
+package mvolap
+
+import (
+	"mvolap/internal/core"
+	"mvolap/internal/cube"
+	"mvolap/internal/quality"
+	"mvolap/internal/temporal"
+	"mvolap/internal/tql"
+)
+
+// Core model types, re-exported.
+type (
+	// Schema is a Temporal Multidimensional Schema (Definition 8).
+	Schema = core.Schema
+	// Dimension is a Temporal Dimension (Definition 3).
+	Dimension = core.Dimension
+	// MemberVersion is a time-sliced member state (Definition 1).
+	MemberVersion = core.MemberVersion
+	// TemporalRelationship is a hierarchy link with valid time (Definition 2).
+	TemporalRelationship = core.TemporalRelationship
+	// MappingRelationship links member versions across a transition (Definition 7).
+	MappingRelationship = core.MappingRelationship
+	// MeasureMapping is a mapping function with a confidence factor.
+	MeasureMapping = core.MeasureMapping
+	// Measure is a named measure with its aggregate.
+	Measure = core.Measure
+	// Coords addresses a fact cell.
+	Coords = core.Coords
+	// Query is a mode-aware multidimensional query.
+	Query = core.Query
+	// Result is a query result with confidence factors.
+	Result = core.Result
+	// Mode is a Temporal Mode of Presentation (Definition 10).
+	Mode = core.Mode
+	// StructureVersion is a maximal unchanged structure (Definition 9).
+	StructureVersion = core.StructureVersion
+	// Confidence is a confidence factor (Definition 6).
+	Confidence = core.Confidence
+	// MVID identifies a member version.
+	MVID = core.MVID
+	// DimID identifies a dimension.
+	DimID = core.DimID
+	// GroupBy names a grouping axis.
+	GroupBy = core.GroupBy
+	// Instant is a point on the discrete (month) time axis.
+	Instant = temporal.Instant
+	// Interval is a closed valid-time interval.
+	Interval = temporal.Interval
+)
+
+// Aggregate kinds.
+const (
+	Sum   = core.Sum
+	Count = core.Count
+	Min   = core.Min
+	Max   = core.Max
+	Avg   = core.Avg
+)
+
+// Confidence factors (Example 5 of the paper).
+const (
+	SourceData     = core.SourceData
+	ExactMapping   = core.ExactMapping
+	ApproxMapping  = core.ApproxMapping
+	UnknownMapping = core.UnknownMapping
+)
+
+// Time grains.
+const (
+	GrainAll     = core.GrainAll
+	GrainYear    = core.GrainYear
+	GrainQuarter = core.GrainQuarter
+	GrainMonth   = core.GrainMonth
+)
+
+// Identity is the identity mapping function x→x.
+var Identity = core.Identity
+
+// NewSchema creates a schema with the given measures.
+func NewSchema(name string, measures ...Measure) *Schema { return core.NewSchema(name, measures...) }
+
+// NewDimension creates an empty temporal dimension.
+func NewDimension(id DimID, name string) *Dimension { return core.NewDimension(id, name) }
+
+// Linear returns the linear mapping function f(x) = k·x of the paper's
+// prototype.
+func Linear(k float64) core.Mapper { return core.Linear{K: k} }
+
+// Unknown returns the unknown mapping function ("-" in Table 11).
+func Unknown() core.Mapper { return core.Unknown{} }
+
+// YM returns the instant for a year and month.
+func YM(year, month int) Instant { return temporal.YM(year, month) }
+
+// Year returns the instant for January of a year.
+func Year(year int) Instant { return temporal.Year(year) }
+
+// Now is the open end of a still-valid interval.
+const Now = temporal.Now
+
+// Between returns the closed interval [start, end].
+func Between(start, end Instant) Interval { return temporal.Between(start, end) }
+
+// Since returns the interval [start, Now].
+func Since(start Instant) Interval { return temporal.Since(start) }
+
+// TCM returns the temporally consistent mode of presentation.
+func TCM() Mode { return core.TCM() }
+
+// InVersion returns the mode presenting data mapped into the structure
+// version.
+func InVersion(v *StructureVersion) Mode { return core.InVersion(v) }
+
+// Run parses and executes a TQL statement against the schema. See
+// package internal/tql for the grammar; the paper's Q2 on the 2003
+// organization reads:
+//
+//	SELECT Amount BY Org.Department, TIME.YEAR WHERE TIME BETWEEN 2002 AND 2003 MODE VERSION AT 2003
+func Run(s *Schema, statement string) (*tql.Output, error) { return tql.Run(s, statement) }
+
+// Render renders a TQL output as text with confidence codes and the
+// quality factor.
+func Render(out *tql.Output) string { return tql.Render(out) }
+
+// QualityOf computes the §5.2 global quality factor Q of a result under
+// the default confidence weights.
+func QualityOf(res *Result) float64 { return quality.Of(res, quality.DefaultWeights()) }
+
+// NewCube builds an OLAP cube over the schema; see internal/cube for
+// the navigation operators.
+func NewCube(s *Schema) (*cube.Cube, error) { return cube.Build(s) }
