@@ -1,0 +1,28 @@
+GO ?= go
+
+# Tier-1 verification: build + vet + full tests + race on the
+# concurrency-bearing core package.
+.PHONY: verify
+verify: build vet test race
+
+.PHONY: build
+build:
+	$(GO) build ./...
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+.PHONY: test
+test:
+	$(GO) test ./...
+
+# The MVFT materialization pipeline and its singleflight cache are
+# concurrent; keep them honest under the race detector.
+.PHONY: race
+race:
+	$(GO) test -race ./internal/core/...
+
+.PHONY: bench
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .

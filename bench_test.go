@@ -11,6 +11,7 @@ package mvolap_test
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -400,6 +401,32 @@ func BenchmarkMVFTInference(b *testing.B) {
 	for _, cfg := range sweepConfigs {
 		b.Run(sweepName(cfg), func(b *testing.B) {
 			w := workload.MustGenerate(cfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Schema.Invalidate()
+				if _, err := w.Schema.MultiVersion().All(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMVFTParallel sweeps the materialization worker count on a
+// large-schema workload: the sequential path (workers=1) is the
+// baseline, GOMAXPROCS the default under load. Output is bit-identical
+// at every setting (see TestMVFTParallelEquivalence); this measures the
+// wall-clock gain of sharding resolution and mapping.
+func BenchmarkMVFTParallel(b *testing.B) {
+	cfg := workload.Config{Seed: 3, Departments: 120, Years: 16, EvolutionsPerYear: 8, FactsPerYear: 12, Measures: 2}
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			w := workload.MustGenerate(cfg)
+			w.Schema.SetMaterializeWorkers(workers)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				w.Schema.Invalidate()

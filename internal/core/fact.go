@@ -50,8 +50,21 @@ type Fact struct {
 	Values []float64
 }
 
-func factKey(c Coords, t temporal.Instant) string {
-	return fmt.Sprintf("%s\x1e%d", c.Key(), int64(t))
+// appendFactKey appends the canonical byte key of (coords, t) to dst:
+// member version IDs separated by 0x1f, then the instant as 8
+// little-endian bytes. Keys are built into reusable buffers and probed
+// with map[string(buf)] — the compiler elides that conversion, so
+// lookups on the materialization hot path allocate nothing (the string
+// is only materialized when a new entry is inserted).
+func appendFactKey(dst []byte, c Coords, t temporal.Instant) []byte {
+	for _, id := range c {
+		dst = append(dst, id...)
+		dst = append(dst, 0x1f)
+	}
+	u := uint64(t)
+	return append(dst,
+		byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+		byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
 }
 
 // FactTable is the Temporally Consistent Fact Table f of Definition 5: a
@@ -62,6 +75,7 @@ type FactTable struct {
 	measures int
 	facts    []*Fact
 	index    map[string]int
+	keyBuf   []byte
 }
 
 // NewFactTable creates an empty fact table for m measures.
@@ -81,20 +95,23 @@ func (ft *FactTable) Insert(coords Coords, t temporal.Instant, values ...float64
 	if len(values) != ft.measures {
 		return fmt.Errorf("core: fact with %d values for %d measures", len(values), ft.measures)
 	}
-	key := factKey(coords, t)
-	if i, ok := ft.index[key]; ok {
+	ft.keyBuf = appendFactKey(ft.keyBuf[:0], coords, t)
+	if i, ok := ft.index[string(ft.keyBuf)]; ok {
 		copy(ft.facts[i].Values, values)
 		return nil
 	}
 	f := &Fact{Coords: coords.Clone(), Time: t, Values: append([]float64(nil), values...)}
-	ft.index[key] = len(ft.facts)
+	ft.index[string(ft.keyBuf)] = len(ft.facts)
 	ft.facts = append(ft.facts, f)
 	return nil
 }
 
-// Lookup returns the values at the given coordinates and time.
+// Lookup returns the values at the given coordinates and time. It is
+// safe for concurrent use as long as no Insert runs.
 func (ft *FactTable) Lookup(coords Coords, t temporal.Instant) ([]float64, bool) {
-	i, ok := ft.index[factKey(coords, t)]
+	var scratch [64]byte
+	key := appendFactKey(scratch[:0], coords, t)
+	i, ok := ft.index[string(key)]
 	if !ok {
 		return nil, false
 	}

@@ -186,12 +186,17 @@ type resolution struct {
 }
 
 // mappingGraph indexes mapping relationships for traversal in both
-// directions.
+// directions. Once built it is a read-only snapshot: resolve allocates
+// all of its mutable state per call, so one graph is safe to share
+// across concurrent materialization workers.
 type mappingGraph struct {
 	forward  map[MVID][]*MappingRelationship // From -> rels
 	backward map[MVID][]*MappingRelationship // To -> rels
 	measures int
 	alg      ConfidenceAlgebra
+	// identity is the shared per-measure identity mapping used by every
+	// self-resolution; read-only after construction.
+	identity []MeasureMapping
 }
 
 func newMappingGraph(rels []MappingRelationship, measures int, alg ConfidenceAlgebra) *mappingGraph {
@@ -200,6 +205,10 @@ func newMappingGraph(rels []MappingRelationship, measures int, alg ConfidenceAlg
 		backward: make(map[MVID][]*MappingRelationship),
 		measures: measures,
 		alg:      alg,
+		identity: make([]MeasureMapping, measures),
+	}
+	for i := range g.identity {
+		g.identity[i] = MeasureMapping{Fn: Identity, CF: SourceData}
 	}
 	for i := range rels {
 		r := &rels[i]
@@ -217,11 +226,12 @@ func newMappingGraph(rels []MappingRelationship, measures int, alg ConfidenceAlg
 // node once it is itself an acceptable target, so data maps to the
 // nearest version. If source is already acceptable it resolves to itself
 // with identity mappings and SourceData confidence.
+//
+// resolve is safe for concurrent use: it only reads graph state and the
+// per slices of returned resolutions may alias the graph's shared
+// identity slice, so callers must treat them as read-only.
 func (g *mappingGraph) resolve(source MVID, acceptable func(MVID) bool) []resolution {
-	identity := make([]MeasureMapping, g.measures)
-	for i := range identity {
-		identity[i] = MeasureMapping{Fn: Identity, CF: SourceData}
-	}
+	identity := g.identity
 	if acceptable(source) {
 		return []resolution{{target: source, per: identity}}
 	}
@@ -286,7 +296,8 @@ type Resolution struct {
 // (F⁻¹) and composing functions and confidences along the way. A source
 // valid throughout the version resolves to itself with identity
 // mappings and SourceData confidence. An empty result means the source
-// cannot be presented in that version at all.
+// cannot be presented in that version at all. The Per slices may be
+// shared between resolutions; callers must treat them as read-only.
 func (s *Schema) ResolveInto(source MVID, sv *StructureVersion) []Resolution {
 	d := s.DimensionOf(source)
 	if d == nil || sv == nil {

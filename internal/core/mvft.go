@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"mvolap/internal/temporal"
 )
@@ -20,6 +22,11 @@ type MappedFact struct {
 	// Sources counts how many source facts were folded into this tuple
 	// (greater than one after a merge transition).
 	Sources int
+	// avgN carries, per measure, the number of non-NaN source
+	// contributions folded into Values, so Avg measures merge as true
+	// means instead of order-dependent pairwise midpoints. Allocated
+	// only when the schema has an Avg measure.
+	avgN []int32
 }
 
 // MappedTable is the restriction of the MultiVersion Fact Table to one
@@ -33,6 +40,29 @@ type MappedTable struct {
 	// version of the target structure version ("impossible cross-points"
 	// in the paper's grid rendering, §5.2).
 	Dropped int
+
+	alg      ConfidenceAlgebra
+	measures []Measure
+	hasAvg   bool
+	// keyBuf is scratch for building index keys during materialization;
+	// the table is single-writer while it is built and read-only after.
+	keyBuf []byte
+}
+
+func newMappedTable(m Mode, alg ConfidenceAlgebra, measures []Measure, capacity int) *MappedTable {
+	mt := &MappedTable{
+		Mode:     m,
+		index:    make(map[string]int, capacity),
+		alg:      alg,
+		measures: measures,
+	}
+	for _, ms := range measures {
+		if ms.Agg == Avg {
+			mt.hasAvg = true
+			break
+		}
+	}
+	return mt
 }
 
 // Facts returns the mapped facts in deterministic order. The slice is
@@ -43,40 +73,54 @@ func (mt *MappedTable) Facts() []*MappedFact { return mt.facts }
 func (mt *MappedTable) Len() int { return len(mt.facts) }
 
 // Lookup returns the mapped tuple at the given coordinates and time.
+// It is safe for concurrent use once the table is materialized.
 func (mt *MappedTable) Lookup(coords Coords, t temporal.Instant) (*MappedFact, bool) {
-	i, ok := mt.index[factKey(coords, t)]
+	var scratch [64]byte
+	key := appendFactKey(scratch[:0], coords, t)
+	i, ok := mt.index[string(key)]
 	if !ok {
 		return nil, false
 	}
 	return mt.facts[i], true
 }
 
-func (mt *MappedTable) add(alg ConfidenceAlgebra, measures []Measure, coords Coords, t temporal.Instant, values []float64, cfs []Confidence) {
-	key := factKey(coords, t)
-	if i, ok := mt.index[key]; ok {
+// add folds one emitted tuple into the table. It takes ownership of
+// coords, values and cfs — callers pass slices the table may retain and
+// mutate (the materialization arenas), never shared buffers.
+func (mt *MappedTable) add(coords Coords, t temporal.Instant, values []float64, cfs []Confidence) {
+	mt.keyBuf = appendFactKey(mt.keyBuf[:0], coords, t)
+	if i, ok := mt.index[string(mt.keyBuf)]; ok {
 		// A merge: several source tuples present themselves on the same
 		// target coordinates. Fold values with the measure aggregate ⊕
 		// and confidences with ⊗cf (Definition 12).
 		f := mt.facts[i]
 		for k := range f.Values {
-			f.Values[k] = foldPair(measures[k].Agg, f.Values[k], values[k])
-			f.CFs[k] = alg.Combine(f.CFs[k], cfs[k])
+			if mt.measures[k].Agg == Avg {
+				f.Values[k], f.avgN[k] = foldAvg(f.Values[k], f.avgN[k], values[k])
+			} else {
+				f.Values[k] = foldPair(mt.measures[k].Agg, f.Values[k], values[k])
+			}
+			f.CFs[k] = mt.alg.Combine(f.CFs[k], cfs[k])
 		}
 		f.Sources++
 		return
 	}
-	mt.index[key] = len(mt.facts)
-	mt.facts = append(mt.facts, &MappedFact{
-		Coords:  coords.Clone(),
-		Time:    t,
-		Values:  append([]float64(nil), values...),
-		CFs:     append([]Confidence(nil), cfs...),
-		Sources: 1,
-	})
+	f := &MappedFact{Coords: coords, Time: t, Values: values, CFs: cfs, Sources: 1}
+	if mt.hasAvg {
+		f.avgN = make([]int32, len(values))
+		for k, v := range values {
+			if !math.IsNaN(v) {
+				f.avgN[k] = 1
+			}
+		}
+	}
+	mt.index[string(mt.keyBuf)] = len(mt.facts)
+	mt.facts = append(mt.facts, f)
 }
 
 // foldPair folds two values under an aggregate kind, with NaN treated as
-// the absent value.
+// the absent value. Avg folding during materialization goes through
+// foldAvg instead, which carries contribution counts.
 func foldPair(kind AggKind, a, b float64) float64 {
 	aNaN, bNaN := math.IsNaN(a), math.IsNaN(b)
 	switch {
@@ -103,122 +147,179 @@ func foldPair(kind AggKind, a, b float64) float64 {
 	case Max:
 		return math.Max(a, b)
 	case Avg:
-		// The fact table stores raw values; averaging across merged
-		// tuples without weights degrades to the mean of the two.
+		// Two raw values without counts degrade to their midpoint.
 		return (a + b) / 2
 	}
 	return math.NaN()
 }
 
+// foldAvg folds one new contribution b into a running mean a carrying
+// na non-NaN contributions, returning the new mean and count. Unlike
+// the old pairwise (a+b)/2, the running count makes a 3-way merge the
+// true mean of its sources regardless of fold order.
+func foldAvg(a float64, na int32, b float64) (mean float64, n int32) {
+	aNaN, bNaN := math.IsNaN(a), math.IsNaN(b)
+	switch {
+	case aNaN && bNaN:
+		return math.NaN(), na
+	case aNaN:
+		return b, 1
+	case bNaN:
+		return a, na
+	}
+	n = na + 1
+	return (a*float64(na) + b) / float64(n), n
+}
+
+// modeEntry is the singleflight slot for one mode's materialization:
+// the first caller runs mapFacts inside the once, every concurrent and
+// later caller waits on it and shares the result.
+type modeEntry struct {
+	once  sync.Once
+	table *MappedTable
+	err   error
+}
+
 // MultiVersionFactTable materializes the function f' of Definition 11:
 // for every temporal mode of presentation, the source data presented in
 // that mode with confidence factors. Restrictions per mode are computed
-// lazily and cached; the cache lives until the schema is mutated (the
-// schema drops its reference on Invalidate).
+// lazily, once per mode (concurrent callers share a single
+// materialization), and cached; the cache lives until the schema is
+// mutated (the schema drops its reference on Invalidate, so a handle
+// obtained before the mutation keeps serving its consistent snapshot).
 type MultiVersionFactTable struct {
 	schema *Schema
 	mu     sync.Mutex
-	byMode map[string]*MappedTable
+	byMode map[string]*modeEntry
+	builds atomic.Int64
 }
 
 // MultiVersion returns the schema's MultiVersion Fact Table. The table
 // is cached on the schema and recomputed lazily after mutation; facts
 // inserted after the first call require Invalidate before they are
-// visible here.
+// visible here (InsertFact invalidates automatically; evolution
+// operators that mutate dimensions in place do not).
 func (s *Schema) MultiVersion() *MultiVersionFactTable {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.mvftCache == nil {
-		s.mvftCache = &MultiVersionFactTable{schema: s, byMode: make(map[string]*MappedTable)}
+		s.mvftCache = &MultiVersionFactTable{schema: s, byMode: make(map[string]*modeEntry)}
 	}
 	return s.mvftCache
 }
 
 // Mode returns the restriction of the MultiVersion Fact Table to one
-// temporal mode of presentation.
+// temporal mode of presentation. Racing callers on the same mode do not
+// duplicate work: exactly one materializes, the rest block on it.
 func (mv *MultiVersionFactTable) Mode(m Mode) (*MappedTable, error) {
 	key := m.String()
 	mv.mu.Lock()
-	if t, ok := mv.byMode[key]; ok {
-		mv.mu.Unlock()
-		return t, nil
+	e, ok := mv.byMode[key]
+	if !ok {
+		e = &modeEntry{}
+		mv.byMode[key] = e
 	}
 	mv.mu.Unlock()
-	// Materialize outside the lock; duplicate work between racing
-	// callers is possible but harmless (last write wins).
-	t, err := mv.schema.mapFacts(m)
-	if err != nil {
-		return nil, err
-	}
-	mv.mu.Lock()
-	mv.byMode[key] = t
-	mv.mu.Unlock()
-	return t, nil
+	e.once.Do(func() {
+		mv.builds.Add(1)
+		e.table, e.err = mv.schema.mapFacts(m)
+	})
+	return e.table, e.err
 }
 
-// All materializes every mode of the schema, the full f'. The returned
-// map is a snapshot copy, safe to iterate concurrently with queries.
+// Materializations reports how many mapFacts runs this table has
+// performed — an observability hook that also lets tests assert the
+// singleflight contract (one build per mode, however many callers).
+func (mv *MultiVersionFactTable) Materializations() int64 { return mv.builds.Load() }
+
+// All materializes every mode of the schema — the full f' — running the
+// per-mode materializations concurrently. The returned map is a
+// snapshot copy, safe to iterate concurrently with queries.
 func (mv *MultiVersionFactTable) All() (map[string]*MappedTable, error) {
-	for _, m := range mv.schema.Modes() {
-		if _, err := mv.Mode(m); err != nil {
+	modes := mv.schema.Modes()
+	errs := make([]error, len(modes))
+	var wg sync.WaitGroup
+	for i, m := range modes {
+		wg.Add(1)
+		go func(i int, m Mode) {
+			defer wg.Done()
+			_, errs[i] = mv.Mode(m)
+		}(i, m)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
 			return nil, err
 		}
 	}
-	mv.mu.Lock()
-	defer mv.mu.Unlock()
-	out := make(map[string]*MappedTable, len(mv.byMode))
-	for k, v := range mv.byMode {
-		out[k] = v
+	out := make(map[string]*MappedTable, len(modes))
+	for _, m := range modes {
+		t, err := mv.Mode(m) // cached by the pass above
+		if err != nil {
+			return nil, err
+		}
+		out[m.String()] = t
 	}
 	return out, nil
 }
 
-// mapFacts presents the temporally consistent fact table in the given
-// mode. In tcm the result is the source data tagged sd (the paper's
-// f'|tcm = f × {sd}^m). In a version mode every source coordinate is
-// resolved into the leaf member versions of the target structure
-// version through the mapping-relationship graph; values flow through
-// the composed mapping functions, confidences through ⊗cf; tuples
-// landing on identical target coordinates merge under ⊕ and ⊗cf.
-func (s *Schema) mapFacts(m Mode) (*MappedTable, error) {
-	out := &MappedTable{Mode: m, index: make(map[string]int)}
-	switch m.Kind {
-	case TCMKind:
-		for _, f := range s.facts.Facts() {
-			cfs := make([]Confidence, len(s.measures))
-			out.add(s.alg, s.measures, f.Coords, f.Time, f.Values, cfs) // zero value is SourceData
-		}
-		return out, nil
-	case VersionKind:
-		if m.Version == nil {
-			return nil, fmt.Errorf("core: version mode without structure version")
-		}
-	default:
-		return nil, fmt.Errorf("core: unknown mode kind %d", m.Kind)
-	}
+// parallelFactThreshold is the fact count below which materialization
+// stays sequential even when several workers are available: tiny
+// schemas (like the paper's case study) must not pay goroutine and
+// merge overhead.
+const parallelFactThreshold = 256
 
-	sv := m.Version
-	graph := newMappingGraph(s.mappings, len(s.measures), s.alg)
-	// Per dimension, the acceptable targets are the leaf member versions
-	// of the structure version's restriction.
-	leafIn := make([]map[MVID]bool, len(s.dims))
-	for i, d := range s.dims {
-		rd := sv.Dimension(d.ID)
-		set := make(map[MVID]bool)
-		if rd != nil {
-			for _, mv := range rd.LeavesAt(sv.Valid.Start) {
-				set[mv.ID] = true
-			}
+// materializeWorkers resolves the worker count for one materialization:
+// an explicit SetMaterializeWorkers pin wins, otherwise GOMAXPROCS with
+// the small-table sequential fallback.
+func (s *Schema) materializeWorkers(nFacts int) int {
+	w := int(s.matWorkers.Load())
+	pinned := w > 0
+	if !pinned {
+		w = runtime.GOMAXPROCS(0)
+		if nFacts < parallelFactThreshold {
+			return 1
 		}
-		leafIn[i] = set
 	}
-	// Resolutions are deterministic per source member version; cache them.
-	resCache := make([]map[MVID][]resolution, len(s.dims))
+	if w > nFacts {
+		w = nFacts
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// partialShard is one worker's private output: every tuple its fact
+// shard emits, in fact order, stored in flat arenas (one slice per
+// field instead of per-tuple allocations). Tuples are NOT pre-folded
+// inside the shard — the deterministic merge replays them in global
+// fact order so the fold tree (and therefore every floating-point
+// result) is bit-identical to the sequential path. Dropped facts only
+// contribute a count, which is order-insensitive.
+type partialShard struct {
+	coords  []MVID
+	values  []float64
+	cfs     []Confidence
+	times   []temporal.Instant
+	dropped int
+}
+
+// mapShard resolves and maps one contiguous shard of the fact table
+// into a partialShard. graph and leafIn are shared read-only snapshots;
+// the resolution cache is private to the shard.
+func (s *Schema) mapShard(graph *mappingGraph, leafIn []map[MVID]bool, facts []*Fact) *partialShard {
+	nd, nm := len(s.dims), len(s.measures)
+	p := &partialShard{}
+	// Resolutions are deterministic per source member version; cache
+	// them per worker.
+	resCache := make([]map[MVID][]resolution, nd)
 	for i := range resCache {
 		resCache[i] = make(map[MVID][]resolution)
 	}
-	for _, f := range s.facts.Facts() {
-		perDim := make([][]resolution, len(s.dims))
+	perDim := make([][]resolution, nd)
+	combo := make([]int, nd)
+	for _, f := range facts {
 		ok := true
 		for i, id := range f.Coords {
 			rs, cached := resCache[i][id]
@@ -234,23 +335,27 @@ func (s *Schema) mapFacts(m Mode) (*MappedTable, error) {
 			perDim[i] = rs
 		}
 		if !ok {
-			out.Dropped++
+			p.dropped++
 			continue
 		}
-		// Cartesian product across dimensions (splits fan out).
-		combo := make([]int, len(s.dims))
+		// Cartesian product across dimensions (splits fan out). Each
+		// combination appends one tuple to the arenas.
+		for i := range combo {
+			combo[i] = 0
+		}
 		for {
-			coords := make(Coords, len(s.dims))
-			values := make([]float64, len(s.measures))
-			cfs := make([]Confidence, len(s.measures))
-			copy(values, f.Values)
-			for k := range cfs {
-				cfs[k] = SourceData
+			p.times = append(p.times, f.Time)
+			p.values = append(p.values, f.Values...)
+			values := p.values[len(p.values)-nm:]
+			cb := len(p.cfs)
+			for k := 0; k < nm; k++ {
+				p.cfs = append(p.cfs, SourceData)
 			}
-			for i := range s.dims {
+			cfs := p.cfs[cb:]
+			for i := 0; i < nd; i++ {
 				r := perDim[i][combo[i]]
-				coords[i] = r.target
-				for k := 0; k < len(s.measures); k++ {
+				p.coords = append(p.coords, r.target)
+				for k := 0; k < nm; k++ {
 					v, okv := r.per[k].Fn.Map(values[k])
 					if !okv {
 						v = math.NaN()
@@ -259,7 +364,6 @@ func (s *Schema) mapFacts(m Mode) (*MappedTable, error) {
 					cfs[k] = s.alg.Combine(cfs[k], r.per[k].CF)
 				}
 			}
-			out.add(s.alg, s.measures, coords, f.Time, values, cfs)
 			// Advance the product counter.
 			i := 0
 			for ; i < len(combo); i++ {
@@ -274,5 +378,109 @@ func (s *Schema) mapFacts(m Mode) (*MappedTable, error) {
 			}
 		}
 	}
+	return p
+}
+
+// mergePartials replays each shard's emissions, in shard order and
+// within a shard in fact order, through MappedTable.add — exactly the
+// add sequence the sequential path would have run, so merges fold in
+// the same order and the result is bit-identical for any worker count.
+// The mapped facts alias the shard arenas (capped sub-slices), which
+// the table then owns.
+func (s *Schema) mergePartials(out *MappedTable, partials []*partialShard) {
+	nd, nm := len(s.dims), len(s.measures)
+	for _, p := range partials {
+		if p == nil {
+			continue
+		}
+		out.Dropped += p.dropped
+		for i, t := range p.times {
+			out.add(
+				Coords(p.coords[i*nd:(i+1)*nd:(i+1)*nd]),
+				t,
+				p.values[i*nm:(i+1)*nm:(i+1)*nm],
+				p.cfs[i*nm:(i+1)*nm:(i+1)*nm],
+			)
+		}
+	}
+}
+
+// mapFacts presents the temporally consistent fact table in the given
+// mode. In tcm the result is the source data tagged sd (the paper's
+// f'|tcm = f × {sd}^m). In a version mode every source coordinate is
+// resolved into the leaf member versions of the target structure
+// version through the mapping-relationship graph; values flow through
+// the composed mapping functions, confidences through ⊗cf; tuples
+// landing on identical target coordinates merge under ⊕ and ⊗cf.
+//
+// Resolution and mapping — the expensive phase — is sharded across
+// materializeWorkers goroutines over a shared read-only mapping-graph
+// snapshot; the cheap fold phase replays the shards deterministically
+// (see mergePartials).
+func (s *Schema) mapFacts(m Mode) (*MappedTable, error) {
+	facts := s.facts.Facts()
+	switch m.Kind {
+	case TCMKind:
+		out := newMappedTable(m, s.alg, s.measures, len(facts))
+		nm := len(s.measures)
+		// One arena per field: source values are copied (mapped facts
+		// own their values), confidences are the zero value SourceData.
+		values := make([]float64, 0, len(facts)*nm)
+		cfs := make([]Confidence, len(facts)*nm)
+		for i, f := range facts {
+			values = append(values, f.Values...)
+			out.add(f.Coords, f.Time,
+				values[i*nm : (i+1)*nm : (i+1)*nm],
+				cfs[i*nm:(i+1)*nm:(i+1)*nm])
+		}
+		return out, nil
+	case VersionKind:
+		if m.Version == nil {
+			return nil, fmt.Errorf("core: version mode without structure version")
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown mode kind %d", m.Kind)
+	}
+
+	sv := m.Version
+	graph := newMappingGraph(s.mappings, len(s.measures), s.alg)
+	// Per dimension, the acceptable targets are the leaf member versions
+	// of the structure version's restriction. Built once, read-only for
+	// all workers.
+	leafIn := make([]map[MVID]bool, len(s.dims))
+	for i, d := range s.dims {
+		rd := sv.Dimension(d.ID)
+		set := make(map[MVID]bool)
+		if rd != nil {
+			for _, mv := range rd.LeavesAt(sv.Valid.Start) {
+				set[mv.ID] = true
+			}
+		}
+		leafIn[i] = set
+	}
+
+	out := newMappedTable(m, s.alg, s.measures, len(facts))
+	workers := s.materializeWorkers(len(facts))
+	if workers <= 1 {
+		s.mergePartials(out, []*partialShard{s.mapShard(graph, leafIn, facts)})
+		return out, nil
+	}
+	partials := make([]*partialShard, workers)
+	chunk := (len(facts) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(facts))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			partials[w] = s.mapShard(graph, leafIn, facts[lo:hi])
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	s.mergePartials(out, partials)
 	return out, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -279,6 +280,262 @@ func TestMultiVersionAll(t *testing.T) {
 	mt3, _ := s.MultiVersion().Mode(TCM())
 	if mt3 == mt1 {
 		t.Error("fact insertion must invalidate the MVFT cache")
+	}
+}
+
+// mergeSchema builds a dimension where leaves A, B, C (and D with an
+// unknown mapping) of 2001 merge into M at 2002, carrying one measure
+// of the given aggregate kind.
+func mergeSchema(t *testing.T, agg AggKind) *Schema {
+	t.Helper()
+	s := NewSchema("merge3", Measure{Name: "m", Agg: agg})
+	d := NewDimension("D", "D")
+	old := temporal.Between(y(2001), ym(2001, 12))
+	for _, mv := range []*MemberVersion{
+		{ID: "root", Level: "Top", Valid: temporal.Since(y(2001))},
+		{ID: "A", Level: "Leaf", Valid: old},
+		{ID: "B", Level: "Leaf", Valid: old},
+		{ID: "C", Level: "Leaf", Valid: old},
+		{ID: "Dx", Level: "Leaf", Valid: old},
+		{ID: "M", Level: "Leaf", Valid: temporal.Since(y(2002))},
+	} {
+		if err := d.AddVersion(mv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range []TemporalRelationship{
+		{From: "A", To: "root", Valid: old},
+		{From: "B", To: "root", Valid: old},
+		{From: "C", To: "root", Valid: old},
+		{From: "Dx", To: "root", Valid: old},
+		{From: "M", To: "root", Valid: temporal.Since(y(2002))},
+	} {
+		if err := d.AddRelationship(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AddDimension(d); err != nil {
+		t.Fatal(err)
+	}
+	fwd := func(fn Mapper, cf Confidence) []MeasureMapping { return []MeasureMapping{{Fn: fn, CF: cf}} }
+	for _, m := range []MappingRelationship{
+		{From: "A", To: "M", Forward: fwd(Identity, ExactMapping), Backward: fwd(Unknown{}, UnknownMapping)},
+		{From: "B", To: "M", Forward: fwd(Identity, ExactMapping), Backward: fwd(Unknown{}, UnknownMapping)},
+		{From: "C", To: "M", Forward: fwd(Identity, ExactMapping), Backward: fwd(Unknown{}, UnknownMapping)},
+		{From: "Dx", To: "M", Forward: fwd(Unknown{}, UnknownMapping), Backward: fwd(Unknown{}, UnknownMapping)},
+	} {
+		if err := s.AddMapping(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// TestAvgThreeWayMerge pins the Avg merge fix: folding three source
+// tuples onto one target must yield the true mean of the three, not the
+// order-dependent pairwise midpoint ((a+b)/2 + c)/2 of the old code.
+func TestAvgThreeWayMerge(t *testing.T) {
+	s := mergeSchema(t, Avg)
+	for id, v := range map[MVID]float64{"A": 10, "B": 20, "C": 60} {
+		if err := s.InsertFact(Coords{id}, y(2001), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v2 := s.VersionAt(y(2002))
+	mt, err := s.MultiVersion().Mode(InVersion(v2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := mt.Lookup(Coords{"M"}, y(2001))
+	if !ok {
+		t.Fatal("merged tuple missing")
+	}
+	if m.Values[0] != 30 {
+		t.Errorf("3-way merged Avg = %v, want the true mean 30", m.Values[0])
+	}
+	if m.Sources != 3 {
+		t.Errorf("Sources = %d, want 3", m.Sources)
+	}
+}
+
+// TestAvgMergeIgnoresUnknown: a contributor whose mapping is unknown
+// (NaN) must not drag the merged mean or its weight.
+func TestAvgMergeIgnoresUnknown(t *testing.T) {
+	s := mergeSchema(t, Avg)
+	for id, v := range map[MVID]float64{"A": 10, "B": 20, "C": 60, "Dx": 1000} {
+		if err := s.InsertFact(Coords{id}, y(2001), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mt, err := s.MultiVersion().Mode(InVersion(s.VersionAt(y(2002))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := mt.Lookup(Coords{"M"}, y(2001))
+	if !ok {
+		t.Fatal("merged tuple missing")
+	}
+	if m.Values[0] != 30 {
+		t.Errorf("merged Avg with NaN contributor = %v, want 30", m.Values[0])
+	}
+	if m.Sources != 4 {
+		t.Errorf("Sources = %d, want 4 (NaN contributors still count as sources)", m.Sources)
+	}
+	if m.CFs[0] != UnknownMapping {
+		t.Errorf("merged cf = %v, want uk (poisoned by the unknown mapping)", m.CFs[0])
+	}
+}
+
+// TestModeSingleflight asserts the Mode cache race fix: many concurrent
+// callers on the same cold mode must share exactly one materialization
+// and the same table pointer. Run with -race.
+func TestModeSingleflight(t *testing.T) {
+	s := splitSchema(t)
+	modes := s.Modes()
+	mv := s.MultiVersion()
+	const callers = 16
+	tables := make([][]*MappedTable, len(modes))
+	for i := range tables {
+		tables[i] = make([]*MappedTable, callers)
+	}
+	var wg sync.WaitGroup
+	for mi, m := range modes {
+		for c := 0; c < callers; c++ {
+			wg.Add(1)
+			go func(mi, c int, m Mode) {
+				defer wg.Done()
+				mt, err := mv.Mode(m)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				tables[mi][c] = mt
+			}(mi, c, m)
+		}
+	}
+	wg.Wait()
+	for mi := range tables {
+		for c := 1; c < callers; c++ {
+			if tables[mi][c] != tables[mi][0] {
+				t.Fatalf("mode %s: caller %d got a different table", modes[mi], c)
+			}
+		}
+	}
+	if got := mv.Materializations(); got != int64(len(modes)) {
+		t.Errorf("materializations = %d, want exactly %d (one per mode)", got, len(modes))
+	}
+}
+
+// TestInvalidationVisibility pins the caching contract: a handle taken
+// before an insert keeps serving its snapshot (the new fact must NOT
+// appear through it), while handles fetched after the invalidation see
+// the new fact.
+func TestInvalidationVisibility(t *testing.T) {
+	s := splitSchema(t)
+	stale := s.MultiVersion()
+	base, err := stale.Mode(TCM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0 := base.Len()
+	if err := s.InsertFact(Coords{"Smith"}, y(2004), 7); err != nil {
+		t.Fatal(err)
+	}
+	// Before re-fetching (i.e. "before Invalidate" from the stale
+	// handle's point of view) the fact is invisible.
+	again, err := stale.Mode(TCM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Len() != n0 {
+		t.Errorf("stale handle sees %d tuples, want the snapshot's %d", again.Len(), n0)
+	}
+	if _, ok := again.Lookup(Coords{"Smith"}, y(2004)); ok {
+		t.Error("inserted fact must not appear through the pre-insert handle")
+	}
+	// InsertFact invalidates: a fresh handle sees the fact.
+	fresh := s.MultiVersion()
+	if fresh == stale {
+		t.Fatal("insert must drop the cached MVFT")
+	}
+	cur, err := fresh.Mode(TCM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Len() != n0+1 {
+		t.Errorf("fresh handle sees %d tuples, want %d", cur.Len(), n0+1)
+	}
+	if _, ok := cur.Lookup(Coords{"Smith"}, y(2004)); !ok {
+		t.Error("inserted fact must appear after invalidation")
+	}
+	// Explicit Invalidate also rotates the handle and keeps the fact.
+	s.Invalidate()
+	third := s.MultiVersion()
+	if third == fresh {
+		t.Fatal("Invalidate must drop the cached MVFT")
+	}
+	cur2, err := third.Mode(TCM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cur2.Lookup(Coords{"Smith"}, y(2004)); !ok {
+		t.Error("fact must stay visible after explicit Invalidate")
+	}
+}
+
+// sameMappedTable reports bit-level equality of two mapped tables:
+// fact order, coordinates, times, values (NaN-aware, bitwise), CFs,
+// source counts and the dropped counter.
+func sameMappedTable(a, b *MappedTable) string {
+	if a.Len() != b.Len() {
+		return "length differs"
+	}
+	if a.Dropped != b.Dropped {
+		return "dropped differs"
+	}
+	for i := range a.facts {
+		fa, fb := a.facts[i], b.facts[i]
+		if !fa.Coords.Equal(fb.Coords) || fa.Time != fb.Time || fa.Sources != fb.Sources {
+			return "tuple identity differs"
+		}
+		for k := range fa.Values {
+			if math.Float64bits(fa.Values[k]) != math.Float64bits(fb.Values[k]) {
+				return "values differ"
+			}
+			if fa.CFs[k] != fb.CFs[k] {
+				return "cfs differ"
+			}
+		}
+	}
+	return ""
+}
+
+// TestParallelMatchesSequential asserts the determinism guarantee on
+// the case-study schema: any worker count yields a table bit-identical
+// to the sequential one, in every mode.
+func TestParallelMatchesSequential(t *testing.T) {
+	seq := splitSchema(t)
+	seq.SetMaterializeWorkers(1)
+	for _, workers := range []int{2, 3, 8} {
+		par := splitSchema(t)
+		par.SetMaterializeWorkers(workers)
+		for _, m := range seq.Modes() {
+			want, err := seq.MultiVersion().Mode(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pm := m
+			if m.Kind == VersionKind {
+				pm = InVersion(par.VersionByID(m.Version.ID))
+			}
+			got, err := par.MultiVersion().Mode(pm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff := sameMappedTable(want, got); diff != "" {
+				t.Errorf("workers=%d mode=%s: %s", workers, m, diff)
+			}
+		}
 	}
 }
 

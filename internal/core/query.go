@@ -206,6 +206,11 @@ func (s *Schema) executeOn(mt *MappedTable, q Query) (*Result, error) {
 	cells := make(map[string]*cellState)
 	var order []string
 
+	// Scratch reused across facts; only per-row slices are allocated
+	// fresh (they escape into the result).
+	perAxis := make([][]*MemberVersion, len(axes))
+	combo := make([]int, len(axes))
+
 	for _, f := range mt.Facts() {
 		if !rng.Contains(f.Time) {
 			continue
@@ -223,7 +228,6 @@ func (s *Schema) executeOn(mt *MappedTable, q Query) (*Result, error) {
 		}
 		// Each axis may roll the fact up to several members (multiple
 		// hierarchies); a fact contributes to every combination.
-		perAxis := make([][]*MemberVersion, len(axes))
 		skip := false
 		for ai, ax := range axes {
 			ups := lookup.ancestorsAtLevel(ax.dimPos, f.Coords[ax.dimPos], ax.level, f.Time)
@@ -236,7 +240,9 @@ func (s *Schema) executeOn(mt *MappedTable, q Query) (*Result, error) {
 		if skip {
 			continue
 		}
-		combo := make([]int, len(axes))
+		for i := range combo {
+			combo[i] = 0
+		}
 		for {
 			groups := make([]string, len(axes))
 			groupIDs := make([]MVID, len(axes))

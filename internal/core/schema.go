@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"mvolap/internal/temporal"
 )
@@ -31,7 +32,17 @@ type Schema struct {
 	svCache []*StructureVersion
 	// cached MultiVersion Fact Table; invalidated on mutation.
 	mvftCache *MultiVersionFactTable
+	// matWorkers pins the MVFT materialization worker count; 0 = auto.
+	matWorkers atomic.Int32
 }
+
+// SetMaterializeWorkers pins the number of workers used to materialize
+// the MultiVersion Fact Table. 0 (the default) sizes the pool to
+// GOMAXPROCS with a sequential fallback for small fact tables; 1 forces
+// the sequential path; n>1 forces n-way sharding even below the
+// small-table threshold (useful for benchmarks and equivalence tests).
+// The output is bit-identical for every setting.
+func (s *Schema) SetMaterializeWorkers(n int) { s.matWorkers.Store(int32(n)) }
 
 // NewSchema creates a schema with the given measures, using the paper's
 // Example 5 confidence algebra.
@@ -186,6 +197,11 @@ func (s *Schema) Validate() error {
 	return nil
 }
 
+// invalidate drops the derived caches by unlinking them. A
+// MultiVersionFactTable handle obtained before the mutation — including
+// one with materializations still in flight — keeps building into and
+// serving its own (now detached) snapshot; only handles fetched from
+// MultiVersion() after the mutation see the new state.
 func (s *Schema) invalidate() {
 	s.mu.Lock()
 	s.svCache = nil

@@ -55,6 +55,11 @@ func Build(s *core.Schema) (*Store, error) {
 	if span.Empty() {
 		return nil, fmt.Errorf("molap: schema has no facts")
 	}
+	// Materialize all modes concurrently before the dense grids are
+	// filled; the per-mode Mode calls below hit the cache.
+	if _, err := s.MultiVersion().All(); err != nil {
+		return nil, err
+	}
 	for _, mode := range s.Modes() {
 		mt, err := s.MultiVersion().Mode(mode)
 		if err != nil {

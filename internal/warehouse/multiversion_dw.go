@@ -116,7 +116,12 @@ func BuildMultiVersion(s *core.Schema, policy StoragePolicy) (*MultiVersionDW, e
 	}
 
 	dw := &MultiVersionDW{DB: db, Policy: policy, schema: s}
-	mvft := s.MultiVersion()
+	// Materialize all modes concurrently up front; the sequential
+	// insert loop below reads the cached tables.
+	tables, err := s.MultiVersion().All()
+	if err != nil {
+		return nil, err
+	}
 	insert := func(mode string, f *core.MappedFact) error {
 		row := make([]any, 0, len(factSchema))
 		row = append(row, mode)
@@ -138,10 +143,7 @@ func BuildMultiVersion(s *core.Schema, policy StoragePolicy) (*MultiVersionDW, e
 	}
 
 	for _, mode := range s.Modes() {
-		mt, err := mvft.Mode(mode)
-		if err != nil {
-			return nil, err
-		}
+		mt := tables[mode.String()]
 		dw.Stats.LogicalRows += mt.Len()
 		for _, f := range mt.Facts() {
 			if policy == Delta && mode.Kind == core.VersionKind && isSourceIdentical(s, f) {

@@ -1,0 +1,112 @@
+package mvolap_test
+
+// Property-style equivalence tests for the parallel MultiVersion Fact
+// Table materialization: on randomized evolving schemas, any worker
+// count must produce a table bit-identical to the sequential path —
+// same fact order, same values (bitwise, NaN-aware), same confidence
+// factors, same source and dropped counts.
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"mvolap/internal/core"
+	"mvolap/internal/workload"
+)
+
+func diffMappedTables(a, b *core.MappedTable) string {
+	if a.Len() != b.Len() {
+		return fmt.Sprintf("length %d != %d", a.Len(), b.Len())
+	}
+	if a.Dropped != b.Dropped {
+		return fmt.Sprintf("dropped %d != %d", a.Dropped, b.Dropped)
+	}
+	af, bf := a.Facts(), b.Facts()
+	for i := range af {
+		fa, fb := af[i], bf[i]
+		if !fa.Coords.Equal(fb.Coords) || fa.Time != fb.Time {
+			return fmt.Sprintf("tuple %d identity differs: %v@%v vs %v@%v", i, fa.Coords, fa.Time, fb.Coords, fb.Time)
+		}
+		if fa.Sources != fb.Sources {
+			return fmt.Sprintf("tuple %d sources %d != %d", i, fa.Sources, fb.Sources)
+		}
+		for k := range fa.Values {
+			if math.Float64bits(fa.Values[k]) != math.Float64bits(fb.Values[k]) {
+				return fmt.Sprintf("tuple %d value[%d] %v != %v", i, k, fa.Values[k], fb.Values[k])
+			}
+			if fa.CFs[k] != fb.CFs[k] {
+				return fmt.Sprintf("tuple %d cf[%d] %v != %v", i, k, fa.CFs[k], fb.CFs[k])
+			}
+		}
+	}
+	return ""
+}
+
+// TestMVFTParallelEquivalence sweeps randomized workloads of growing
+// size and change rate; for each, the sequential materialization is the
+// oracle and every worker count must reproduce it exactly.
+func TestMVFTParallelEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		cfg := workload.Config{
+			Seed:              seed,
+			Departments:       10 + int(seed)*15,
+			Years:             4 + int(seed)*2,
+			EvolutionsPerYear: 1 + int(seed),
+			FactsPerYear:      1 + int(seed),
+			Measures:          1 + int(seed)%3,
+		}
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			seq := workload.MustGenerate(cfg).Schema
+			seq.SetMaterializeWorkers(1)
+			oracle, err := seq.MultiVersion().All()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0) + 1} {
+				par := workload.MustGenerate(cfg).Schema
+				par.SetMaterializeWorkers(workers)
+				got, err := par.MultiVersion().All()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(oracle) {
+					t.Fatalf("workers=%d: %d modes, oracle has %d", workers, len(got), len(oracle))
+				}
+				for key, want := range oracle {
+					if diff := diffMappedTables(want, got[key]); diff != "" {
+						t.Errorf("workers=%d mode=%s: %s", workers, key, diff)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMVFTAutoWorkersEquivalence exercises the default (auto) path —
+// GOMAXPROCS workers with the small-table sequential fallback — against
+// the pinned sequential oracle on a workload large enough to cross the
+// parallel threshold.
+func TestMVFTAutoWorkersEquivalence(t *testing.T) {
+	cfg := workload.Config{Seed: 9, Departments: 60, Years: 10, EvolutionsPerYear: 4, FactsPerYear: 3, Measures: 2}
+	seq := workload.MustGenerate(cfg).Schema
+	seq.SetMaterializeWorkers(1)
+	auto := workload.MustGenerate(cfg).Schema // workers unset: auto
+	if auto.Facts().Len() < 256 {
+		t.Fatalf("workload too small (%d facts) to exercise the parallel path", auto.Facts().Len())
+	}
+	oracle, err := seq.MultiVersion().All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := auto.MultiVersion().All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range oracle {
+		if diff := diffMappedTables(want, got[key]); diff != "" {
+			t.Errorf("mode=%s: %s", key, diff)
+		}
+	}
+}
