@@ -17,12 +17,20 @@ vet:
 test:
 	$(GO) test ./...
 
-# The MVFT materialization pipeline and its singleflight cache are
-# concurrent; keep them honest under the race detector.
+# The MVFT materialization pipeline, its singleflight cache, the
+# lock-free observability counters and the server's copy-on-write
+# evolution are all concurrent; keep them honest under the race
+# detector.
 .PHONY: race
 race:
-	$(GO) test -race ./internal/core/...
+	$(GO) test -race ./internal/core/... ./internal/obs/... ./internal/server/... ./internal/tql/...
 
 .PHONY: bench
 bench:
-	$(GO) test -bench=. -benchmem -run='^$$' .
+	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+# bench-json appends a timestamped machine-readable benchmark record so
+# performance trajectories accumulate across commits (BENCH_*.json).
+.PHONY: bench-json
+bench-json:
+	$(GO) test -json -bench=. -benchmem -run='^$$' ./... > BENCH_$$(date +%Y%m%d_%H%M%S).json

@@ -9,17 +9,28 @@
 // Then:
 //
 //	curl 'localhost:8080/query?q=SELECT+Amount+BY+Org.Division,+TIME.YEAR+MODE+tcm'
+//	curl 'localhost:8080/query?q=...&trace=1'          # per-stage span tree
 //	curl 'localhost:8080/modes'
 //	curl 'localhost:8080/schema'
+//	curl 'localhost:8080/metrics'                      # Prometheus text format
+//	curl 'localhost:8080/debug/vars'                   # same metrics as JSON
 //	curl -X POST --data-binary @changes.evo 'localhost:8080/evolve'
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener
+// closes immediately, in-flight requests get -shutdown-timeout to
+// finish.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"mvolap/internal/casestudy"
@@ -28,32 +39,127 @@ import (
 	"mvolap/internal/server"
 )
 
-func main() {
-	fs := flag.NewFlagSet("mvolapd", flag.ExitOnError)
-	addr := fs.String("addr", ":8080", "listen address")
-	schemaPath := fs.String("schema", "", "path to a schema JSON file")
-	demo := fs.Bool("demo", false, "serve the built-in ICDE 2003 case study")
-	allowEvolve := fs.Bool("allow-evolve", false, "enable POST /evolve")
-	fs.Parse(os.Args[1:])
+// config collects the daemon's flags; separated from main so tests can
+// exercise the wiring without a process.
+type config struct {
+	addr            string
+	schemaPath      string
+	demo            bool
+	allowEvolve     bool
+	pprof           bool
+	logJSON         bool
+	readTimeout     time.Duration
+	writeTimeout    time.Duration
+	idleTimeout     time.Duration
+	queryTimeout    time.Duration
+	slowQuery       time.Duration
+	shutdownTimeout time.Duration
+}
 
-	sch, err := loadSchema(*schemaPath, *demo)
+func parseFlags(args []string) (*config, error) {
+	fs := flag.NewFlagSet("mvolapd", flag.ContinueOnError)
+	c := &config{}
+	fs.StringVar(&c.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&c.schemaPath, "schema", "", "path to a schema JSON file")
+	fs.BoolVar(&c.demo, "demo", false, "serve the built-in ICDE 2003 case study")
+	fs.BoolVar(&c.allowEvolve, "allow-evolve", false, "enable POST /evolve")
+	fs.BoolVar(&c.pprof, "pprof", false, "mount /debug/pprof/ handlers")
+	fs.BoolVar(&c.logJSON, "log-json", false, "emit the access log as JSON instead of text")
+	fs.DurationVar(&c.readTimeout, "read-timeout", 30*time.Second, "max duration to read a request (0 disables)")
+	fs.DurationVar(&c.writeTimeout, "write-timeout", 60*time.Second, "max duration to write a response (0 disables)")
+	fs.DurationVar(&c.idleTimeout, "idle-timeout", 2*time.Minute, "keep-alive idle timeout (0 disables)")
+	fs.DurationVar(&c.queryTimeout, "query-timeout", 30*time.Second, "per-request deadline for /query (0 disables)")
+	fs.DurationVar(&c.slowQuery, "slow-query", 500*time.Millisecond, "slow-query log threshold (0 disables)")
+	fs.DurationVar(&c.shutdownTimeout, "shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// newLogger builds the daemon's structured logger.
+func newLogger(c *config) *slog.Logger {
+	if c.logJSON {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
+}
+
+// newHTTPServer wires the hardened http.Server: every timeout the
+// stdlib offers, not just ReadHeaderTimeout, so a slow or stalled
+// client cannot hold a connection open forever.
+func newHTTPServer(c *config, handler http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              c.addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       c.readTimeout,
+		WriteTimeout:      c.writeTimeout,
+		IdleTimeout:       c.idleTimeout,
+	}
+}
+
+// serverOptions maps the flags onto server options.
+func serverOptions(c *config, logger *slog.Logger) []server.Option {
+	opts := []server.Option{
+		server.WithLogger(logger),
+		server.WithQueryTimeout(c.queryTimeout),
+		server.WithSlowQueryThreshold(c.slowQuery),
+	}
+	if c.allowEvolve {
+		opts = append(opts, server.WithEvolution())
+	}
+	if c.pprof {
+		opts = append(opts, server.WithPprof())
+	}
+	return opts
+}
+
+// serve runs srv until ctx is cancelled, then shuts it down gracefully
+// within grace. It returns the error that ended the listener, or the
+// shutdown error if draining timed out.
+func serve(ctx context.Context, srv *http.Server, grace time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+func main() {
+	c, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	sch, err := loadSchema(c.schemaPath, c.demo)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mvolapd:", err)
 		os.Exit(1)
 	}
-	var opts []server.Option
-	if *allowEvolve {
-		opts = append(opts, server.WithEvolution())
+	logger := newLogger(c)
+	srv := newHTTPServer(c, server.New(sch, serverOptions(c, logger)...).Handler())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	logger.Info("mvolapd serving", "schema", sch.Name, "addr", c.addr,
+		"evolve", c.allowEvolve, "pprof", c.pprof, "queryTimeout", c.queryTimeout)
+	if err := serve(ctx, srv, c.shutdownTimeout); err != nil {
+		logger.Error("mvolapd exiting", "err", err)
+		os.Exit(1)
 	}
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           server.New(sch, opts...).Handler(),
-		ReadHeaderTimeout: 5 * time.Second,
-	}
-	log.Printf("mvolapd: serving %q on %s (evolve=%v)", sch.Name, *addr, *allowEvolve)
-	if err := srv.ListenAndServe(); err != nil {
-		log.Fatal(err)
-	}
+	logger.Info("mvolapd stopped gracefully")
 }
 
 func loadSchema(path string, demo bool) (*core.Schema, error) {

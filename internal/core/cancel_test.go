@@ -1,0 +1,124 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mvolap/internal/temporal"
+)
+
+// TestExecuteContextCancelled asserts the acceptance criterion: a query
+// issued with an already-cancelled context returns promptly with a
+// cancellation error instead of scanning facts.
+func TestExecuteContextCancelled(t *testing.T) {
+	s := splitSchema(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.ExecuteContext(ctx, Query{
+		GroupBy: []GroupBy{{Dim: "Org", Level: "Division"}},
+		Grain:   GrainYear,
+		Mode:    TCM(),
+	})
+	if err == nil {
+		t.Fatal("cancelled query should fail")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in chain", err)
+	}
+}
+
+// TestExecuteContextDeadline covers the deadline flavour of
+// cancellation used by the server's per-request query timeout.
+func TestExecuteContextDeadline(t *testing.T) {
+	s := splitSchema(t)
+	ctx, cancel := context.WithTimeout(context.Background(), -1)
+	defer cancel()
+	_, err := s.ExecuteContext(ctx, Query{
+		GroupBy: []GroupBy{{Dim: "Org", Level: "Division"}},
+		Grain:   GrainYear,
+		Mode:    TCM(),
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded in chain", err)
+	}
+}
+
+// TestModeContextCancelledBuildEvicted asserts that a build abandoned
+// by cancellation is evicted from the mode cache, so the next live
+// caller rebuilds cleanly instead of inheriting the failure.
+func TestModeContextCancelledBuildEvicted(t *testing.T) {
+	s := splitSchema(t)
+	mv := s.MultiVersion()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := mv.ModeContext(ctx, TCM()); err == nil {
+		t.Fatal("cancelled materialization should fail")
+	}
+
+	mt, err := mv.ModeContext(context.Background(), TCM())
+	if err != nil {
+		t.Fatalf("retry after cancelled build: %v", err)
+	}
+	if mt == nil || len(mt.Facts()) == 0 {
+		t.Fatal("retry should produce a materialized table")
+	}
+	// One cancelled attempt plus one successful rebuild.
+	if got := mv.Materializations(); got != 2 {
+		t.Fatalf("Materializations() = %d, want 2", got)
+	}
+}
+
+// TestSchemaCloneIsolated asserts Clone's copy-on-write contract: the
+// clone is deep enough that in-place evolution of the clone's
+// dimensions and facts never shows through to the original.
+func TestSchemaCloneIsolated(t *testing.T) {
+	orig := splitSchema(t)
+	origVersions := len(orig.Dimension("Org").Versions())
+	origFacts := orig.Facts().Len()
+	origModes := len(orig.Modes())
+
+	clone := orig.Clone()
+	d := clone.Dimension("Org")
+	if d == orig.Dimension("Org") {
+		t.Fatal("clone shares the dimension pointer")
+	}
+	if err := d.AddVersion(&MemberVersion{
+		ID: "NewDept", Member: "NewDept", Level: "Department",
+		Valid: temporal.Since(y(2004)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetEnd("Smith", ym(2003, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if err := clone.InsertFact(Coords{"NewDept"}, y(2004), 99); err != nil {
+		t.Fatal(err)
+	}
+	clone.Invalidate()
+
+	if got := len(orig.Dimension("Org").Versions()); got != origVersions {
+		t.Fatalf("original dimension mutated: %d versions, want %d", got, origVersions)
+	}
+	if v := orig.Dimension("Org").Version("Smith"); v == nil || v.Valid.End != temporal.Now {
+		t.Fatal("original member validity mutated through clone")
+	}
+	if got := orig.Facts().Len(); got != origFacts {
+		t.Fatalf("original facts mutated: %d, want %d", got, origFacts)
+	}
+	if got := len(orig.Modes()); got != origModes {
+		t.Fatalf("original modes changed: %d, want %d", got, origModes)
+	}
+
+	// Both schemas stay independently queryable.
+	for _, s := range []*Schema{orig, clone} {
+		if _, err := s.Execute(Query{
+			GroupBy: []GroupBy{{Dim: "Org", Level: "Division"}},
+			Grain:   GrainYear,
+			Mode:    TCM(),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

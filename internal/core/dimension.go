@@ -495,6 +495,26 @@ func (d *Dimension) Restrict(iv temporal.Interval) *Dimension {
 	return out
 }
 
+// Clone returns a deep copy of the dimension sharing no mutable state
+// with the original: member versions are cloned and the relationship
+// slice and its indexes are rebuilt. It backs the serving tier's
+// copy-on-write evolution (queries keep reading the old structure
+// while operators mutate the clone).
+func (d *Dimension) Clone() *Dimension {
+	out := NewDimension(d.ID, d.Name)
+	for _, id := range d.order {
+		cp := d.members[id].Clone()
+		out.members[cp.ID] = cp
+		out.order = append(out.order, cp.ID)
+	}
+	out.rels = append([]TemporalRelationship(nil), d.rels...)
+	for i, r := range out.rels {
+		out.parentRels[r.From] = append(out.parentRels[r.From], i)
+		out.childRels[r.To] = append(out.childRels[r.To], i)
+	}
+	return out
+}
+
 // SetEnd truncates the valid time of a member version; it implements
 // the core of the Exclude evolution operator. Relationships involving
 // the version are truncated as well, per §3.2 of the paper, and

@@ -122,6 +122,28 @@ func (ft *FactTable) Lookup(coords Coords, t temporal.Instant) ([]float64, bool)
 // callers must not mutate it.
 func (ft *FactTable) Facts() []*Fact { return ft.facts }
 
+// Clone returns a deep copy of the fact table: facts, coordinate
+// vectors and value slices are all copied, so inserts into either
+// table never reach through to the other.
+func (ft *FactTable) Clone() *FactTable {
+	out := &FactTable{
+		measures: ft.measures,
+		facts:    make([]*Fact, len(ft.facts)),
+		index:    make(map[string]int, len(ft.index)),
+	}
+	for i, f := range ft.facts {
+		out.facts[i] = &Fact{
+			Coords: f.Coords.Clone(),
+			Time:   f.Time,
+			Values: append([]float64(nil), f.Values...),
+		}
+	}
+	for k, v := range ft.index {
+		out.index[k] = v
+	}
+	return out
+}
+
 // Times returns the sorted distinct instants present in the table.
 func (ft *FactTable) Times() []temporal.Instant {
 	seen := make(map[temporal.Instant]bool)

@@ -1,0 +1,31 @@
+package core
+
+import "mvolap/internal/obs"
+
+// Engine-level metrics, registered on the process-wide registry and
+// served by internal/server at GET /metrics. Names and semantics are
+// documented in docs/observability.md.
+var (
+	metMaterializeSeconds = obs.Default().HistogramVec(
+		"mvolap_materialize_seconds",
+		"MVFT materialization duration per temporal mode of presentation.",
+		nil, "mode")
+	metModeCacheHits = obs.Default().Counter(
+		"mvolap_mode_cache_hits_total",
+		"Mode requests served from an already-materialized (or in-flight) MVFT restriction.")
+	metModeCacheMisses = obs.Default().Counter(
+		"mvolap_mode_cache_misses_total",
+		"Mode requests that had to materialize the MVFT restriction.")
+	metMaterializeDropped = obs.Default().Counter(
+		"mvolap_materialize_dropped_total",
+		"Source facts dropped during materialization because no mapping chain reaches the target structure version.")
+	metFactsScanned = obs.Default().Counter(
+		"mvolap_query_facts_scanned_total",
+		"Mapped facts scanned by query aggregation.")
+	metQueryRows = obs.Default().Counter(
+		"mvolap_query_rows_total",
+		"Result rows emitted by query aggregation.")
+	metQueryCancelled = obs.Default().Counter(
+		"mvolap_query_cancelled_total",
+		"Queries or materializations abandoned on context cancellation or deadline.")
+)

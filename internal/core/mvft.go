@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mvolap/internal/temporal"
 )
@@ -172,10 +175,13 @@ func foldAvg(a float64, na int32, b float64) (mean float64, n int32) {
 }
 
 // modeEntry is the singleflight slot for one mode's materialization:
-// the first caller runs mapFacts inside the once, every concurrent and
-// later caller waits on it and shares the result.
+// the caller that creates the entry runs mapFacts and closes done;
+// every concurrent and later caller waits on done and shares the
+// result. Waiters may abandon the wait when their own context is
+// cancelled; a failed build is evicted from the cache so the next
+// caller retries instead of being served a stale error.
 type modeEntry struct {
-	once  sync.Once
+	done  chan struct{}
 	table *MappedTable
 	err   error
 }
@@ -212,19 +218,74 @@ func (s *Schema) MultiVersion() *MultiVersionFactTable {
 // temporal mode of presentation. Racing callers on the same mode do not
 // duplicate work: exactly one materializes, the rest block on it.
 func (mv *MultiVersionFactTable) Mode(m Mode) (*MappedTable, error) {
+	return mv.ModeContext(context.Background(), m)
+}
+
+// ModeContext is Mode with cancellation: the materializing caller
+// checks ctx inside the per-fact mapping loops, and waiting callers
+// stop waiting when their own ctx is cancelled (the build itself keeps
+// the builder's context). A build abandoned on cancellation is evicted
+// from the cache, so the mode re-materializes cleanly on the next call.
+func (mv *MultiVersionFactTable) ModeContext(ctx context.Context, m Mode) (*MappedTable, error) {
+	mt, _, err := mv.modeContext(ctx, m)
+	return mt, err
+}
+
+// modeContext additionally reports whether the table was served from
+// cache (true) or built by this call (false).
+func (mv *MultiVersionFactTable) modeContext(ctx context.Context, m Mode) (*MappedTable, bool, error) {
 	key := m.String()
-	mv.mu.Lock()
-	e, ok := mv.byMode[key]
-	if !ok {
-		e = &modeEntry{}
-		mv.byMode[key] = e
+	for {
+		mv.mu.Lock()
+		e, ok := mv.byMode[key]
+		if !ok {
+			e = &modeEntry{done: make(chan struct{})}
+			mv.byMode[key] = e
+			mv.mu.Unlock()
+			metModeCacheMisses.Inc()
+			mv.builds.Add(1)
+			start := time.Now()
+			e.table, e.err = mv.schema.mapFacts(ctx, m)
+			close(e.done)
+			if e.err != nil {
+				// Never cache a failure: evict the entry so a later call
+				// retries (in particular, a build cancelled by one
+				// client's disconnect must not poison the mode).
+				mv.mu.Lock()
+				if mv.byMode[key] == e {
+					delete(mv.byMode, key)
+				}
+				mv.mu.Unlock()
+				if isCancellation(e.err) {
+					metQueryCancelled.Inc()
+				}
+				return nil, false, e.err
+			}
+			metMaterializeSeconds.With(m.String()).Observe(time.Since(start).Seconds())
+			metMaterializeDropped.Add(int64(e.table.Dropped))
+			return e.table, false, nil
+		}
+		mv.mu.Unlock()
+		metModeCacheHits.Inc()
+		select {
+		case <-e.done:
+			if e.err != nil && isCancellation(e.err) && ctx.Err() == nil {
+				// The builder was cancelled but this caller is still
+				// live: retry (the failed entry has been evicted).
+				continue
+			}
+			return e.table, true, e.err
+		case <-ctx.Done():
+			metQueryCancelled.Inc()
+			return nil, true, fmt.Errorf("core: materialization wait cancelled: %w", ctx.Err())
+		}
 	}
-	mv.mu.Unlock()
-	e.once.Do(func() {
-		mv.builds.Add(1)
-		e.table, e.err = mv.schema.mapFacts(m)
-	})
-	return e.table, e.err
+}
+
+// isCancellation reports whether err stems from context cancellation
+// or deadline expiry.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Materializations reports how many mapFacts runs this table has
@@ -305,10 +366,18 @@ type partialShard struct {
 	dropped int
 }
 
+// cancelCheckStride is how many facts a mapping or aggregation loop
+// processes between context checks: frequent enough that cancellation
+// is prompt even on modest tables, rare enough to stay off the
+// per-fact hot path.
+const cancelCheckStride = 256
+
 // mapShard resolves and maps one contiguous shard of the fact table
 // into a partialShard. graph and leafIn are shared read-only snapshots;
-// the resolution cache is private to the shard.
-func (s *Schema) mapShard(graph *mappingGraph, leafIn []map[MVID]bool, facts []*Fact) *partialShard {
+// the resolution cache is private to the shard. The shard stops early
+// (leaving its output incomplete) when ctx is cancelled; mapFacts
+// checks ctx after the join and discards the partials.
+func (s *Schema) mapShard(ctx context.Context, graph *mappingGraph, leafIn []map[MVID]bool, facts []*Fact) *partialShard {
 	nd, nm := len(s.dims), len(s.measures)
 	p := &partialShard{}
 	// Resolutions are deterministic per source member version; cache
@@ -319,7 +388,10 @@ func (s *Schema) mapShard(graph *mappingGraph, leafIn []map[MVID]bool, facts []*
 	}
 	perDim := make([][]resolution, nd)
 	combo := make([]int, nd)
-	for _, f := range facts {
+	for fi, f := range facts {
+		if fi%cancelCheckStride == 0 && ctx.Err() != nil {
+			return p
+		}
 		ok := true
 		for i, id := range f.Coords {
 			rs, cached := resCache[i][id]
@@ -417,7 +489,10 @@ func (s *Schema) mergePartials(out *MappedTable, partials []*partialShard) {
 // materializeWorkers goroutines over a shared read-only mapping-graph
 // snapshot; the cheap fold phase replays the shards deterministically
 // (see mergePartials).
-func (s *Schema) mapFacts(m Mode) (*MappedTable, error) {
+func (s *Schema) mapFacts(ctx context.Context, m Mode) (*MappedTable, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: materialization cancelled: %w", err)
+	}
 	facts := s.facts.Facts()
 	switch m.Kind {
 	case TCMKind:
@@ -428,9 +503,14 @@ func (s *Schema) mapFacts(m Mode) (*MappedTable, error) {
 		values := make([]float64, 0, len(facts)*nm)
 		cfs := make([]Confidence, len(facts)*nm)
 		for i, f := range facts {
+			if i > 0 && i%cancelCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("core: materialization cancelled: %w", err)
+				}
+			}
 			values = append(values, f.Values...)
 			out.add(f.Coords, f.Time,
-				values[i*nm : (i+1)*nm : (i+1)*nm],
+				values[i*nm:(i+1)*nm:(i+1)*nm],
 				cfs[i*nm:(i+1)*nm:(i+1)*nm])
 		}
 		return out, nil
@@ -462,7 +542,11 @@ func (s *Schema) mapFacts(m Mode) (*MappedTable, error) {
 	out := newMappedTable(m, s.alg, s.measures, len(facts))
 	workers := s.materializeWorkers(len(facts))
 	if workers <= 1 {
-		s.mergePartials(out, []*partialShard{s.mapShard(graph, leafIn, facts)})
+		p := s.mapShard(ctx, graph, leafIn, facts)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: materialization cancelled: %w", err)
+		}
+		s.mergePartials(out, []*partialShard{p})
 		return out, nil
 	}
 	partials := make([]*partialShard, workers)
@@ -477,10 +561,13 @@ func (s *Schema) mapFacts(m Mode) (*MappedTable, error) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			partials[w] = s.mapShard(graph, leafIn, facts[lo:hi])
+			partials[w] = s.mapShard(ctx, graph, leafIn, facts[lo:hi])
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: materialization cancelled: %w", err)
+	}
 	s.mergePartials(out, partials)
 	return out, nil
 }

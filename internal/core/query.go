@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
 
+	"mvolap/internal/obs"
 	"mvolap/internal/temporal"
 )
 
@@ -132,14 +134,37 @@ type Result struct {
 // structure (the structure version's graph in a version mode, D(t) at
 // each fact's instant in tcm).
 func (s *Schema) Execute(q Query) (*Result, error) {
-	mt, err := s.MultiVersion().Mode(q.Mode)
+	return s.ExecuteContext(context.Background(), q)
+}
+
+// ExecuteContext is Execute with cancellation and tracing: the
+// materialization and aggregation stages check ctx inside their
+// per-fact loops (so a client disconnect or deadline stops work
+// promptly), and when ctx carries an obs trace the two stages record
+// "materialize" and "aggregate" spans with fact and row counts.
+func (s *Schema) ExecuteContext(ctx context.Context, q Query) (*Result, error) {
+	mctx, msp := obs.StartSpan(ctx, "materialize")
+	msp.SetAttr("mode", q.Mode.String())
+	mt, cached, err := s.MultiVersion().modeContext(mctx, q.Mode)
+	if err == nil {
+		msp.SetAttr("cached", cached)
+		msp.SetAttr("facts", mt.Len())
+		msp.SetAttr("dropped", mt.Dropped)
+	}
+	msp.End()
 	if err != nil {
 		return nil, err
 	}
-	return s.executeOn(mt, q)
+	actx, asp := obs.StartSpan(ctx, "aggregate")
+	res, err := s.executeOn(actx, mt, q)
+	if err == nil {
+		asp.SetAttr("rows", len(res.Rows))
+	}
+	asp.End()
+	return res, err
 }
 
-func (s *Schema) executeOn(mt *MappedTable, q Query) (*Result, error) {
+func (s *Schema) executeOn(ctx context.Context, mt *MappedTable, q Query) (*Result, error) {
 	// Resolve measure selection.
 	mIdx := make([]int, 0, len(s.measures))
 	var mNames []string
@@ -211,7 +236,13 @@ func (s *Schema) executeOn(mt *MappedTable, q Query) (*Result, error) {
 	perAxis := make([][]*MemberVersion, len(axes))
 	combo := make([]int, len(axes))
 
-	for _, f := range mt.Facts() {
+	for fi, f := range mt.Facts() {
+		if fi%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				metQueryCancelled.Inc()
+				return nil, fmt.Errorf("core: query cancelled: %w", err)
+			}
+		}
 		if !rng.Contains(f.Time) {
 			continue
 		}
@@ -296,6 +327,7 @@ func (s *Schema) executeOn(mt *MappedTable, q Query) (*Result, error) {
 		}
 	}
 
+	metFactsScanned.Add(int64(len(mt.Facts())))
 	res := &Result{MeasureNames: mNames, GroupNames: gNames, Mode: q.Mode, Dropped: mt.Dropped}
 	for _, key := range order {
 		st := cells[key]
@@ -317,6 +349,7 @@ func (s *Schema) executeOn(mt *MappedTable, q Query) (*Result, error) {
 		}
 		return false
 	})
+	metQueryRows.Add(int64(len(res.Rows)))
 	return res, nil
 }
 

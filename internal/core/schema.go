@@ -197,6 +197,29 @@ func (s *Schema) Validate() error {
 	return nil
 }
 
+// Clone returns a deep copy of the schema: dimensions and facts are
+// cloned, measures and mappings copied, derived caches left cold. It
+// enables copy-on-write evolution in the serving tier — apply
+// operators to the clone while queries keep running, race-free, on
+// the original, then swap pointers. Mapping functions and the
+// confidence algebra are shared; both are immutable by contract.
+func (s *Schema) Clone() *Schema {
+	out := &Schema{
+		Name:     s.Name,
+		dimIndex: make(map[DimID]int, len(s.dimIndex)),
+		measures: append([]Measure(nil), s.measures...),
+		mappings: append([]MappingRelationship(nil), s.mappings...),
+		alg:      s.alg,
+		facts:    s.facts.Clone(),
+	}
+	for _, d := range s.dims {
+		out.dimIndex[d.ID] = len(out.dims)
+		out.dims = append(out.dims, d.Clone())
+	}
+	out.matWorkers.Store(s.matWorkers.Load())
+	return out
+}
+
 // invalidate drops the derived caches by unlinking them. A
 // MultiVersionFactTable handle obtained before the mutation — including
 // one with materializations still in flight — keeps building into and

@@ -27,15 +27,45 @@ type Applier struct {
 // NewApplier creates an applier bound to the schema.
 func NewApplier(s *core.Schema) *Applier { return &Applier{schema: s} }
 
+// ApplyError reports a failed operator within a batch: which operator
+// failed, and how many operators before it were already applied to the
+// schema. Callers that applied the batch to a shared schema can use it
+// to tell clients exactly how far the schema mutated; callers that
+// applied it to a disposable clone can discard the clone for an atomic
+// failure.
+type ApplyError struct {
+	// Index is the zero-based position of the failing operator in the
+	// batch; operators [0, Index) were applied.
+	Index int
+	// Applied is the number of operators successfully applied before
+	// the failure (equal to Index: Apply stops at the first failure).
+	Applied int
+	// Op is the Table 11 description of the failing operator.
+	Op  string
+	Err error
+}
+
+// Error renders the failure with its position in the batch.
+func (e *ApplyError) Error() string {
+	return fmt.Sprintf("evolution: applying operator %d (%s) after %d applied: %v",
+		e.Index+1, e.Op, e.Applied, e.Err)
+}
+
+// Unwrap exposes the underlying operator error.
+func (e *ApplyError) Unwrap() error { return e.Err }
+
 // Apply runs the operators in order, stopping at the first failure.
 // Applied operators are logged; on error the schema may be left with a
 // prefix of the batch applied (operators are not transactional, like
-// the DDL of the paper's prototype platform).
+// the DDL of the paper's prototype platform). The returned error is an
+// *ApplyError reporting the failing operator's index and how many
+// operators were applied before it; apply to a core.Schema.Clone and
+// swap on success when atomicity is required.
 func (a *Applier) Apply(ops ...Op) error {
-	for _, op := range ops {
+	for i, op := range ops {
 		if err := op.Apply(a.schema); err != nil {
 			a.schema.Invalidate()
-			return fmt.Errorf("evolution: applying %s: %w", op.Describe(), err)
+			return &ApplyError{Index: i, Applied: i, Op: op.Describe(), Err: err}
 		}
 		a.log = append(a.log, LogEntry{
 			Seq:         len(a.log) + 1,
@@ -45,6 +75,13 @@ func (a *Applier) Apply(ops ...Op) error {
 	}
 	a.schema.Invalidate()
 	return nil
+}
+
+// Rebind returns a new applier bound to s carrying a copy of this
+// applier's log — used with Schema.Clone for copy-on-write evolution:
+// the clone's applier keeps the full §5.2 evolution history.
+func (a *Applier) Rebind(s *core.Schema) *Applier {
+	return &Applier{schema: s, log: append([]LogEntry(nil), a.log...)}
 }
 
 // Log returns the applied-operator log.

@@ -1,0 +1,88 @@
+package evolution
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mvolap/internal/core"
+)
+
+// TestApplyErrorReportsPosition asserts the partial-application
+// contract: Apply stops at the first failing operator and the returned
+// *ApplyError reports which operator failed and how many were applied
+// before it.
+func TestApplyErrorReportsPosition(t *testing.T) {
+	s := freshOrg(t)
+	a := NewApplier(s)
+	ops := []Op{
+		Insert{Dim: "Org", ID: "Dave", Name: "Dpt.Dave", Level: "Department",
+			Start: y(2002), Parents: []core.MVID{"Sales"}},
+		Exclude{Dim: "Org", ID: "no-such-member", At: y(2003)},
+		Insert{Dim: "Org", ID: "Eve", Name: "Dpt.Eve", Level: "Department",
+			Start: y(2003), Parents: []core.MVID{"Sales"}},
+	}
+	err := a.Apply(ops...)
+	if err == nil {
+		t.Fatal("batch with a bad operator should fail")
+	}
+	var ae *ApplyError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %T, want *ApplyError", err)
+	}
+	if ae.Index != 1 || ae.Applied != 1 {
+		t.Fatalf("ApplyError{Index: %d, Applied: %d}, want {1, 1}", ae.Index, ae.Applied)
+	}
+	if !strings.Contains(ae.Op, "no-such-member") {
+		t.Fatalf("ApplyError.Op = %q, want the failing operator's description", ae.Op)
+	}
+	if ae.Unwrap() == nil {
+		t.Fatal("ApplyError should wrap the operator error")
+	}
+	// The prefix before the failure was applied (non-transactional).
+	if s.Dimension("Org").Version("Dave") == nil {
+		t.Fatal("operator before the failure should have been applied")
+	}
+	if s.Dimension("Org").Version("Eve") != nil {
+		t.Fatal("operator after the failure must not have been applied")
+	}
+	// Only the applied prefix is logged.
+	if got := len(a.Log()); got != 1 {
+		t.Fatalf("log length = %d, want 1", got)
+	}
+}
+
+// TestRebindCarriesLog asserts that the clone's applier keeps the
+// evolution history — the copy-on-write path the server uses.
+func TestRebindCarriesLog(t *testing.T) {
+	s := freshOrg(t)
+	a := NewApplier(s)
+	if err := a.Apply(Insert{Dim: "Org", ID: "Dave", Name: "Dpt.Dave",
+		Level: "Department", Start: y(2002), Parents: []core.MVID{"Sales"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	clone := s.Clone()
+	b := a.Rebind(clone)
+	if got := len(b.Log()); got != 1 {
+		t.Fatalf("rebound log length = %d, want 1", got)
+	}
+	if err := b.Apply(Insert{Dim: "Org", ID: "Eve", Name: "Dpt.Eve",
+		Level: "Department", Start: y(2003), Parents: []core.MVID{"Sales"}}); err != nil {
+		t.Fatal(err)
+	}
+	// The rebound applier mutates the clone, not the original, and its
+	// log does not leak back.
+	if s.Dimension("Org").Version("Eve") != nil {
+		t.Fatal("rebound applier mutated the original schema")
+	}
+	if got := len(a.Log()); got != 1 {
+		t.Fatalf("original log length = %d, want 1", got)
+	}
+	if got := len(b.Log()); got != 2 {
+		t.Fatalf("rebound log length = %d, want 2", got)
+	}
+	if hist := b.History("Dave"); len(hist) != 1 {
+		t.Fatalf("history of Dave on rebound applier = %v", hist)
+	}
+}

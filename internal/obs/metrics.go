@@ -1,0 +1,440 @@
+// Package obs is the dependency-free observability layer of the
+// serving tier: process-wide counters, gauges and histograms with
+// Prometheus text-format and JSON export, plus a request-scoped trace
+// recorder (see trace.go) that renders per-stage span trees for
+// queries against the multiversion warehouse.
+//
+// The package deliberately has no third-party dependencies: metrics
+// are plain atomics behind a small registry, so instrumenting the hot
+// paths of internal/core costs a few nanoseconds per event and the
+// repo stays self-contained.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (negative deltas are ignored:
+// counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down (e.g. in-flight requests).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Set pins the gauge to v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the current gauge reading.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefBuckets are the default latency buckets in seconds, spanning
+// sub-millisecond cache hits to multi-second materializations.
+var DefBuckets = []float64{
+	0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket distribution metric. Observations are
+// lock-free; export takes a consistent-enough snapshot (Prometheus
+// scrapes tolerate the usual slight skew between sum and buckets).
+type Histogram struct {
+	bounds []float64 // upper bounds, strictly increasing
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// metricKind tags a family's type for export.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labelled instance of a family.
+type series struct {
+	labels []string // values aligned with family.labelKeys
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family is one named metric with a fixed label-key set.
+type family struct {
+	name      string
+	help      string
+	kind      metricKind
+	labelKeys []string
+	buckets   []float64 // histograms only
+
+	mu     sync.Mutex
+	series map[string]*series
+	order  []string
+}
+
+func (f *family) get(labelVals []string) *series {
+	if len(labelVals) != len(f.labelKeys) {
+		panic(fmt.Sprintf("obs: metric %s wants %d label values, got %d",
+			f.name, len(f.labelKeys), len(labelVals)))
+	}
+	key := strings.Join(labelVals, "\x1f")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := &series{labels: append([]string(nil), labelVals...)}
+	switch f.kind {
+	case kindCounter:
+		s.c = &Counter{}
+	case kindGauge:
+		s.g = &Gauge{}
+	case kindHistogram:
+		s.h = newHistogram(f.buckets)
+	}
+	f.series[key] = s
+	f.order = append(f.order, key)
+	return s
+}
+
+// CounterVec is a counter family keyed by label values.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values (created on
+// first use).
+func (v *CounterVec) With(labelVals ...string) *Counter { return v.f.get(labelVals).c }
+
+// GaugeVec is a gauge family keyed by label values.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(labelVals ...string) *Gauge { return v.f.get(labelVals).g }
+
+// HistogramVec is a histogram family keyed by label values.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(labelVals ...string) *Histogram { return v.f.get(labelVals).h }
+
+// Registry holds metric families and renders them. The zero value is
+// not usable; use NewRegistry or the package Default.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry that package-level
+// instrumentation in core, tql and server registers into.
+func Default() *Registry { return defaultRegistry }
+
+// register returns the family with the given name, creating it when
+// absent. Re-registering an existing name is idempotent when kind and
+// label keys match, and panics otherwise — a mismatch is a programming
+// error that would silently split series.
+func (r *Registry) register(name, help string, kind metricKind, buckets []float64, labelKeys []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != kind || len(f.labelKeys) != len(labelKeys) {
+			panic(fmt.Sprintf("obs: metric %s re-registered with different type or labels", name))
+		}
+		for i := range labelKeys {
+			if f.labelKeys[i] != labelKeys[i] {
+				panic(fmt.Sprintf("obs: metric %s re-registered with different labels", name))
+			}
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labelKeys: append([]string(nil), labelKeys...),
+		buckets:   buckets,
+		series:    make(map[string]*series),
+	}
+	r.families = append(r.families, f)
+	r.byName[name] = f
+	return f
+}
+
+// Counter registers (or fetches) an unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, kindCounter, nil, nil).get(nil).c
+}
+
+// CounterVec registers (or fetches) a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labelKeys ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, kindCounter, nil, labelKeys)}
+}
+
+// Gauge registers (or fetches) an unlabelled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, kindGauge, nil, nil).get(nil).g
+}
+
+// GaugeVec registers (or fetches) a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelKeys ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, kindGauge, nil, labelKeys)}
+}
+
+// Histogram registers (or fetches) an unlabelled histogram. A nil
+// buckets slice uses DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return r.register(name, help, kindHistogram, buckets, nil).get(nil).h
+}
+
+// HistogramVec registers (or fetches) a labelled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelKeys ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{f: r.register(name, help, kindHistogram, buckets, labelKeys)}
+}
+
+// snapshotFamilies copies the family list under the registry lock;
+// per-family series lists are copied under the family lock.
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*family(nil), r.families...)
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func formatLabels(keys, vals []string, extra ...string) string {
+	if len(keys) == 0 && len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, k, escapeLabel(vals[i]))
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		if b.Len() > 1 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extra[i], escapeLabel(extra[i+1]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.snapshotFamilies() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
+			return err
+		}
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		byKey := make(map[string]*series, len(keys))
+		for _, k := range keys {
+			byKey[k] = f.series[k]
+		}
+		f.mu.Unlock()
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := byKey[k]
+			lbl := formatLabels(f.labelKeys, s.labels)
+			var err error
+			switch f.kind {
+			case kindCounter:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, lbl, s.c.Value())
+			case kindGauge:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, lbl, s.g.Value())
+			case kindHistogram:
+				cum := int64(0)
+				for i, bound := range s.h.bounds {
+					cum += s.h.counts[i].Load()
+					le := formatLabels(f.labelKeys, s.labels, "le", formatFloat(bound))
+					if _, err = fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, le, cum); err != nil {
+						return err
+					}
+				}
+				cum += s.h.counts[len(s.h.bounds)].Load()
+				le := formatLabels(f.labelKeys, s.labels, "le", "+Inf")
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, le, cum)
+				fmt.Fprintf(w, "%s_sum%s %s\n", f.name, lbl, formatFloat(s.h.Sum()))
+				_, err = fmt.Fprintf(w, "%s_count%s %d\n", f.name, lbl, s.h.Count())
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Snapshot renders the registry as a JSON-friendly map for the
+// /debug/vars-style endpoint: family name → series (keyed by rendered
+// labels, or "value" for unlabelled metrics). Histograms expose
+// count, sum and per-upper-bound bucket counts.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	for _, f := range r.snapshotFamilies() {
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		byKey := make(map[string]*series, len(keys))
+		for _, k := range keys {
+			byKey[k] = f.series[k]
+		}
+		f.mu.Unlock()
+		sort.Strings(keys)
+		fam := make(map[string]any, len(keys))
+		for _, k := range keys {
+			s := byKey[k]
+			lbl := formatLabels(f.labelKeys, s.labels)
+			if lbl == "" {
+				lbl = "value"
+			}
+			switch f.kind {
+			case kindCounter:
+				fam[lbl] = s.c.Value()
+			case kindGauge:
+				fam[lbl] = s.g.Value()
+			case kindHistogram:
+				buckets := make(map[string]int64, len(s.h.bounds)+1)
+				cum := int64(0)
+				for i, bound := range s.h.bounds {
+					cum += s.h.counts[i].Load()
+					buckets[formatFloat(bound)] = cum
+				}
+				cum += s.h.counts[len(s.h.bounds)].Load()
+				buckets["+Inf"] = cum
+				fam[lbl] = map[string]any{
+					"count":   s.h.Count(),
+					"sum":     s.h.Sum(),
+					"buckets": buckets,
+				}
+			}
+		}
+		out[f.name] = fam
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "help")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // counters never go down; ignored
+	c.Add(0)  // no-op
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value() = %d, want 5", got)
+	}
+	var nilc *Counter
+	nilc.Inc() // nil-safe
+	nilc.Add(2)
+	if nilc.Value() != 0 {
+		t.Fatal("nil counter should read 0")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_gauge", "help")
+	g.Set(10)
+	g.Add(5)
+	g.Add(-3)
+	if got := g.Value(); got != 12 {
+		t.Fatalf("Value() = %d, want 12", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "help", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 4 {
+		t.Fatalf("Count() = %d, want 4", got)
+	}
+	if got := h.Sum(); got != 55.55 {
+		t.Fatalf("Sum() = %g, want 55.55", got)
+	}
+}
+
+func TestHistogramConcurrentSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "help", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("Count() = %d, want 8000", got)
+	}
+	if got, want := h.Sum(), 8.0; got < want-0.001 || got > want+0.001 {
+		t.Fatalf("Sum() = %g, want ~%g", got, want)
+	}
+}
+
+func TestVecLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_total", "help", "endpoint", "code")
+	v.With("/query", "200").Inc()
+	v.With("/query", "200").Inc()
+	v.With("/query", "400").Inc()
+	if got := v.With("/query", "200").Value(); got != 2 {
+		t.Fatalf("series value = %d, want 2", got)
+	}
+	if got := v.With("/query", "400").Value(); got != 1 {
+		t.Fatalf("series value = %d, want 1", got)
+	}
+}
+
+func TestVecWrongCardinalityPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_total", "help", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong label cardinality")
+		}
+	}()
+	v.With("only-one")
+}
+
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("dup_total", "help")
+	c2 := r.Counter("dup_total", "help")
+	if c1 != c2 {
+		t.Fatal("re-registering the same counter should return the same instance")
+	}
+}
+
+func TestMismatchedRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("clash_total", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when re-registering a name as a different type")
+		}
+	}()
+	r.Gauge("clash_total", "help")
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("req_total", "Total requests.").Add(3)
+	r.Gauge("in_flight", "In flight.").Set(2)
+	r.CounterVec("by_code_total", "By code.", "code").With("200").Inc()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP req_total Total requests.",
+		"# TYPE req_total counter",
+		"req_total 3",
+		"# TYPE in_flight gauge",
+		"in_flight 2",
+		`by_code_total{code="200"} 1`,
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_sum 5.55",
+		"lat_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("esc_total", "help", "q").With("say \"hi\"\nback\\slash").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{q="say \"hi\"\nback\\slash"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("exposition missing escaped label %q\n%s", want, b.String())
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "help").Add(7)
+	r.CounterVec("v_total", "help", "k").With("x").Inc()
+	r.Histogram("h_seconds", "help", []float64{1}).Observe(0.5)
+
+	snap := r.Snapshot()
+	c, ok := snap["c_total"].(map[string]any)
+	if !ok || c["value"] != int64(7) {
+		t.Fatalf("c_total snapshot = %#v", snap["c_total"])
+	}
+	v, ok := snap["v_total"].(map[string]any)
+	if !ok || v[`{k="x"}`] != int64(1) {
+		t.Fatalf("v_total snapshot = %#v", snap["v_total"])
+	}
+	hAny, ok := snap["h_seconds"].(map[string]any)
+	if !ok {
+		t.Fatalf("h_seconds snapshot = %#v", snap["h_seconds"])
+	}
+	h, ok := hAny["value"].(map[string]any)
+	if !ok || h["count"] != int64(1) {
+		t.Fatalf("h_seconds value = %#v", hAny["value"])
+	}
+}

@@ -7,38 +7,63 @@
 //
 // Endpoints:
 //
-//	GET  /query?q=<TQL>     run a statement; JSON result
+//	GET  /query?q=<TQL>     run a statement; JSON result (&trace=1 adds spans)
 //	GET  /modes             the set TMP of temporal modes
 //	GET  /schema            dimensions, levels, measures, mappings
 //	POST /evolve            apply an evolution script (requires enabling)
 //	GET  /healthz           liveness
+//	GET  /metrics           Prometheus text-format metrics
+//	GET  /debug/vars        the same metrics as JSON
+//	GET  /debug/pprof/      pprof handlers (requires WithPprof)
 //
-// Queries run concurrently; evolution takes an exclusive lock so the
-// derived caches rebuild consistently.
+// Queries run lock-free on an immutable schema snapshot; evolution is
+// copy-on-write — operators apply to a clone which is swapped in only
+// when the whole batch succeeds, so readers never observe a mutating
+// or partially evolved structure, and a failing batch leaves the
+// served schema untouched.
 package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"sync"
+	"time"
 
 	"mvolap/internal/core"
 	"mvolap/internal/evolution"
 	"mvolap/internal/metadata"
+	"mvolap/internal/obs"
 	"mvolap/internal/quality"
 	"mvolap/internal/tql"
 )
 
+// StatusClientClosedRequest is the non-standard (nginx) status code
+// reported when a client disconnects before its query completes.
+const StatusClientClosedRequest = 499
+
 // Server wraps a schema with HTTP handlers.
 type Server struct {
+	// mu guards the schema/applier pointers only. Handlers snapshot
+	// the pointers under a brief read-lock and run on the snapshot —
+	// query execution never holds the lock, so a pending evolution
+	// cannot queue readers behind the slowest in-flight query.
 	mu          sync.RWMutex
 	schema      *core.Schema
 	applier     *evolution.Applier
 	allowEvolve bool
+
+	logger       *slog.Logger
+	queryTimeout time.Duration
+	slowQuery    time.Duration
+	enablePprof  bool
 }
 
 // Option configures the server.
@@ -49,27 +74,90 @@ func WithEvolution() Option {
 	return func(s *Server) { s.allowEvolve = true }
 }
 
+// WithLogger sets the structured logger for the access, slow-query and
+// evolution logs. The default is slog.Default().
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) { s.logger = l }
+}
+
+// WithQueryTimeout sets a per-request deadline for /query; 0 (the
+// default) means no deadline. Expired queries stop materializing and
+// aggregating promptly and return 504.
+func WithQueryTimeout(d time.Duration) Option {
+	return func(s *Server) { s.queryTimeout = d }
+}
+
+// WithSlowQueryThreshold sets the latency above which a /query request
+// is counted and logged as slow; 0 disables the slow-query log. The
+// default is 500ms.
+func WithSlowQueryThreshold(d time.Duration) Option {
+	return func(s *Server) { s.slowQuery = d }
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/.
+func WithPprof() Option {
+	return func(s *Server) { s.enablePprof = true }
+}
+
 // New creates a server over the schema.
 func New(sch *core.Schema, opts ...Option) *Server {
-	s := &Server{schema: sch, applier: evolution.NewApplier(sch)}
+	s := &Server{
+		schema:    sch,
+		applier:   evolution.NewApplier(sch),
+		logger:    slog.Default(),
+		slowQuery: 500 * time.Millisecond,
+	}
 	for _, o := range opts {
 		o(s)
 	}
 	return s
 }
 
+// snapshot returns the schema to serve this request from. The pointer
+// is immutable once published (evolution swaps in a fresh clone), so
+// the caller runs without holding any server lock.
+func (s *Server) snapshot() *core.Schema {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.schema
+}
+
 // Handler returns the HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+	handle := func(pattern, endpoint string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(endpoint, h))
+	}
+	handle("GET /healthz", "/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("GET /{$}", s.handleIndex)
-	mux.HandleFunc("GET /query", s.handleQuery)
-	mux.HandleFunc("GET /modes", s.handleModes)
-	mux.HandleFunc("GET /schema", s.handleSchema)
-	mux.HandleFunc("POST /evolve", s.handleEvolve)
+	handle("GET /{$}", "/", s.handleIndex)
+	handle("GET /query", "/query", s.handleQuery)
+	handle("GET /modes", "/modes", s.handleModes)
+	handle("GET /schema", "/schema", s.handleSchema)
+	handle("POST /evolve", "/evolve", s.handleEvolve)
+	handle("GET /metrics", "/metrics", handleMetrics)
+	handle("GET /debug/vars", "/debug/vars", handleDebugVars)
+	if s.enablePprof {
+		handle("GET /debug/pprof/", "/debug/pprof/", pprof.Index)
+		handle("GET /debug/pprof/cmdline", "/debug/pprof/", pprof.Cmdline)
+		handle("GET /debug/pprof/profile", "/debug/pprof/", pprof.Profile)
+		handle("GET /debug/pprof/symbol", "/debug/pprof/", pprof.Symbol)
+		handle("GET /debug/pprof/trace", "/debug/pprof/", pprof.Trace)
+	}
 	return mux
+}
+
+// handleMetrics serves the process registry in the Prometheus text
+// exposition format.
+func handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.Default().WritePrometheus(w)
+}
+
+// handleDebugVars serves the same registry as expvar-style JSON.
+func handleDebugVars(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, obs.Default().Snapshot())
 }
 
 // handleIndex serves a minimal front-end page: a TQL form posting to
@@ -107,11 +195,14 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc.Encode(v)
 }
 
-// queryResponse is the JSON shape of a query result.
+// queryResponse is the JSON shape of a query result. Rows is always
+// present (as [] when the result is empty) so clients can index into
+// the response without null checks; the same holds for the per-row
+// arrays, see queryRow.
 type queryResponse struct {
 	Measures []string   `json:"measures,omitempty"`
 	Groups   []string   `json:"groups,omitempty"`
-	Rows     []queryRow `json:"rows,omitempty"`
+	Rows     []queryRow `json:"rows"`
 	Mode     string     `json:"mode,omitempty"`
 	Quality  float64    `json:"quality"`
 	Dropped  int        `json:"dropped,omitempty"`
@@ -121,12 +212,17 @@ type queryResponse struct {
 	Modes []modeEntry `json:"modes,omitempty"`
 	// Lineage is set for EXPLAIN statements.
 	Lineage string `json:"lineage,omitempty"`
+	// Trace is the span tree, present when the request set trace=1.
+	Trace *obs.SpanNode `json:"trace,omitempty"`
 }
 
+// queryRow is one result row. The values, cfs and colors arrays are
+// always emitted (empty, never null, for a measure-less result) and
+// are index-aligned with the response's measures.
 type queryRow struct {
 	Time   string     `json:"time"`
 	Groups []string   `json:"groups"`
-	Values []*float64 `json:"values"` // null encodes unknown (NaN)
+	Values []*float64 `json:"values"` // null elements encode unknown (NaN)
 	CFs    []string   `json:"cfs"`
 	Colors []string   `json:"colors"`
 }
@@ -147,18 +243,49 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusBadRequest, fmt.Errorf("missing q parameter"))
 		return
 	}
-	s.mu.RLock()
-	out, err := tql.Run(s.schema, stmt)
-	s.mu.RUnlock()
+	// The request context carries client-disconnect cancellation; the
+	// configured per-request deadline is layered on top, and both stop
+	// materialization and aggregation inside their per-fact loops.
+	ctx := r.Context()
+	if s.queryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.queryTimeout)
+		defer cancel()
+	}
+	var root *obs.Span
+	if r.URL.Query().Get("trace") == "1" {
+		ctx, root = obs.NewTrace(ctx, "query")
+	}
+	out, err := tql.RunContext(ctx, s.snapshot(), stmt)
 	if err != nil {
-		jsonError(w, http.StatusBadRequest, err)
+		jsonError(w, queryStatus(err), err)
 		return
 	}
-	writeJSON(w, toResponse(out))
+	setQuality(r.Context(), out.Quality)
+	resp := toResponse(out)
+	if root != nil {
+		root.End()
+		resp.Trace = root.Node()
+	}
+	writeJSON(w, resp)
+}
+
+// queryStatus maps a query error onto an HTTP status: expired
+// deadlines are 504, client disconnects 499, anything else is the
+// client's statement's fault.
+func queryStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	default:
+		return http.StatusBadRequest
+	}
 }
 
 func toResponse(out *tql.Output) queryResponse {
-	resp := queryResponse{Quality: out.Quality, Lineage: out.Lineage}
+	resp := queryResponse{Quality: out.Quality, Lineage: out.Lineage, Rows: []queryRow{}}
 	for _, m := range out.Modes {
 		e := modeEntry{Mode: m.String()}
 		if m.Kind == core.VersionKind && m.Version != nil {
@@ -175,7 +302,13 @@ func toResponse(out *tql.Output) queryResponse {
 		resp.Mode = res.Mode.String()
 		resp.Dropped = res.Dropped
 		for _, row := range res.Rows {
-			qr := queryRow{Time: row.TimeKey, Groups: row.Groups}
+			qr := queryRow{
+				Time:   row.TimeKey,
+				Groups: row.Groups,
+				Values: []*float64{},
+				CFs:    []string{},
+				Colors: []string{},
+			}
 			if qr.Groups == nil {
 				qr.Groups = []string{}
 			}
@@ -196,10 +329,8 @@ func toResponse(out *tql.Output) queryResponse {
 }
 
 func (s *Server) handleModes(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []modeEntry
-	for _, m := range s.schema.Modes() {
+	for _, m := range s.snapshot().Modes() {
 		e := modeEntry{Mode: m.String()}
 		if m.Kind == core.VersionKind {
 			e.Valid = m.Version.Valid.String()
@@ -255,8 +386,8 @@ type evolutionEntry struct {
 
 func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	sch := s.schema
+	sch, applier := s.schema, s.applier
+	s.mu.RUnlock()
 	resp := schemaResponse{
 		Name:  sch.Name,
 		Facts: sch.Facts().Len(),
@@ -284,12 +415,19 @@ func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
 			Conf: row.Conf, ConfInv: row.ConfInv,
 		})
 	}
-	for _, e := range s.applier.Log() {
+	for _, e := range applier.Log() {
 		resp.Evolution = append(resp.Evolution, evolutionEntry{Seq: e.Seq, Description: e.Description})
 	}
 	writeJSON(w, resp)
 }
 
+// handleEvolve applies an evolution script copy-on-write: the batch
+// runs against a clone of the served schema, and the clone is swapped
+// in only when every operator succeeds. A failing batch therefore
+// leaves the served schema untouched — and the 422 envelope reports
+// exactly what happened: how many operators applied before the
+// failure, which operator failed (index and Table 11 description),
+// and that nothing was retained.
 func (s *Server) handleEvolve(w http.ResponseWriter, r *http.Request) {
 	if !s.allowEvolve {
 		jsonError(w, http.StatusForbidden, fmt.Errorf("evolution disabled; start with WithEvolution"))
@@ -300,6 +438,9 @@ func (s *Server) handleEvolve(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusBadRequest, err)
 		return
 	}
+	// The write lock only serializes evolutions against each other and
+	// against pointer snapshots; queries in flight keep reading the
+	// previous schema and are never blocked by the clone or the apply.
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ops, err := evolution.ParseScript(bytes.NewReader(body), len(s.schema.Measures()))
@@ -307,12 +448,32 @@ func (s *Server) handleEvolve(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.applier.Apply(ops...); err != nil {
-		jsonError(w, http.StatusUnprocessableEntity, err)
+	clone := s.schema.Clone()
+	applier := s.applier.Rebind(clone)
+	if err := applier.Apply(ops...); err != nil {
+		envelope := map[string]any{"error": err.Error()}
+		var ae *evolution.ApplyError
+		if errors.As(err, &ae) {
+			envelope["applied"] = ae.Applied
+			envelope["failedAt"] = ae.Index
+			envelope["failedOp"] = ae.Op
+			// Copy-on-write: the partially applied clone is discarded,
+			// so the served schema did not mutate.
+			envelope["retained"] = false
+			s.logger.Warn("evolution batch failed",
+				"ops", len(ops), "applied", ae.Applied,
+				"failedAt", ae.Index, "failedOp", ae.Op, "err", ae.Err)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		json.NewEncoder(w).Encode(envelope)
 		return
 	}
+	s.schema = clone
+	s.applier = applier
+	s.logger.Info("evolution applied", "ops", len(ops), "modes", len(clone.Modes()))
 	writeJSON(w, map[string]any{
 		"applied": len(ops),
-		"modes":   len(s.schema.Modes()),
+		"modes":   len(clone.Modes()),
 	})
 }

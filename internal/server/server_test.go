@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -12,12 +13,18 @@ import (
 	"mvolap/internal/casestudy"
 )
 
+// quietLogger keeps the access log out of test output.
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
 func testServer(t *testing.T, opts ...Option) *httptest.Server {
 	t.Helper()
 	s, err := casestudy.New(casestudy.Config{WithFacts: true, WithSplitMappings: true})
 	if err != nil {
 		t.Fatal(err)
 	}
+	opts = append([]Option{WithLogger(quietLogger())}, opts...)
 	srv := httptest.NewServer(New(s, opts...).Handler())
 	t.Cleanup(srv.Close)
 	return srv

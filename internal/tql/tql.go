@@ -25,12 +25,14 @@
 package tql
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
 
 	"mvolap/internal/core"
 	"mvolap/internal/metadata"
+	"mvolap/internal/obs"
 	"mvolap/internal/quality"
 	"mvolap/internal/temporal"
 )
@@ -89,6 +91,12 @@ func Parse(input string) (*Statement, error) {
 	if err != nil {
 		return nil, err
 	}
+	return parseTokens(toks)
+}
+
+// parseTokens parses a lexed token stream; split from Parse so the
+// traced execution path can time the lex and parse stages separately.
+func parseTokens(toks []token) (*Statement, error) {
 	p := &parser{toks: toks}
 	switch {
 	case p.kw("MODES"):
@@ -532,17 +540,40 @@ type Output struct {
 // Run executes a TQL statement against the schema using the default
 // §5.2 confidence weights.
 func Run(s *core.Schema, input string) (*Output, error) {
-	return RunWith(s, input, quality.DefaultWeights())
+	return RunWithContext(context.Background(), s, input, quality.DefaultWeights())
+}
+
+// RunContext is Run with cancellation and tracing: ctx cancellation
+// (client disconnect, per-request deadline) stops materialization and
+// aggregation promptly, and an obs trace on ctx records per-stage
+// spans (lex, parse, plan, materialize, aggregate, …).
+func RunContext(ctx context.Context, s *core.Schema, input string) (*Output, error) {
+	return RunWithContext(ctx, s, input, quality.DefaultWeights())
 }
 
 // RunWith executes a TQL statement with user-pondered confidence
 // weights (the pds function of §5.2), which drive both per-result
 // quality factors and QUALITY rankings.
 func RunWith(s *core.Schema, input string, w quality.Weights) (*Output, error) {
+	return RunWithContext(context.Background(), s, input, w)
+}
+
+// RunWithContext is RunWith with cancellation and tracing; see
+// RunContext for the semantics.
+func RunWithContext(ctx context.Context, s *core.Schema, input string, w quality.Weights) (*Output, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
-	st, err := Parse(input)
+	_, lexSpan := obs.StartSpan(ctx, "lex")
+	toks, err := lex(input)
+	lexSpan.SetAttr("tokens", len(toks))
+	lexSpan.End()
+	if err != nil {
+		return nil, err
+	}
+	_, parseSpan := obs.StartSpan(ctx, "parse")
+	st, err := parseTokens(toks)
+	parseSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -550,6 +581,8 @@ func RunWith(s *core.Schema, input string, w quality.Weights) (*Output, error) {
 	case KindModes:
 		return &Output{Modes: s.Modes()}, nil
 	case KindExplain:
+		_, sp := obs.StartSpan(ctx, "explain")
+		defer sp.End()
 		mode, err := st.resolveMode(s)
 		if err != nil {
 			return nil, err
@@ -564,11 +597,14 @@ func RunWith(s *core.Schema, input string, w quality.Weights) (*Output, error) {
 		}
 		return &Output{Lineage: text}, nil
 	case KindQuality:
-		q, err := st.Plan(s)
+		q, err := planSpanned(ctx, st, s)
 		if err != nil {
 			return nil, err
 		}
+		_, sp := obs.StartSpan(ctx, "rank")
 		ranking, err := quality.RankModes(s, q, w)
+		sp.SetAttr("modes", len(ranking))
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -578,16 +614,27 @@ func RunWith(s *core.Schema, input string, w quality.Weights) (*Output, error) {
 		}
 		return out, nil
 	default:
-		q, err := st.Plan(s)
+		q, err := planSpanned(ctx, st, s)
 		if err != nil {
 			return nil, err
 		}
-		res, err := s.Execute(q)
+		res, err := s.ExecuteContext(ctx, q)
 		if err != nil {
 			return nil, err
 		}
 		return &Output{Result: res, Quality: quality.Of(res, w)}, nil
 	}
+}
+
+// planSpanned wraps Statement.Plan in a "plan" span.
+func planSpanned(ctx context.Context, st *Statement, s *core.Schema) (core.Query, error) {
+	_, sp := obs.StartSpan(ctx, "plan")
+	defer sp.End()
+	q, err := st.Plan(s)
+	if err == nil {
+		sp.SetAttr("mode", q.Mode.String())
+	}
+	return q, err
 }
 
 // Render renders an output as text: a result table with confidence

@@ -1,0 +1,71 @@
+package tql
+
+import (
+	"context"
+	"testing"
+
+	"mvolap/internal/obs"
+)
+
+// TestRunContextTraceSpans asserts the acceptance criterion for query
+// tracing: a traced SELECT produces a span tree containing at least
+// the lex, parse, plan, materialize and aggregate stages.
+func TestRunContextTraceSpans(t *testing.T) {
+	s := caseSchema(t)
+	ctx, root := obs.NewTrace(context.Background(), "query")
+	out, err := RunContext(ctx, s, "SELECT Amount BY Org.Division, TIME.YEAR MODE tcm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result == nil || len(out.Result.Rows) == 0 {
+		t.Fatal("traced query should still return rows")
+	}
+	root.End()
+	n := root.Node()
+	for _, stage := range []string{"lex", "parse", "plan", "materialize", "aggregate"} {
+		if n.Find(stage) == nil {
+			t.Errorf("trace missing %q span", stage)
+		}
+	}
+	mat := n.Find("materialize")
+	if mat.Attrs["mode"] != "tcm" {
+		t.Errorf("materialize attrs = %v, want mode=tcm", mat.Attrs)
+	}
+	if _, ok := mat.Attrs["cached"]; !ok {
+		t.Errorf("materialize attrs = %v, want a cached verdict", mat.Attrs)
+	}
+	agg := n.Find("aggregate")
+	if agg.Attrs["rows"] == nil {
+		t.Errorf("aggregate attrs = %v, want a row count", agg.Attrs)
+	}
+}
+
+// TestRunContextQualityTrace covers the QUALITY statement's rank span.
+func TestRunContextQualityTrace(t *testing.T) {
+	s := caseSchema(t)
+	ctx, root := obs.NewTrace(context.Background(), "query")
+	if _, err := RunContext(ctx, s, "QUALITY SELECT Amount BY Org.Division, TIME.YEAR"); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	n := root.Node()
+	if n.Find("rank") == nil {
+		t.Error("QUALITY trace missing rank span")
+	}
+	if n.Find("plan") == nil {
+		t.Error("QUALITY trace missing plan span")
+	}
+}
+
+// TestRunWithoutTraceStillWorks pins the nil-span fast path: running
+// without a trace on the context must not panic or change results.
+func TestRunWithoutTraceStillWorks(t *testing.T) {
+	s := caseSchema(t)
+	out, err := RunContext(context.Background(), s, "SELECT Amount BY Org.Division, TIME.YEAR MODE tcm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Result.Rows) == 0 {
+		t.Fatal("expected rows")
+	}
+}
