@@ -18,12 +18,19 @@ test:
 	$(GO) test ./...
 
 # The MVFT materialization pipeline, its singleflight cache, the
-# lock-free observability counters and the server's copy-on-write
-# evolution are all concurrent; keep them honest under the race
-# detector.
+# lock-free observability counters, the server's copy-on-write
+# evolution and the store's WAL/flusher are all concurrent; keep them
+# honest under the race detector.
 .PHONY: race
 race:
-	$(GO) test -race ./internal/core/... ./internal/obs/... ./internal/server/... ./internal/tql/...
+	$(GO) test -race ./internal/core/... ./internal/obs/... ./internal/server/... ./internal/store/... ./internal/tql/...
+
+# Torn-WAL crash-recovery tests (store-level and over HTTP) under the
+# race detector: kill mid-append, truncate the final record at a random
+# byte, restart, require byte-identical answers.
+.PHONY: crash-test
+crash-test:
+	$(GO) test -race -run CrashRecovery -v ./internal/store/... ./internal/server/...
 
 .PHONY: bench
 bench:

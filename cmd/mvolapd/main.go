@@ -5,6 +5,7 @@
 //
 //	mvolapd -addr :8080 -schema warehouse.json
 //	mvolapd -addr :8080 -demo -allow-evolve
+//	mvolapd -addr :8080 -demo -allow-evolve -data-dir /var/lib/mvolap
 //
 // Then:
 //
@@ -15,6 +16,14 @@
 //	curl 'localhost:8080/metrics'                      # Prometheus text format
 //	curl 'localhost:8080/debug/vars'                   # same metrics as JSON
 //	curl -X POST --data-binary @changes.evo 'localhost:8080/evolve'
+//	curl -X POST --data-binary @facts.json 'localhost:8080/facts'
+//	curl -X POST 'localhost:8080/admin/snapshot'
+//
+// With -data-dir, every accepted mutation is written ahead to a
+// CRC-checksummed log and the warehouse is periodically snapshotted;
+// on startup the daemon listens immediately (GET /readyz answers 503)
+// while crash recovery replays the log, then flips ready. See
+// docs/persistence.md.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener
 // closes immediately, in-flight requests get -shutdown-timeout to
@@ -37,6 +46,7 @@ import (
 	"mvolap/internal/core"
 	"mvolap/internal/schemaio"
 	"mvolap/internal/server"
+	"mvolap/internal/store"
 )
 
 // config collects the daemon's flags; separated from main so tests can
@@ -48,6 +58,9 @@ type config struct {
 	allowEvolve     bool
 	pprof           bool
 	logJSON         bool
+	dataDir         string
+	fsync           string
+	snapshotEvery   int
 	readTimeout     time.Duration
 	writeTimeout    time.Duration
 	idleTimeout     time.Duration
@@ -65,6 +78,9 @@ func parseFlags(args []string) (*config, error) {
 	fs.BoolVar(&c.allowEvolve, "allow-evolve", false, "enable POST /evolve")
 	fs.BoolVar(&c.pprof, "pprof", false, "mount /debug/pprof/ handlers")
 	fs.BoolVar(&c.logJSON, "log-json", false, "emit the access log as JSON instead of text")
+	fs.StringVar(&c.dataDir, "data-dir", "", "directory for the write-ahead log and snapshots (empty disables persistence)")
+	fs.StringVar(&c.fsync, "fsync", "always", "WAL durability: always, interval or off")
+	fs.IntVar(&c.snapshotEvery, "snapshot-every", 256, "auto-snapshot after this many WAL records (0 disables)")
 	fs.DurationVar(&c.readTimeout, "read-timeout", 30*time.Second, "max duration to read a request (0 disables)")
 	fs.DurationVar(&c.writeTimeout, "write-timeout", 60*time.Second, "max duration to write a response (0 disables)")
 	fs.DurationVar(&c.idleTimeout, "idle-timeout", 2*time.Minute, "keep-alive idle timeout (0 disables)")
@@ -142,24 +158,94 @@ func main() {
 	if err != nil {
 		os.Exit(2)
 	}
-	sch, err := loadSchema(c.schemaPath, c.demo)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mvolapd:", err)
+	logger := newLogger(c)
+
+	// The seed schema is optional when a data dir may hold a snapshot;
+	// without a data dir it is the only schema source.
+	var seed *core.Schema
+	if c.demo || c.schemaPath != "" {
+		if seed, err = loadSchema(c.schemaPath, c.demo); err != nil {
+			fmt.Fprintln(os.Stderr, "mvolapd:", err)
+			os.Exit(1)
+		}
+	} else if c.dataDir == "" {
+		fmt.Fprintln(os.Stderr, "mvolapd: need -schema FILE, -demo or -data-dir DIR")
 		os.Exit(1)
 	}
-	logger := newLogger(c)
-	srv := newHTTPServer(c, server.New(sch, serverOptions(c, logger)...).Handler())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	logger.Info("mvolapd serving", "schema", sch.Name, "addr", c.addr,
-		"evolve", c.allowEvolve, "pprof", c.pprof, "queryTimeout", c.queryTimeout)
-	if err := serve(ctx, srv, c.shutdownTimeout); err != nil {
+	type recoveryResult struct {
+		st  *store.Store
+		err error
+	}
+	var s *server.Server
+	recovered := make(chan recoveryResult, 1)
+	if c.dataDir == "" {
+		s = server.New(seed, serverOptions(c, logger)...)
+		logger.Info("mvolapd serving", "schema", seed.Name, "addr", c.addr,
+			"evolve", c.allowEvolve, "pprof", c.pprof, "queryTimeout", c.queryTimeout)
+	} else {
+		// Listen first, recover in the background: /healthz is alive and
+		// /readyz answers 503 while the WAL replays, then flips ready.
+		storeOpts, err := storeOptions(c, logger)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mvolapd:", err)
+			os.Exit(2)
+		}
+		s = server.New(nil, serverOptions(c, logger)...)
+		logger.Info("mvolapd listening; recovering warehouse", "addr", c.addr, "dataDir", c.dataDir,
+			"fsync", c.fsync, "snapshotEvery", c.snapshotEvery)
+		go func() {
+			st, sch, applier, err := store.Open(c.dataDir, seed, storeOpts)
+			if err != nil {
+				recovered <- recoveryResult{err: err}
+				stop()
+				return
+			}
+			s.Install(sch, applier, st)
+			stats := st.RecoveryStats()
+			logger.Info("mvolapd ready", "schema", sch.Name,
+				"replayed", stats.Replayed, "snapshotSeq", stats.SnapshotSeq,
+				"recoveryMs", float64(stats.Duration)/float64(time.Millisecond))
+			recovered <- recoveryResult{st: st}
+		}()
+	}
+
+	srv := newHTTPServer(c, s.Handler())
+	err = serve(ctx, srv, c.shutdownTimeout)
+	select {
+	case res := <-recovered:
+		if res.err != nil {
+			logger.Error("mvolapd recovery failed", "err", res.err)
+			os.Exit(1)
+		}
+		// Flush and close the WAL; a kill without this close recovers
+		// identically (minus the fsync policy's permitted tail).
+		if cerr := res.st.Close(); cerr != nil {
+			logger.Error("store close failed", "err", cerr)
+		}
+	default: // no store, or recovery still in flight at exit
+	}
+	if err != nil {
 		logger.Error("mvolapd exiting", "err", err)
 		os.Exit(1)
 	}
 	logger.Info("mvolapd stopped gracefully")
+}
+
+// storeOptions maps the persistence flags onto store options.
+func storeOptions(c *config, logger *slog.Logger) (store.Options, error) {
+	policy, err := store.ParseFsyncPolicy(c.fsync)
+	if err != nil {
+		return store.Options{}, err
+	}
+	return store.Options{
+		Fsync:         policy,
+		SnapshotEvery: c.snapshotEvery,
+		Logger:        logger,
+	}, nil
 }
 
 func loadSchema(path string, demo bool) (*core.Schema, error) {

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"mvolap/internal/casestudy"
 	"mvolap/internal/schemaio"
+	"mvolap/internal/store"
 )
 
 func TestLoadSchemaDemo(t *testing.T) {
@@ -48,5 +51,58 @@ func TestLoadSchemaErrors(t *testing.T) {
 	}
 	if _, err := loadSchema("/nonexistent.json", false); err == nil {
 		t.Error("missing file must fail")
+	}
+}
+
+func TestParseFlagsPersistenceDefaults(t *testing.T) {
+	c, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.dataDir != "" || c.fsync != "always" || c.snapshotEvery != 256 {
+		t.Errorf("defaults = %q %q %d", c.dataDir, c.fsync, c.snapshotEvery)
+	}
+	c, err = parseFlags([]string{"-data-dir", "/tmp/d", "-fsync", "interval", "-snapshot-every", "8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.dataDir != "/tmp/d" || c.fsync != "interval" || c.snapshotEvery != 8 {
+		t.Errorf("parsed = %q %q %d", c.dataDir, c.fsync, c.snapshotEvery)
+	}
+}
+
+func TestStoreOptions(t *testing.T) {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	opts, err := storeOptions(&config{fsync: "interval", snapshotEvery: 32}, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Fsync != store.FsyncInterval || opts.SnapshotEvery != 32 || opts.Logger != logger {
+		t.Errorf("options = %+v", opts)
+	}
+	if _, err := storeOptions(&config{fsync: "bogus"}, logger); err == nil {
+		t.Error("bad fsync policy must fail")
+	}
+}
+
+// TestStoreOptionsDriveStore wires the flag-derived options into a
+// real store in a temp dir, the same path main takes with -data-dir.
+func TestStoreOptionsDriveStore(t *testing.T) {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	opts, err := storeOptions(&config{fsync: "off", snapshotEvery: 4}, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, err := loadSchema("", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, sch, _, err := store.Open(t.TempDir(), seed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if sch.Name != "institution" {
+		t.Errorf("recovered schema = %q", sch.Name)
 	}
 }

@@ -27,6 +27,14 @@ type Applier struct {
 // NewApplier creates an applier bound to the schema.
 func NewApplier(s *core.Schema) *Applier { return &Applier{schema: s} }
 
+// NewApplierWithLog creates an applier bound to the schema that starts
+// from a previously recorded log — used when restoring a warehouse from
+// a snapshot, so the §5.2 evolution history survives restarts. The log
+// is copied; subsequent entries continue its sequence numbering.
+func NewApplierWithLog(s *core.Schema, log []LogEntry) *Applier {
+	return &Applier{schema: s, log: append([]LogEntry(nil), log...)}
+}
+
 // ApplyError reports a failed operator within a batch: which operator
 // failed, and how many operators before it were already applied to the
 // schema. Callers that applied the batch to a shared schema can use it

@@ -69,7 +69,7 @@ func setQuality(ctx context.Context, q float64) {
 // do not drown the access log.
 func quietEndpoint(endpoint string) bool {
 	switch endpoint {
-	case "/healthz", "/metrics", "/debug/vars", "/debug/pprof/":
+	case "/healthz", "/readyz", "/metrics", "/debug/vars", "/debug/pprof/":
 		return true
 	}
 	return false

@@ -11,7 +11,10 @@
 //	GET  /modes             the set TMP of temporal modes
 //	GET  /schema            dimensions, levels, measures, mappings
 //	POST /evolve            apply an evolution script (requires enabling)
+//	POST /facts             append a fact batch (requires enabling)
+//	POST /admin/snapshot    durably snapshot the warehouse (requires a store)
 //	GET  /healthz           liveness
+//	GET  /readyz            readiness: 503 until recovery completes
 //	GET  /metrics           Prometheus text-format metrics
 //	GET  /debug/vars        the same metrics as JSON
 //	GET  /debug/pprof/      pprof handlers (requires WithPprof)
@@ -21,6 +24,13 @@
 // when the whole batch succeeds, so readers never observe a mutating
 // or partially evolved structure, and a failing batch leaves the
 // served schema untouched.
+//
+// With a store attached (Install), every accepted mutation — an
+// evolution batch or a fact batch — is appended to the write-ahead
+// log before the evolved clone is swapped in, so the durable history
+// never records a state that was not served; a batch that fails to
+// apply, or whose WAL append fails, is never logged and never served,
+// preserving the 422 atomicity envelope.
 package server
 
 import (
@@ -42,6 +52,7 @@ import (
 	"mvolap/internal/metadata"
 	"mvolap/internal/obs"
 	"mvolap/internal/quality"
+	"mvolap/internal/store"
 	"mvolap/internal/tql"
 )
 
@@ -58,6 +69,7 @@ type Server struct {
 	mu          sync.RWMutex
 	schema      *core.Schema
 	applier     *evolution.Applier
+	store       *store.Store
 	allowEvolve bool
 
 	logger       *slog.Logger
@@ -99,7 +111,11 @@ func WithPprof() Option {
 	return func(s *Server) { s.enablePprof = true }
 }
 
-// New creates a server over the schema.
+// New creates a server over the schema. A nil schema creates a server
+// that is not yet ready: /healthz answers but /readyz and every
+// warehouse endpoint return 503 until Install publishes a recovered
+// warehouse — this lets the daemon listen (and be probed) while crash
+// recovery replays the write-ahead log.
 func New(sch *core.Schema, opts ...Option) *Server {
 	s := &Server{
 		schema:    sch,
@@ -113,13 +129,39 @@ func New(sch *core.Schema, opts ...Option) *Server {
 	return s
 }
 
+// Install publishes a recovered warehouse: the schema, the applier
+// carrying its recovered evolution log (nil for a fresh one), and the
+// store that subsequent mutations append to (nil to serve without
+// durability). After Install the server reports ready.
+func (s *Server) Install(sch *core.Schema, applier *evolution.Applier, st *store.Store) {
+	if applier == nil {
+		applier = evolution.NewApplier(sch)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.schema = sch
+	s.applier = applier
+	s.store = st
+}
+
 // snapshot returns the schema to serve this request from. The pointer
 // is immutable once published (evolution swaps in a fresh clone), so
-// the caller runs without holding any server lock.
+// the caller runs without holding any server lock. It is nil until a
+// schema is installed.
 func (s *Server) snapshot() *core.Schema {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.schema
+}
+
+// notReady answers 503 and reports true while no schema is installed
+// (crash recovery still replaying).
+func (s *Server) notReady(w http.ResponseWriter) bool {
+	if s.snapshot() != nil {
+		return false
+	}
+	jsonError(w, http.StatusServiceUnavailable, fmt.Errorf("recovering: warehouse not yet available"))
+	return true
 }
 
 // Handler returns the HTTP handler.
@@ -131,11 +173,14 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /healthz", "/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	handle("GET /readyz", "/readyz", s.handleReadyz)
 	handle("GET /{$}", "/", s.handleIndex)
 	handle("GET /query", "/query", s.handleQuery)
 	handle("GET /modes", "/modes", s.handleModes)
 	handle("GET /schema", "/schema", s.handleSchema)
 	handle("POST /evolve", "/evolve", s.handleEvolve)
+	handle("POST /facts", "/facts", s.handleFacts)
+	handle("POST /admin/snapshot", "/admin/snapshot", s.handleAdminSnapshot)
 	handle("GET /metrics", "/metrics", handleMetrics)
 	handle("GET /debug/vars", "/debug/vars", handleDebugVars)
 	if s.enablePprof {
@@ -146,6 +191,18 @@ func (s *Server) Handler() http.Handler {
 		handle("GET /debug/pprof/trace", "/debug/pprof/", pprof.Trace)
 	}
 	return mux
+}
+
+// handleReadyz is the readiness probe, distinct from /healthz
+// liveness: the process is alive during crash recovery but must not
+// receive traffic until the replayed warehouse is installed.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.snapshot() == nil {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "recovering")
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 // handleMetrics serves the process registry in the Prometheus text
@@ -238,6 +295,9 @@ type modeEntry struct {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.notReady(w) {
+		return
+	}
 	stmt := r.URL.Query().Get("q")
 	if stmt == "" {
 		jsonError(w, http.StatusBadRequest, fmt.Errorf("missing q parameter"))
@@ -329,6 +389,9 @@ func toResponse(out *tql.Output) queryResponse {
 }
 
 func (s *Server) handleModes(w http.ResponseWriter, _ *http.Request) {
+	if s.notReady(w) {
+		return
+	}
 	var out []modeEntry
 	for _, m := range s.snapshot().Modes() {
 		e := modeEntry{Mode: m.String()}
@@ -385,6 +448,9 @@ type evolutionEntry struct {
 }
 
 func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
+	if s.notReady(w) {
+		return
+	}
 	s.mu.RLock()
 	sch, applier := s.schema, s.applier
 	s.mu.RUnlock()
@@ -433,6 +499,9 @@ func (s *Server) handleEvolve(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusForbidden, fmt.Errorf("evolution disabled; start with WithEvolution"))
 		return
 	}
+	if s.notReady(w) {
+		return
+	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
 		jsonError(w, http.StatusBadRequest, err)
@@ -458,7 +527,8 @@ func (s *Server) handleEvolve(w http.ResponseWriter, r *http.Request) {
 			envelope["failedAt"] = ae.Index
 			envelope["failedOp"] = ae.Op
 			// Copy-on-write: the partially applied clone is discarded,
-			// so the served schema did not mutate.
+			// so the served schema did not mutate. A failed batch is
+			// also never appended to the WAL.
 			envelope["retained"] = false
 			s.logger.Warn("evolution batch failed",
 				"ops", len(ops), "applied", ae.Applied,
@@ -469,11 +539,127 @@ func (s *Server) handleEvolve(w http.ResponseWriter, r *http.Request) {
 		json.NewEncoder(w).Encode(envelope)
 		return
 	}
+	// Write-ahead: the accepted script must be durable (per the fsync
+	// policy) before the evolved clone becomes visible. A failed append
+	// serves and persists nothing.
+	resp := map[string]any{
+		"applied": len(ops),
+		"modes":   len(clone.Modes()),
+	}
+	snapshotDue := false
+	if s.store != nil {
+		seq, due, err := s.store.AppendEvolve(body)
+		if err != nil {
+			jsonError(w, http.StatusInternalServerError, fmt.Errorf("wal append: %w", err))
+			return
+		}
+		resp["walSeq"] = seq
+		snapshotDue = due
+	}
 	s.schema = clone
 	s.applier = applier
 	s.logger.Info("evolution applied", "ops", len(ops), "modes", len(clone.Modes()))
+	if snapshotDue {
+		s.snapshotLocked("auto")
+	}
+	writeJSON(w, resp)
+}
+
+// handleFacts appends a batch of source facts, with the same
+// copy-on-write atomicity as /evolve: the whole batch validates and
+// inserts into a clone, is appended to the WAL, and only then swapped
+// into service. A batch with any invalid fact changes nothing and is
+// never logged.
+func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
+	if !s.allowEvolve {
+		jsonError(w, http.StatusForbidden, fmt.Errorf("mutation disabled; start with WithEvolution"))
+		return
+	}
+	if s.notReady(w) {
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	batch, err := store.ParseFactBatch(body)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	clone := s.schema.Clone()
+	for i, fr := range batch {
+		if err := store.ApplyFact(clone, fr); err != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusUnprocessableEntity)
+			json.NewEncoder(w).Encode(map[string]any{
+				"error":    fmt.Sprintf("fact %d: %v", i, err),
+				"applied":  i,
+				"failedAt": i,
+				"retained": false,
+			})
+			return
+		}
+	}
+	resp := map[string]any{
+		"appended": len(batch),
+		"facts":    clone.Facts().Len(),
+	}
+	snapshotDue := false
+	if s.store != nil {
+		seq, due, err := s.store.AppendFactBatch(batch)
+		if err != nil {
+			jsonError(w, http.StatusInternalServerError, fmt.Errorf("wal append: %w", err))
+			return
+		}
+		resp["walSeq"] = seq
+		snapshotDue = due
+	}
+	s.schema = clone
+	s.applier = s.applier.Rebind(clone)
+	s.logger.Info("facts appended", "facts", len(batch), "total", clone.Facts().Len())
+	if snapshotDue {
+		s.snapshotLocked("auto")
+	}
+	writeJSON(w, resp)
+}
+
+// handleAdminSnapshot durably snapshots the served warehouse on
+// demand and truncates the write-ahead log.
+func (s *Server) handleAdminSnapshot(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	st := s.store
+	s.mu.RUnlock()
+	if st == nil {
+		jsonError(w, http.StatusForbidden, fmt.Errorf("no store configured; start with -data-dir"))
+		return
+	}
+	if s.notReady(w) {
+		return
+	}
+	start := time.Now()
+	s.mu.Lock()
+	seq, err := st.Snapshot(s.schema, s.applier.Log(), "admin")
+	s.mu.Unlock()
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, err)
+		return
+	}
 	writeJSON(w, map[string]any{
-		"applied": len(ops),
-		"modes":   len(clone.Modes()),
+		"walSeq": seq,
+		"ms":     float64(time.Since(start)) / float64(time.Millisecond),
 	})
+}
+
+// snapshotLocked takes an automatic store snapshot of the served
+// schema; the caller holds s.mu. Failure is logged, not returned — the
+// WAL still holds every record, so durability is unharmed and the next
+// snapshot retries the truncation.
+func (s *Server) snapshotLocked(trigger string) {
+	if _, err := s.store.Snapshot(s.schema, s.applier.Log(), trigger); err != nil {
+		s.logger.Error("snapshot failed", "trigger", trigger, "err", err)
+	}
 }

@@ -1,0 +1,210 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// This file simulates the crash half of the durability contract. A
+// SIGKILL is modelled by abandoning a Store without Close — every
+// write already issued is visible to a subsequent Open (the process
+// page cache survives the process), and a crash mid-append is modelled
+// by truncating the WAL inside its final record at a random byte.
+
+// crashScripts are the evolution batches the crash tests drive through
+// the WAL: an exclusion, an insertion and a reclassification, touching
+// different §3.2 structural operators.
+var crashScripts = []string{
+	"EXCLUDE Org Dpt.Brian_id AT 01/2004\n",
+	"INSERT Org Dpt.New_id Dpt.New LEVEL Department AT 01/2005 PARENTS Sales_id\n",
+	"RECLASSIFY Org Dpt.Smith_id AT 01/2005 FROM R&D_id TO Sales_id\n",
+}
+
+var crashFacts = []FactRecord{
+	{Coords: []string{"Dpt.Bill_id"}, Time: "2004", Values: []float64{70}},
+	{Coords: []string{"Dpt.Paul_id"}, Time: "2004", Values: []float64{30}},
+}
+
+// buildCrashState opens a store in dir and appends three evolution
+// batches plus a fact batch (seq 1..4), mirroring each mutation on a
+// live schema exactly like the serving path. It returns the abandoned
+// store and the live state at seq 4.
+func buildCrashState(t *testing.T, dir string) (*Store, []byte) {
+	t.Helper()
+	st, sch, ap, err := Open(dir, seedSchema(t), Options{Logger: quietLog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, script := range crashScripts {
+		sch, ap = applyEvolve(t, sch, ap, script)
+		if _, _, err := st.AppendEvolve([]byte(script)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clone := sch.Clone()
+	for _, fr := range crashFacts {
+		if err := ApplyFact(clone, fr); err != nil {
+			t.Fatalf("fact %+v: %v", fr, err)
+		}
+	}
+	if _, _, err := st.AppendFactBatch(crashFacts); err != nil {
+		t.Fatal(err)
+	}
+	return st, schemaBytes(t, clone)
+}
+
+// currentWAL returns the single WAL file in dir.
+func currentWAL(t *testing.T, dir string) string {
+	t.Helper()
+	wals, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(wals) != 1 {
+		t.Fatalf("wal files = %v, %v", wals, err)
+	}
+	return wals[0]
+}
+
+// TestCrashRecoveryCleanKill kills the process (no Close, no torn
+// write) and expects a byte-identical schema on reopen.
+func TestCrashRecoveryCleanKill(t *testing.T) {
+	dir := t.TempDir()
+	_, want := buildCrashState(t, dir) // store abandoned: simulated SIGKILL
+
+	st2, sch2, _, err := Open(dir, seedSchema(t), Options{Logger: quietLog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	stats := st2.RecoveryStats()
+	if stats.Replayed != 4 || stats.TornBytes != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if got := schemaBytes(t, sch2); !bytes.Equal(got, want) {
+		t.Errorf("recovered schema differs:\n%s\nwant:\n%s", got, want)
+	}
+	if stats.Trace == nil {
+		t.Error("recovery trace missing")
+	}
+}
+
+// TestCrashRecoveryTornTail crashes mid-append: the final WAL record
+// is cut at a random interior byte. Recovery must truncate the torn
+// tail, land exactly on the state before the torn record, and leave
+// the WAL appendable.
+func TestCrashRecoveryTornTail(t *testing.T) {
+	dir := t.TempDir()
+	st, want := buildCrashState(t, dir)
+
+	// One more record whose append the "crash" interrupts.
+	walPath := currentWAL(t, dir)
+	before, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.AppendEvolve([]byte("EXCLUDE Org Dpt.New_id AT 06/2005\n")); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recLen := after.Size() - before.Size()
+	if recLen <= 1 {
+		t.Fatalf("record length = %d", recLen)
+	}
+	// Cut inside the record at a deterministic pseudo-random byte.
+	rnd := rand.New(rand.NewSource(20260805))
+	cut := before.Size() + 1 + rnd.Int63n(recLen-1)
+	if err := os.Truncate(walPath, cut); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, sch2, ap2, err := Open(dir, seedSchema(t), Options{Logger: quietLog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	stats := st2.RecoveryStats()
+	if stats.Replayed != 4 {
+		t.Errorf("replayed = %d, want 4 (torn record dropped)", stats.Replayed)
+	}
+	if wantTorn := cut - before.Size(); stats.TornBytes != wantTorn {
+		t.Errorf("tornBytes = %d, want %d", stats.TornBytes, wantTorn)
+	}
+	if got := schemaBytes(t, sch2); !bytes.Equal(got, want) {
+		t.Errorf("recovered schema differs:\n%s\nwant:\n%s", got, want)
+	}
+	// The truncated file is back on a record boundary: appends continue
+	// from seq 5 and survive another reopen.
+	sch3, _ := applyEvolve(t, sch2, ap2, crashScriptAfterRecovery)
+	if seq, _, err := st2.AppendEvolve([]byte(crashScriptAfterRecovery)); err != nil || seq != 5 {
+		t.Fatalf("append after torn recovery = %d, %v", seq, err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st3, schFinal, _, err := Open(dir, seedSchema(t), Options{Logger: quietLog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if st3.RecoveryStats().Replayed != 5 {
+		t.Errorf("second recovery replayed = %d", st3.RecoveryStats().Replayed)
+	}
+	if !bytes.Equal(schemaBytes(t, schFinal), schemaBytes(t, sch3)) {
+		t.Error("schema after post-recovery append differs on reopen")
+	}
+}
+
+const crashScriptAfterRecovery = "EXCLUDE Org Dpt.New_id AT 06/2005\n"
+
+// TestCrashRecoveryAfterSnapshot crashes after a snapshot plus further
+// appends, with the newest record torn: recovery loads the snapshot,
+// replays only the WAL tail, and drops the torn record.
+func TestCrashRecoveryAfterSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	st, sch, ap, err := Open(dir, seedSchema(t), Options{Logger: quietLog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, ap = applyEvolve(t, sch, ap, crashScripts[0])
+	if _, _, err := st.AppendEvolve([]byte(crashScripts[0])); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Snapshot(sch, ap.Log(), "test"); err != nil {
+		t.Fatal(err)
+	}
+	sch, ap = applyEvolve(t, sch, ap, crashScripts[1])
+	if _, _, err := st.AppendEvolve([]byte(crashScripts[1])); err != nil {
+		t.Fatal(err)
+	}
+	want := schemaBytes(t, sch)
+
+	// Tear a third record and abandon the store.
+	walPath := currentWAL(t, dir)
+	before, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.AppendEvolve([]byte(crashScripts[2])); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(walPath, before.Size()+3); err != nil { // mid-header
+		t.Fatal(err)
+	}
+
+	st2, sch2, _, err := Open(dir, nil, Options{Logger: quietLog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	stats := st2.RecoveryStats()
+	if stats.SnapshotSeq != 1 || stats.Replayed != 1 || stats.TornBytes != 3 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if got := schemaBytes(t, sch2); !bytes.Equal(got, want) {
+		t.Error("recovered schema differs from pre-crash state")
+	}
+}

@@ -1,0 +1,43 @@
+package store
+
+import "mvolap/internal/obs"
+
+// Persistence metrics, served back out at GET /metrics. Names are
+// documented in docs/persistence.md.
+var (
+	metWALAppends = obs.Default().CounterVec(
+		"mvolap_store_wal_appends_total",
+		"WAL records appended, by record type.",
+		"type")
+	metWALBytes = obs.Default().Counter(
+		"mvolap_store_wal_bytes_total",
+		"Bytes appended to the WAL (framing included).")
+	metWALFsyncs = obs.Default().Counter(
+		"mvolap_store_wal_fsyncs_total",
+		"fsync calls issued on the WAL.")
+	metWALFsyncSeconds = obs.Default().Histogram(
+		"mvolap_store_wal_fsync_seconds",
+		"WAL fsync latency.", nil)
+	metWALLastSeq = obs.Default().Gauge(
+		"mvolap_store_wal_last_seq",
+		"Sequence number of the last appended WAL record.")
+	metWALSinceSnapshot = obs.Default().Gauge(
+		"mvolap_store_wal_records_since_snapshot",
+		"WAL records appended since the latest snapshot.")
+	metSnapshots = obs.Default().CounterVec(
+		"mvolap_store_snapshots_total",
+		"Snapshots taken, by trigger (auto, admin).",
+		"trigger")
+	metSnapshotSeconds = obs.Default().Histogram(
+		"mvolap_store_snapshot_seconds",
+		"Snapshot write + WAL rotation duration.", nil)
+	metRecoverySeconds = obs.Default().Histogram(
+		"mvolap_store_recovery_seconds",
+		"Crash-recovery duration (snapshot load + WAL replay).", nil)
+	metRecoveryRecords = obs.Default().Counter(
+		"mvolap_store_recovery_replayed_total",
+		"WAL records replayed during recovery.")
+	metRecoveryTornBytes = obs.Default().Counter(
+		"mvolap_store_recovery_torn_bytes_total",
+		"Trailing WAL bytes dropped during recovery (torn final record).")
+)

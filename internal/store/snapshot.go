@@ -1,0 +1,178 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mvolap/internal/core"
+	"mvolap/internal/evolution"
+	"mvolap/internal/schemaio"
+)
+
+// A snapshot is one JSON file freezing the whole warehouse at a WAL
+// sequence number: the schema (serialized by schemaio, so snapshots
+// are readable by every tool that reads warehouse files) plus the §5.2
+// evolution log, which schemaio does not carry but /schema serves.
+// Snapshots are written to a temp file, fsynced, and renamed into
+// place, so a crash mid-write never leaves a half snapshot under the
+// final name.
+
+// snapshotFormat versions the envelope, not the schema document.
+const snapshotFormat = 1
+
+// snapshotFile is the on-disk envelope.
+type snapshotFile struct {
+	Format       int                `json:"format"`
+	WALSeq       uint64             `json:"walSeq"`
+	EvolutionLog []snapshotLogEntry `json:"evolutionLog,omitempty"`
+	Schema       json.RawMessage    `json:"schema"`
+}
+
+// snapshotLogEntry mirrors evolution.LogEntry with stable JSON names.
+type snapshotLogEntry struct {
+	Seq         int      `json:"seq"`
+	Description string   `json:"description"`
+	Touched     []string `json:"touched,omitempty"`
+}
+
+func snapshotName(seq uint64) string { return fmt.Sprintf("snapshot-%016d.json", seq) }
+func walName(seq uint64) string      { return fmt.Sprintf("wal-%016d.log", seq) }
+
+// seqOfName extracts the sequence number from a snapshot or WAL file
+// name produced by snapshotName/walName.
+func seqOfName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	var seq uint64
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+	if _, err := fmt.Sscanf(digits, "%d", &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// encodeSnapshot renders the snapshot envelope for a schema and its
+// evolution log. The bytes are deterministic for a given schema state:
+// schemaio emits dimensions, versions, relationships, mappings and
+// facts in insertion order, and the envelope adds no timestamps.
+func encodeSnapshot(sch *core.Schema, log []evolution.LogEntry, walSeq uint64) ([]byte, error) {
+	var schemaDoc bytes.Buffer
+	if err := schemaio.Write(&schemaDoc, sch); err != nil {
+		return nil, fmt.Errorf("store: snapshot schema: %w", err)
+	}
+	out := snapshotFile{Format: snapshotFormat, WALSeq: walSeq, Schema: schemaDoc.Bytes()}
+	for _, e := range log {
+		se := snapshotLogEntry{Seq: e.Seq, Description: e.Description}
+		for _, id := range e.Touched {
+			se.Touched = append(se.Touched, string(id))
+		}
+		out.EvolutionLog = append(out.EvolutionLog, se)
+	}
+	return json.MarshalIndent(out, "", " ")
+}
+
+// writeSnapshot durably writes the snapshot for walSeq into dir:
+// temp file → fsync → rename → fsync(dir).
+func writeSnapshot(dir string, sch *core.Schema, log []evolution.LogEntry, walSeq uint64) (string, error) {
+	data, err := encodeSnapshot(sch, log, walSeq)
+	if err != nil {
+		return "", err
+	}
+	final := filepath.Join(dir, snapshotName(walSeq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return "", err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return "", err
+	}
+	if err := syncDir(dir); err != nil {
+		return "", err
+	}
+	return final, nil
+}
+
+// readSnapshot loads and validates one snapshot file.
+func readSnapshot(path string) (*core.Schema, []evolution.LogEntry, uint64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	var in snapshotFile
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, nil, 0, fmt.Errorf("store: snapshot %s: %w", path, err)
+	}
+	if in.Format != snapshotFormat {
+		return nil, nil, 0, fmt.Errorf("store: snapshot %s: unsupported format %d", path, in.Format)
+	}
+	sch, err := schemaio.Read(bytes.NewReader(in.Schema))
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("store: snapshot %s: %w", path, err)
+	}
+	var log []evolution.LogEntry
+	for _, se := range in.EvolutionLog {
+		e := evolution.LogEntry{Seq: se.Seq, Description: se.Description}
+		for _, id := range se.Touched {
+			e.Touched = append(e.Touched, core.MVID(id))
+		}
+		log = append(log, e)
+	}
+	return sch, log, in.WALSeq, nil
+}
+
+// listBySeq returns the files in dir matching prefix/suffix, sorted by
+// embedded sequence number ascending, paired with those numbers.
+func listBySeq(dir, prefix, suffix string) (names []string, seqs []uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	type item struct {
+		name string
+		seq  uint64
+	}
+	var items []item
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := seqOfName(e.Name(), prefix, suffix); ok {
+			items = append(items, item{e.Name(), seq})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].seq < items[j].seq })
+	for _, it := range items {
+		names = append(names, it.name)
+		seqs = append(seqs, it.seq)
+	}
+	return names, seqs, nil
+}
+
+// syncDir fsyncs a directory so renames and unlinks within it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

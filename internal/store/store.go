@@ -1,0 +1,571 @@
+// Package store is the durable persistence subsystem of the serving
+// tier. The paper reduces every structural evolution to a short
+// sequence of instance-level operators (§3.2, Table 11), which makes
+// the mutation history of the warehouse a naturally loggable sequence:
+// the store appends each accepted mutation — an evolution script or a
+// fact batch — to an append-only, CRC-checksummed write-ahead log
+// before it is swapped into the served schema, and periodically
+// freezes the whole warehouse into a snapshot (via schemaio) so the
+// log can be truncated.
+//
+// Crash recovery loads the latest valid snapshot and replays the WAL
+// tail through evolution.Applier against the same copy-on-write
+// clone-swap path the server uses, tolerating a torn final record
+// (the one write that was in flight when the process died).
+//
+// Durability is configurable: fsync on every append (no acknowledged
+// mutation is ever lost), on a background interval (bounded loss,
+// much higher throughput), or never (the OS decides).
+package store
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"mvolap/internal/core"
+	"mvolap/internal/evolution"
+	"mvolap/internal/obs"
+	"mvolap/internal/temporal"
+)
+
+// FsyncPolicy says when the WAL is flushed to stable storage.
+type FsyncPolicy uint8
+
+const (
+	// FsyncAlways syncs after every append: an acknowledged mutation
+	// survives any crash.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs on a background ticker: a crash loses at
+	// most the last FsyncEvery of acknowledged mutations.
+	FsyncInterval
+	// FsyncOff never syncs explicitly; the OS page cache decides.
+	FsyncOff
+)
+
+// ParseFsyncPolicy parses "always", "interval" or "off".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "off":
+		return FsyncOff, nil
+	}
+	return 0, fmt.Errorf("store: unknown fsync policy %q (want always, interval or off)", s)
+}
+
+// String renders the flag spelling.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	default:
+		return "off"
+	}
+}
+
+// Options configures a Store.
+type Options struct {
+	// Fsync is the WAL flush policy. The default (zero value) is
+	// FsyncAlways.
+	Fsync FsyncPolicy
+	// FsyncEvery is the background flush period for FsyncInterval;
+	// 0 means 100ms.
+	FsyncEvery time.Duration
+	// SnapshotEvery takes an automatic snapshot after this many WAL
+	// records since the last one; 0 disables automatic snapshots.
+	SnapshotEvery int
+	// Logger receives recovery and compaction logs; nil means
+	// slog.Default().
+	Logger *slog.Logger
+}
+
+// RecoveryStats reports what Open did to reconstruct the warehouse.
+type RecoveryStats struct {
+	// SnapshotSeq is the WAL sequence covered by the loaded snapshot
+	// (0 when booting from the seed schema).
+	SnapshotSeq uint64
+	// SnapshotPath is the loaded snapshot file ("" when none existed).
+	SnapshotPath string
+	// Replayed is the number of WAL records replayed.
+	Replayed int
+	// TornBytes is the size of the truncated torn tail, if any.
+	TornBytes int64
+	// Duration is the total recovery time.
+	Duration time.Duration
+	// Trace is the recovery span tree (load-snapshot, replay-wal).
+	Trace *obs.SpanNode
+}
+
+// Store is a durable WAL + snapshot store rooted at one directory.
+// All methods are safe for concurrent use.
+type Store struct {
+	dir    string
+	opts   Options
+	logger *slog.Logger
+
+	mu      sync.Mutex
+	wal     *os.File
+	walPath string
+	walSize int64
+	seq     uint64 // last appended (or replayed) record
+	snapSeq uint64 // sequence covered by the latest snapshot
+	dirty   bool   // unsynced appends pending (interval policy)
+	closed  bool
+	stats   RecoveryStats
+
+	flushStop chan struct{}
+	flushDone chan struct{}
+}
+
+// Open opens (creating if needed) the store in dir and recovers the
+// warehouse: latest valid snapshot, then the WAL tail replayed through
+// evolution.Applier on the copy-on-write clone-swap path. seed is the
+// schema to start from when no snapshot exists (the -schema/-demo
+// warehouse); it must be the same warehouse across restarts, since WAL
+// records replay against it. Open returns the recovered schema and an
+// applier carrying the recovered evolution log.
+func Open(dir string, seed *core.Schema, opts Options) (*Store, *core.Schema, *evolution.Applier, error) {
+	if opts.FsyncEvery <= 0 {
+		opts.FsyncEvery = 100 * time.Millisecond
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, nil, fmt.Errorf("store: %w", err)
+	}
+	st := &Store{dir: dir, opts: opts, logger: logger}
+
+	start := time.Now()
+	ctx, root := obs.NewTrace(context.Background(), "recovery")
+	sch, applier, err := st.recover(ctx, seed)
+	root.End()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	st.stats.Duration = time.Since(start)
+	st.stats.Trace = root.Node()
+	metRecoverySeconds.Observe(st.stats.Duration.Seconds())
+	metWALLastSeq.Set(int64(st.seq))
+	metWALSinceSnapshot.Set(int64(st.seq - st.snapSeq))
+
+	st.compactLocked()
+
+	if opts.Fsync == FsyncInterval {
+		st.flushStop = make(chan struct{})
+		st.flushDone = make(chan struct{})
+		go st.flushLoop()
+	}
+	logger.Info("store recovered",
+		"dir", dir, "snapshotSeq", st.stats.SnapshotSeq, "snapshot", st.stats.SnapshotPath,
+		"replayed", st.stats.Replayed, "tornBytes", st.stats.TornBytes,
+		"lastSeq", st.seq, "ms", float64(st.stats.Duration)/float64(time.Millisecond))
+	return st, sch, applier, nil
+}
+
+// recover performs the snapshot load and WAL replay. It runs before
+// the store is published, so it touches fields without the lock.
+func (st *Store) recover(ctx context.Context, seed *core.Schema) (*core.Schema, *evolution.Applier, error) {
+	// Load the newest snapshot that parses; older ones are fallbacks
+	// in case of on-disk corruption.
+	_, span := obs.StartSpan(ctx, "load-snapshot")
+	sch, log, err := st.loadLatestSnapshot(seed)
+	span.End()
+	if err != nil {
+		return nil, nil, err
+	}
+	applier := evolution.NewApplierWithLog(sch, log)
+
+	_, span = obs.StartSpan(ctx, "replay-wal")
+	sch, applier, err = st.replayWAL(sch, applier, span)
+	span.End()
+	if err != nil {
+		return nil, nil, err
+	}
+	return sch, applier, nil
+}
+
+// loadLatestSnapshot picks the newest readable snapshot, or falls back
+// to the seed schema when none exists.
+func (st *Store) loadLatestSnapshot(seed *core.Schema) (*core.Schema, []evolution.LogEntry, error) {
+	names, _, err := listBySeq(st.dir, "snapshot-", ".json")
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		path := filepath.Join(st.dir, names[i])
+		sch, log, seq, err := readSnapshot(path)
+		if err != nil {
+			st.logger.Warn("store: skipping unreadable snapshot", "path", path, "err", err)
+			continue
+		}
+		st.snapSeq, st.seq = seq, seq
+		st.stats.SnapshotSeq, st.stats.SnapshotPath = seq, path
+		return sch, log, nil
+	}
+	if seed == nil {
+		return nil, nil, fmt.Errorf("store: %s has no snapshot and no seed schema was given", st.dir)
+	}
+	return seed, nil, nil
+}
+
+// replayWAL replays every record after the snapshot through the
+// applier, clone-swapping per record exactly like the serving path, so
+// a recovered schema is indistinguishable from one that evolved live.
+// A torn final record (crash mid-append) is truncated away; corruption
+// anywhere else is an error. The surviving WAL file is reopened for
+// appending.
+func (st *Store) replayWAL(sch *core.Schema, applier *evolution.Applier, span *obs.Span) (*core.Schema, *evolution.Applier, error) {
+	names, _, err := listBySeq(st.dir, "wal-", ".log")
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	expected := st.snapSeq + 1
+	var lastScan *walScan
+	var lastPath string
+	for i, name := range names {
+		path := filepath.Join(st.dir, name)
+		scan, err := scanWAL(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		if scan.tornBytes > 0 && i != len(names)-1 {
+			return nil, nil, fmt.Errorf("store: %s: corrupt record mid-history (%d trailing bytes, but %d newer WAL files exist)",
+				path, scan.tornBytes, len(names)-1-i)
+		}
+		for _, rec := range scan.records {
+			if rec.Seq <= st.snapSeq {
+				continue // already captured by the snapshot
+			}
+			if rec.Seq != expected {
+				return nil, nil, fmt.Errorf("store: %s: missing WAL records %d..%d", path, expected, rec.Seq-1)
+			}
+			sch, applier, err = applyRecord(sch, applier, rec)
+			if err != nil {
+				return nil, nil, fmt.Errorf("store: replaying record %d: %w", rec.Seq, err)
+			}
+			expected++
+			st.seq = rec.Seq
+			st.stats.Replayed++
+			metRecoveryRecords.Inc()
+		}
+		lastScan, lastPath = scan, path
+	}
+	span.SetAttr("records", st.stats.Replayed)
+
+	if lastScan == nil {
+		// Fresh directory: start the first WAL file.
+		st.walPath = filepath.Join(st.dir, walName(st.snapSeq+1))
+		f, err := createWAL(st.walPath)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: %w", err)
+		}
+		if err := syncDir(st.dir); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: %w", err)
+		}
+		st.wal, st.walSize = f, int64(len(walMagic))
+		return sch, applier, nil
+	}
+
+	f, err := os.OpenFile(lastPath, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	if lastScan.tornBytes > 0 {
+		st.logger.Warn("store: truncating torn WAL tail",
+			"path", lastPath, "bytes", lastScan.tornBytes, "goodSize", lastScan.goodSize)
+		if err := f.Truncate(lastScan.goodSize); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: truncating %s: %w", lastPath, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: %w", err)
+		}
+		st.stats.TornBytes = lastScan.tornBytes
+		metRecoveryTornBytes.Add(lastScan.tornBytes)
+		span.SetAttr("tornBytes", lastScan.tornBytes)
+	}
+	if _, err := f.Seek(lastScan.goodSize, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	st.wal, st.walPath, st.walSize = f, lastPath, lastScan.goodSize
+	return sch, applier, nil
+}
+
+// ApplyFact inserts one FactRecord into the schema, parsing its
+// instant and coordinates. Shared by WAL replay and POST /facts.
+func ApplyFact(s *core.Schema, fr FactRecord) error {
+	at, err := temporal.ParseInstant(fr.Time)
+	if err != nil {
+		return err
+	}
+	coords := make(core.Coords, len(fr.Coords))
+	for i, c := range fr.Coords {
+		coords[i] = core.MVID(c)
+	}
+	return s.InsertFact(coords, at, fr.Values...)
+}
+
+// applyRecord applies one WAL record to a clone of sch (copy-on-write,
+// exactly like the serving path) and returns the evolved clone with
+// its rebound applier.
+func applyRecord(sch *core.Schema, ap *evolution.Applier, rec walRecord) (*core.Schema, *evolution.Applier, error) {
+	clone := sch.Clone()
+	ap2 := ap.Rebind(clone)
+	switch rec.Type {
+	case RecordEvolve:
+		var script string
+		if err := json.Unmarshal(rec.Data, &script); err != nil {
+			return nil, nil, fmt.Errorf("bad evolve payload: %w", err)
+		}
+		ops, err := evolution.ParseScript(strings.NewReader(script), len(clone.Measures()))
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := ap2.Apply(ops...); err != nil {
+			return nil, nil, err
+		}
+	case RecordFacts:
+		batch, err := ParseFactBatch(rec.Data)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i, fr := range batch {
+			if err := ApplyFact(clone, fr); err != nil {
+				return nil, nil, fmt.Errorf("fact %d: %w", i, err)
+			}
+		}
+	default:
+		return nil, nil, fmt.Errorf("unknown record type %q", rec.Type)
+	}
+	return clone, ap2, nil
+}
+
+// AppendEvolve logs one accepted evolution script (the raw /evolve
+// body). It returns the record's sequence number and whether an
+// automatic snapshot is due.
+func (st *Store) AppendEvolve(script []byte) (uint64, bool, error) {
+	data, err := json.Marshal(string(script))
+	if err != nil {
+		return 0, false, fmt.Errorf("store: %w", err)
+	}
+	return st.append(RecordEvolve, data)
+}
+
+// AppendFactBatch logs one accepted fact batch in canonical form.
+func (st *Store) AppendFactBatch(batch []FactRecord) (uint64, bool, error) {
+	data, err := json.Marshal(batch)
+	if err != nil {
+		return 0, false, fmt.Errorf("store: %w", err)
+	}
+	return st.append(RecordFacts, data)
+}
+
+func (st *Store) append(typ string, data json.RawMessage) (uint64, bool, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return 0, false, fmt.Errorf("store: closed")
+	}
+	rec := walRecord{Seq: st.seq + 1, Type: typ, Data: data}
+	buf, err := encodeRecord(rec)
+	if err != nil {
+		return 0, false, err
+	}
+	if _, err := st.wal.Write(buf); err != nil {
+		// Roll the file back to the last record boundary so one failed
+		// write does not poison every later append with a garbage gap.
+		if terr := st.wal.Truncate(st.walSize); terr != nil {
+			st.closed = true
+			return 0, false, fmt.Errorf("store: wal write failed (%v) and rollback failed (%v): store disabled", err, terr)
+		}
+		if _, serr := st.wal.Seek(st.walSize, io.SeekStart); serr != nil {
+			st.closed = true
+			return 0, false, fmt.Errorf("store: wal write failed (%v) and reseek failed (%v): store disabled", err, serr)
+		}
+		return 0, false, fmt.Errorf("store: wal append: %w", err)
+	}
+	st.walSize += int64(len(buf))
+	st.seq = rec.Seq
+
+	metWALAppends.With(typ).Inc()
+	metWALBytes.Add(int64(len(buf)))
+	metWALLastSeq.Set(int64(st.seq))
+	metWALSinceSnapshot.Set(int64(st.seq - st.snapSeq))
+
+	switch st.opts.Fsync {
+	case FsyncAlways:
+		if err := st.syncLocked(); err != nil {
+			return 0, false, fmt.Errorf("store: wal fsync: %w", err)
+		}
+	case FsyncInterval:
+		st.dirty = true
+	}
+	due := st.opts.SnapshotEvery > 0 && st.seq-st.snapSeq >= uint64(st.opts.SnapshotEvery)
+	return st.seq, due, nil
+}
+
+// syncLocked fsyncs the WAL; the caller holds st.mu.
+func (st *Store) syncLocked() error {
+	start := time.Now()
+	err := st.wal.Sync()
+	metWALFsyncs.Inc()
+	metWALFsyncSeconds.Observe(time.Since(start).Seconds())
+	if err == nil {
+		st.dirty = false
+	}
+	return err
+}
+
+// flushLoop is the FsyncInterval background flusher.
+func (st *Store) flushLoop() {
+	defer close(st.flushDone)
+	t := time.NewTicker(st.opts.FsyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			st.mu.Lock()
+			if st.dirty && !st.closed {
+				if err := st.syncLocked(); err != nil {
+					st.logger.Error("store: background fsync failed", "err", err)
+				}
+			}
+			st.mu.Unlock()
+		case <-st.flushStop:
+			return
+		}
+	}
+}
+
+// Snapshot durably freezes the given schema and evolution log at the
+// current WAL position, then rotates and compacts the log: a fresh WAL
+// file is started and older WAL files and snapshots are deleted. The
+// trigger labels the snapshot metric ("auto", "admin", ...).
+func (st *Store) Snapshot(sch *core.Schema, log []evolution.LogEntry, trigger string) (uint64, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return 0, fmt.Errorf("store: closed")
+	}
+	start := time.Now()
+	seq := st.seq
+	if _, err := writeSnapshot(st.dir, sch, log, seq); err != nil {
+		return 0, fmt.Errorf("store: snapshot: %w", err)
+	}
+	newPath := filepath.Join(st.dir, walName(seq+1))
+	if newPath != st.walPath {
+		f, err := createWAL(newPath)
+		if err != nil {
+			return 0, fmt.Errorf("store: rotating wal: %w", err)
+		}
+		if err := syncDir(st.dir); err != nil {
+			f.Close()
+			return 0, fmt.Errorf("store: %w", err)
+		}
+		st.wal.Close() // superseded; its records are inside the snapshot
+		st.wal, st.walPath, st.walSize, st.dirty = f, newPath, int64(len(walMagic)), false
+	}
+	st.snapSeq = seq
+	st.compactLocked()
+
+	dur := time.Since(start)
+	metSnapshots.With(trigger).Inc()
+	metSnapshotSeconds.Observe(dur.Seconds())
+	metWALSinceSnapshot.Set(0)
+	st.logger.Info("store snapshot taken", "seq", seq, "trigger", trigger,
+		"ms", float64(dur)/float64(time.Millisecond))
+	return seq, nil
+}
+
+// compactLocked deletes WAL files other than the current one and
+// snapshots older than the latest; the caller holds st.mu (or is
+// inside Open, before the store is published). Deletion failures are
+// logged, never fatal — stale files are re-collected next time.
+func (st *Store) compactLocked() {
+	names, seqs, err := listBySeq(st.dir, "wal-", ".log")
+	if err == nil {
+		for _, name := range names {
+			if path := filepath.Join(st.dir, name); path != st.walPath {
+				if err := os.Remove(path); err != nil {
+					st.logger.Warn("store: compaction could not remove wal", "path", path, "err", err)
+				}
+			}
+		}
+	}
+	names, seqs, err = listBySeq(st.dir, "snapshot-", ".json")
+	if err == nil {
+		for i, name := range names {
+			if seqs[i] < st.snapSeq {
+				if err := os.Remove(filepath.Join(st.dir, name)); err != nil {
+					st.logger.Warn("store: compaction could not remove snapshot", "name", name, "err", err)
+				}
+			}
+		}
+	}
+	_ = syncDir(st.dir)
+}
+
+// LastSeq returns the sequence number of the last appended record.
+func (st *Store) LastSeq() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.seq
+}
+
+// SnapshotSeq returns the WAL sequence covered by the latest snapshot.
+func (st *Store) SnapshotSeq() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.snapSeq
+}
+
+// RecoveryStats reports what Open did.
+func (st *Store) RecoveryStats() RecoveryStats { return st.stats }
+
+// Dir returns the store's root directory.
+func (st *Store) Dir() string { return st.dir }
+
+// Close flushes and closes the WAL. It never snapshots — a process
+// killed without Close recovers identically, minus at most the
+// unsynced tail permitted by the fsync policy.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return nil
+	}
+	st.closed = true
+	flushStop := st.flushStop
+	st.mu.Unlock()
+	if flushStop != nil {
+		close(flushStop)
+		<-st.flushDone
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var err error
+	if st.opts.Fsync != FsyncOff {
+		err = st.wal.Sync()
+	}
+	if cerr := st.wal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

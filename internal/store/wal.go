@@ -1,0 +1,167 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// The write-ahead log is a sequence of length-prefixed, CRC-checksummed
+// records after an 8-byte magic header:
+//
+//	file   := magic record*
+//	magic  := "MVOWAL01"
+//	record := payloadLen:u32le  crc32(payload):u32le  payload
+//
+// The payload is the JSON walRecord below. Records carry strictly
+// increasing sequence numbers; a record is torn (incomplete header or
+// payload, or CRC mismatch) only as the result of a crash mid-append,
+// so scanning stops at the first invalid record and recovery truncates
+// the file back to the last good byte.
+
+const (
+	walMagic = "MVOWAL01"
+
+	// maxWALRecord bounds a single record so a corrupt length prefix
+	// cannot drive a multi-gigabyte allocation during recovery.
+	maxWALRecord = 64 << 20
+
+	recordHeaderSize = 8 // payloadLen + crc32
+)
+
+// Record types.
+const (
+	// RecordEvolve is an evolution script: the raw POST /evolve payload.
+	RecordEvolve = "evolve"
+	// RecordFacts is a fact-batch append: a JSON array of FactRecord.
+	RecordFacts = "facts"
+)
+
+// walRecord is the JSON payload of one WAL record.
+type walRecord struct {
+	Seq  uint64          `json:"seq"`
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data"`
+}
+
+// FactRecord is the wire form of one appended fact, shared by the
+// POST /facts endpoint and the WAL: member-version coordinates in
+// schema dimension order, an instant ("MM/YYYY" or "YYYY"), and one
+// value per measure.
+type FactRecord struct {
+	Coords []string  `json:"coords"`
+	Time   string    `json:"time"`
+	Values []float64 `json:"values"`
+}
+
+// ParseFactBatch strictly decodes a JSON fact batch (the POST /facts
+// body and the WAL fact-record payload).
+func ParseFactBatch(data []byte) ([]FactRecord, error) {
+	var batch []FactRecord
+	if err := json.Unmarshal(data, &batch); err != nil {
+		return nil, fmt.Errorf("store: fact batch: %w", err)
+	}
+	if len(batch) == 0 {
+		return nil, fmt.Errorf("store: fact batch is empty")
+	}
+	return batch, nil
+}
+
+// encodeRecord renders the framed bytes of one record.
+func encodeRecord(rec walRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding wal record %d: %w", rec.Seq, err)
+	}
+	buf := make([]byte, recordHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[recordHeaderSize:], payload)
+	return buf, nil
+}
+
+// walScan is the result of scanning one WAL file.
+type walScan struct {
+	// records are the valid records in file order.
+	records []walRecord
+	// goodSize is the byte offset just past the last valid record; a
+	// torn tail is everything from goodSize to the file size.
+	goodSize int64
+	// tornBytes counts trailing bytes dropped by the scan (0 when the
+	// file ends cleanly on a record boundary).
+	tornBytes int64
+}
+
+// scanWAL reads every valid record of a WAL file, stopping at the
+// first torn or corrupt one. A missing or wrong magic header is an
+// error (the file is not a WAL); anything after the last valid record
+// is reported as a torn tail for the caller to truncate.
+func scanWAL(path string) (*walScan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := info.Size()
+
+	magic := make([]byte, len(walMagic))
+	if _, err := io.ReadFull(f, magic); err != nil || string(magic) != walMagic {
+		return nil, fmt.Errorf("store: %s: not a WAL file (bad magic)", path)
+	}
+	scan := &walScan{goodSize: int64(len(walMagic))}
+	var header [recordHeaderSize]byte
+	for {
+		if _, err := io.ReadFull(f, header[:]); err != nil {
+			break // clean EOF or torn header
+		}
+		payloadLen := binary.LittleEndian.Uint32(header[0:4])
+		wantCRC := binary.LittleEndian.Uint32(header[4:8])
+		if payloadLen == 0 || payloadLen > maxWALRecord {
+			break // corrupt length prefix
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			break // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			break // corrupt payload
+		}
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			break // valid frame, unparseable content: treat as torn
+		}
+		if n := len(scan.records); n > 0 && rec.Seq != scan.records[n-1].Seq+1 {
+			return nil, fmt.Errorf("store: %s: wal sequence jumped %d → %d",
+				path, scan.records[n-1].Seq, rec.Seq)
+		}
+		scan.records = append(scan.records, rec)
+		scan.goodSize += int64(recordHeaderSize) + int64(payloadLen)
+	}
+	scan.tornBytes = size - scan.goodSize
+	return scan, nil
+}
+
+// createWAL creates a fresh WAL file containing only the magic header
+// and syncs it. It fails if the file already exists.
+func createWAL(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.WriteString(walMagic); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
