@@ -18,12 +18,13 @@ test:
 	$(GO) test ./...
 
 # The MVFT materialization pipeline, its singleflight cache, the
-# lock-free observability counters, the server's copy-on-write
-# evolution and the store's WAL/flusher are all concurrent; keep them
-# honest under the race detector.
+# incremental-maintenance property suite, the lock-free observability
+# counters, the server's copy-on-write evolution and the store's
+# WAL/flusher are all concurrent; keep them honest under the race
+# detector.
 .PHONY: race
 race:
-	$(GO) test -race ./internal/core/... ./internal/obs/... ./internal/server/... ./internal/store/... ./internal/tql/...
+	$(GO) test -race ./internal/core/... ./internal/evolution/... ./internal/obs/... ./internal/server/... ./internal/store/... ./internal/tql/...
 
 # Torn-WAL crash-recovery tests (store-level and over HTTP) under the
 # race detector: kill mid-append, truncate the final record at a random
@@ -36,8 +37,16 @@ crash-test:
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
 
-# bench-json appends a timestamped machine-readable benchmark record so
-# performance trajectories accumulate across commits (BENCH_*.json).
+# bench-json emits the machine-readable benchmark record for this
+# change series (BENCH_4.json); CI uploads it as an artifact so
+# performance trajectories accumulate across commits.
 .PHONY: bench-json
 bench-json:
-	$(GO) test -json -bench=. -benchmem -run='^$$' ./... > BENCH_$$(date +%Y%m%d_%H%M%S).json
+	$(GO) test -json -bench=. -benchmem -run='^$$' ./... > BENCH_4.json
+
+# bench-smoke runs the incremental-maintenance benchmark once — a CI
+# guard that the warm-delta path stays alive and delta-applies to every
+# mode (the bench b.Fatals otherwise).
+.PHONY: bench-smoke
+bench-smoke:
+	$(GO) test -json -bench=IncrementalIngest -benchtime=1x -run='^$$' . > BENCH_4.json

@@ -10,6 +10,7 @@ package mvolap_test
 //	go test -bench=. -benchmem
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -866,6 +867,113 @@ func BenchmarkDrillAcross(b *testing.B) {
 		if len(res.Rows) == 0 {
 			b.Fatal("empty drill-across")
 		}
+	}
+}
+
+// --- incremental maintenance ---
+
+// ingestSchema builds a large synthetic warehouse for the incremental
+// maintenance benches: `leaves` departments under one division, with
+// leaf validity starting in one of three years so the schema has three
+// structure versions (four temporal modes with tcm), and
+// leaves*monthsPerLeaf facts at distinct (member, month) keys.
+func ingestSchema(b *testing.B, leaves, monthsPerLeaf int) *core.Schema {
+	b.Helper()
+	s := core.NewSchema("ingest", core.Measure{Name: "Amount", Agg: core.Sum})
+	d := core.NewDimension("Org", "Org")
+	if err := d.AddVersion(&core.MemberVersion{ID: "top", Level: "Division", Valid: temporal.Since(temporal.Year(2000))}); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < leaves; i++ {
+		start := temporal.Year(2000 + i%3)
+		id := core.MVID(fmt.Sprintf("leaf%d", i))
+		if err := d.AddVersion(&core.MemberVersion{ID: id, Level: "Department", Valid: temporal.Since(start)}); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.AddRelationship(core.TemporalRelationship{From: id, To: "top", Valid: temporal.Since(start)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.AddDimension(d); err != nil {
+		b.Fatal(err)
+	}
+	base := temporal.Year(2003)
+	for i := 0; i < leaves; i++ {
+		id := core.MVID(fmt.Sprintf("leaf%d", i))
+		for m := 0; m < monthsPerLeaf; m++ {
+			if err := s.InsertFact(core.Coords{id}, base+temporal.Instant(m), float64(i+m)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return s
+}
+
+// ingestBatch returns n (member, month, value) insertions at months
+// beyond every fact ingestSchema created, so the batch never collides
+// with an existing key and the fact-side delta stays insert-only.
+type ingestFact struct {
+	id core.MVID
+	at temporal.Instant
+	v  float64
+}
+
+func ingestBatch(leaves, monthsPerLeaf, n int) []ingestFact {
+	fresh := temporal.Year(2003) + temporal.Instant(monthsPerLeaf)
+	out := make([]ingestFact, n)
+	for i := range out {
+		out[i] = ingestFact{
+			id: core.MVID(fmt.Sprintf("leaf%d", i%leaves)),
+			at: fresh + temporal.Instant(i/leaves),
+			v:  float64(i),
+		}
+	}
+	return out
+}
+
+// BenchmarkIncrementalIngest measures the tentpole end to end: folding
+// a small insert-only fact batch into the already-materialized MVFT of
+// a ~100k-fact warehouse (warm-delta, the WarmFrom clone-swap path)
+// against rematerializing every temporal mode from scratch after the
+// same batch (cold-rebuild). Both paths cover all modes — tcm plus the
+// three structure versions — so the ratio is the serving-tier speedup
+// of delta ingestion over invalidation.
+func BenchmarkIncrementalIngest(b *testing.B) {
+	const leaves, months = 1000, 100 // 100k facts
+	base := ingestSchema(b, leaves, months)
+	if _, err := base.MultiVersion().All(); err != nil {
+		b.Fatal(err)
+	}
+	nModes := len(base.Modes())
+	run := func(batchSize int, warm bool) func(b *testing.B) {
+		batch := ingestBatch(leaves, months, batchSize)
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				clone := base.Clone()
+				oldLen := clone.Facts().Len()
+				for _, f := range batch {
+					if err := clone.InsertFact(core.Coords{f.id}, f.at, f.v); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if warm {
+					delta := core.Delta{NewFacts: clone.Facts().Facts()[oldLen:]}
+					res := clone.WarmFrom(context.Background(), base, delta)
+					if res.DeltaApplied != nModes {
+						b.Fatalf("delta applied to %d modes, want %d (evicted %v)",
+							res.DeltaApplied, nModes, res.Evicted)
+					}
+				} else {
+					if _, err := clone.MultiVersion().All(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+	for _, batchSize := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("batch=%d/warm-delta", batchSize), run(batchSize, true))
+		b.Run(fmt.Sprintf("batch=%d/cold-rebuild", batchSize), run(batchSize, false))
 	}
 }
 

@@ -26,6 +26,13 @@ type Dimension struct {
 
 	parentRels map[MVID][]int // child MVID -> indexes into rels
 	childRels  map[MVID][]int // parent MVID -> indexes into rels
+
+	// onMutate, when set, runs after every successful structural
+	// mutation. The owning schema hooks its cache invalidation here, so
+	// evolution operators mutating a dimension in place can never leave
+	// a stale MultiVersion Fact Table behind (the old footgun where
+	// in-place mutation required a manual Invalidate call).
+	onMutate func()
 }
 
 // NewDimension creates an empty temporal dimension.
@@ -56,7 +63,15 @@ func (d *Dimension) AddVersion(mv *MemberVersion) error {
 	}
 	d.members[mv.ID] = mv
 	d.order = append(d.order, mv.ID)
+	d.notifyMutate()
 	return nil
+}
+
+// notifyMutate reports a structural change to the owning schema.
+func (d *Dimension) notifyMutate() {
+	if d.onMutate != nil {
+		d.onMutate()
+	}
 }
 
 // AddRelationship inserts a temporal relationship. Definition 2 requires
@@ -86,6 +101,7 @@ func (d *Dimension) AddRelationship(r TemporalRelationship) error {
 	d.rels = append(d.rels, r)
 	d.parentRels[r.From] = append(d.parentRels[r.From], idx)
 	d.childRels[r.To] = append(d.childRels[r.To], idx)
+	d.notifyMutate()
 	return nil
 }
 
@@ -537,6 +553,7 @@ func (d *Dimension) SetEnd(id MVID, end temporal.Instant) error {
 	}
 	// Drop relationships emptied by the truncation.
 	d.compactRels()
+	d.notifyMutate()
 	return nil
 }
 
@@ -551,6 +568,7 @@ func (d *Dimension) EndRelationship(from, to MVID, end temporal.Instant) {
 		}
 	}
 	d.compactRels()
+	d.notifyMutate()
 }
 
 func (d *Dimension) compactRels() {

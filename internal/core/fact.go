@@ -71,11 +71,31 @@ func appendFactKey(dst []byte, c Coords, t temporal.Instant) []byte {
 // partial function from leaf member versions and time to measure values.
 // It stores source data only; mapped presentations are derived from it
 // (see MultiVersionFactTable).
+//
+// Cloning is copy-on-write: a clone shares the *Fact tuples and the key
+// index of its source, copies only the (pointer) fact slice, and takes a
+// private copy of a tuple the moment a replacing Insert would mutate it.
+// Facts are insert-only in steady state, so the shared prefix stays
+// valid forever; this is what makes per-batch schema cloning in the
+// serving tier O(batch) instead of O(allFacts).
 type FactTable struct {
 	measures int
 	facts    []*Fact
-	index    map[string]int
-	keyBuf   []byte
+	// index maps fact keys owned by this table; base is the frozen,
+	// shared index layer inherited from the clone source (nil for a
+	// directly built table). Lookups probe index first, then base;
+	// base only covers the first baseLen facts — entries past that were
+	// added by a table that kept growing after the clone and are
+	// ignored (the clone's own growth lives in index).
+	index   map[string]int
+	base    map[string]int
+	baseLen int
+	// facts[:cowLen] may be shared with other tables; they are copied
+	// before any in-place mutation (a replacing Insert). owned marks
+	// positions below cowLen this table has already privatized.
+	cowLen int
+	owned  map[int]bool
+	keyBuf []byte
 }
 
 // NewFactTable creates an empty fact table for m measures.
@@ -89,15 +109,40 @@ func (ft *FactTable) Measures() int { return ft.measures }
 // Len reports the number of stored facts.
 func (ft *FactTable) Len() int { return len(ft.facts) }
 
+// lookupKey probes the owned index layer, then the shared base layer.
+// Base entries at positions past baseLen were added by another table
+// after the clone and do not belong here.
+func (ft *FactTable) lookupKey(key []byte) (int, bool) {
+	if i, ok := ft.index[string(key)]; ok {
+		return i, true
+	}
+	if ft.base != nil {
+		if i, ok := ft.base[string(key)]; ok && i < ft.baseLen {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
 // Insert adds a fact. Inserting at existing coordinates and time
-// replaces the previous values (the fact table is a function).
+// replaces the previous values (the fact table is a function); a
+// replaced tuple shared with a clone is privatized first.
 func (ft *FactTable) Insert(coords Coords, t temporal.Instant, values ...float64) error {
 	if len(values) != ft.measures {
 		return fmt.Errorf("core: fact with %d values for %d measures", len(values), ft.measures)
 	}
 	ft.keyBuf = appendFactKey(ft.keyBuf[:0], coords, t)
-	if i, ok := ft.index[string(ft.keyBuf)]; ok {
-		copy(ft.facts[i].Values, values)
+	if i, ok := ft.lookupKey(ft.keyBuf); ok {
+		f := ft.facts[i]
+		if i < ft.cowLen && !ft.owned[i] {
+			f = &Fact{Coords: f.Coords, Time: f.Time, Values: append([]float64(nil), f.Values...)}
+			ft.facts[i] = f
+			if ft.owned == nil {
+				ft.owned = make(map[int]bool)
+			}
+			ft.owned[i] = true
+		}
+		copy(f.Values, values)
 		return nil
 	}
 	f := &Fact{Coords: coords.Clone(), Time: t, Values: append([]float64(nil), values...)}
@@ -111,7 +156,7 @@ func (ft *FactTable) Insert(coords Coords, t temporal.Instant, values ...float64
 func (ft *FactTable) Lookup(coords Coords, t temporal.Instant) ([]float64, bool) {
 	var scratch [64]byte
 	key := appendFactKey(scratch[:0], coords, t)
-	i, ok := ft.index[string(key)]
+	i, ok := ft.lookupKey(key)
 	if !ok {
 		return nil, false
 	}
@@ -122,25 +167,60 @@ func (ft *FactTable) Lookup(coords Coords, t temporal.Instant) ([]float64, bool)
 // callers must not mutate it.
 func (ft *FactTable) Facts() []*Fact { return ft.facts }
 
-// Clone returns a deep copy of the fact table: facts, coordinate
-// vectors and value slices are all copied, so inserts into either
-// table never reach through to the other.
+// flattenThreshold bounds the owned overlay: once it outgrows a
+// quarter of the table, a clone flattens both layers into a fresh base
+// so lookup chains never exceed two map probes and overlay copies stay
+// small under steady ingestion.
+const flattenThreshold = 4
+
+// Clone returns a copy-on-write copy of the fact table. Fact tuples
+// are shared until one side replaces values at existing coordinates
+// (which privatizes just that tuple), so cloning costs one pointer
+// slice copy plus the (small) owned index overlay instead of a deep
+// copy of every fact. Inserts into either table never reach through to
+// the other. Not safe concurrently with Insert on the receiver.
 func (ft *FactTable) Clone() *FactTable {
 	out := &FactTable{
 		measures: ft.measures,
 		facts:    make([]*Fact, len(ft.facts)),
-		index:    make(map[string]int, len(ft.index)),
+		cowLen:   len(ft.facts),
 	}
-	for i, f := range ft.facts {
-		out.facts[i] = &Fact{
-			Coords: f.Coords.Clone(),
-			Time:   f.Time,
-			Values: append([]float64(nil), f.Values...),
+	copy(out.facts, ft.facts)
+	switch {
+	case ft.base == nil:
+		// First clone of a directly built table: its full index becomes
+		// the shared base layer. The source may keep inserting into it;
+		// the clone's baseLen bound in lookupKey screens those out.
+		out.base = ft.index
+		out.baseLen = len(ft.facts)
+		out.index = make(map[string]int)
+	case len(ft.index)*flattenThreshold > len(ft.facts):
+		merged := make(map[string]int, len(ft.base)+len(ft.index))
+		for k, v := range ft.base {
+			if v < ft.baseLen {
+				merged[k] = v
+			}
+		}
+		for k, v := range ft.index {
+			merged[k] = v
+		}
+		out.base = merged
+		out.baseLen = len(ft.facts)
+		out.index = make(map[string]int)
+	default:
+		// The shared base still covers only the prefix it did for the
+		// receiver; the receiver's own growth is in index, copied here.
+		out.base = ft.base
+		out.baseLen = ft.baseLen
+		out.index = make(map[string]int, len(ft.index))
+		for k, v := range ft.index {
+			out.index[k] = v
 		}
 	}
-	for k, v := range ft.index {
-		out.index[k] = v
-	}
+	// The receiver no longer exclusively owns the shared tuples either:
+	// a replacing Insert on it must privatize before mutating.
+	ft.cowLen = len(ft.facts)
+	ft.owned = nil
 	return out
 }
 

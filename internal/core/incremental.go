@@ -1,0 +1,251 @@
+package core
+
+import (
+	"context"
+	"sort"
+)
+
+// Delta describes what one accepted mutation batch changed between a
+// base schema and its evolved clone, precisely enough for incremental
+// MVFT maintenance to decide, per cached mode, between folding the
+// change in and rebuilding from zero.
+type Delta struct {
+	// NewFacts is the suffix of the clone's fact table appended by the
+	// batch, in insertion order. Facts are insert-only (there is no
+	// retraction API), so folding this suffix through the mapping graph
+	// reproduces, bit for bit, the tail of a cold rebuild.
+	NewFacts []*Fact
+	// FactsReplaced reports that the batch overwrote values at existing
+	// coordinates (FactTable.Insert replaces — the fact table is a
+	// function). A replacement is not an insert-only delta: merged
+	// tuples already folded the old value, so every cached mode is
+	// evicted.
+	FactsReplaced bool
+	// StructureChanged reports that any dimension was mutated in place
+	// (evolution operators). Version modes then retain their tables
+	// only when their structure version provably survived unchanged.
+	StructureChanged bool
+	// MappingsChanged reports that the set of mapping relationships
+	// changed (Associate). The mapping graph is global — resolution may
+	// route through any relationship — so every version mode is
+	// evicted; tcm does not use the graph and survives.
+	MappingsChanged bool
+	// DimsTouched lists the dimensions the batch mutated, for
+	// observability; retention itself is decided by the structural
+	// signature comparison below, which is safe for operators that do
+	// not report their footprint.
+	DimsTouched []DimID
+}
+
+// WarmResult reports what WarmFrom did, per temporal mode.
+type WarmResult struct {
+	// Retained modes answer queries on the new schema without a
+	// rematerialization; those with a non-empty fact delta had it
+	// folded in (DeltaApplied).
+	Retained []string
+	// Evicted modes rebuild lazily on first use.
+	Evicted []string
+	// DeltaApplied counts retained modes into which the fact delta was
+	// folded.
+	DeltaApplied int
+}
+
+// WarmFrom seeds the schema's MultiVersion Fact Table from the modes
+// already materialized on base, applying only the delta — the serving
+// tier's answer to the §5.1 observation that evolution should store
+// changes, not duplicate the warehouse. It is called on a clone right
+// before it is swapped into service, while base still serves queries.
+//
+// Retention is structure-aware:
+//
+//   - tcm depends only on the fact table: retained unless facts were
+//     replaced in place, with NewFacts folded in.
+//   - a version mode Vi is retained when the mapping set is unchanged
+//     and the new schema has a structure version with the same ID, the
+//     same valid time and the same structural signature (member
+//     versions and relationships); its table then only absorbs the
+//     fact delta. Anything else — new partitioning, touched interval,
+//     changed mappings — evicts the mode.
+//
+// Folding the delta replays exactly the add() suffix a cold rebuild
+// would run after the base facts, so retained tables are bit-identical
+// to full rematerialization (see TestIncrementalMatchesColdRebuild).
+// Published base tables are never mutated: folding happens on
+// copy-on-write clones, so in-flight queries on base keep their
+// consistent snapshots.
+//
+// Retained modes do not count as Materializations; they count as
+// DeltaApplies when a fact delta was folded. A ctx cancellation
+// mid-fold simply evicts the remaining modes — the swap must not fail
+// because warming was abandoned.
+func (s *Schema) WarmFrom(ctx context.Context, base *Schema, d Delta) WarmResult {
+	var res WarmResult
+	base.mu.Lock()
+	baseMV := base.mvftCache
+	base.mu.Unlock()
+	if baseMV == nil {
+		return res
+	}
+	type cached struct {
+		key   string
+		table *MappedTable
+	}
+	var tables []cached
+	baseMV.mu.Lock()
+	for k, e := range baseMV.byMode {
+		select {
+		case <-e.done:
+			if e.err == nil && e.table != nil {
+				tables = append(tables, cached{k, e.table})
+			}
+		default: // still building; leave it to base's snapshot
+		}
+	}
+	baseMV.mu.Unlock()
+	if len(tables) == 0 {
+		return res
+	}
+	sort.Slice(tables, func(i, j int) bool { return tables[i].key < tables[j].key })
+
+	if d.FactsReplaced {
+		for _, t := range tables {
+			res.Evicted = append(res.Evicted, t.key)
+		}
+		metModesEvicted.Add(int64(len(res.Evicted)))
+		return res
+	}
+
+	// Resolve the new schema's modes by ID once; version retention also
+	// needs the base's structure versions for the signature comparison.
+	dstModes := map[string]Mode{TCM().String(): TCM()}
+	for _, sv := range s.StructureVersions() {
+		dstModes[sv.ID] = InVersion(sv)
+	}
+	baseSVs := map[string]*StructureVersion{}
+	for _, sv := range base.StructureVersions() {
+		baseSVs[sv.ID] = sv
+	}
+
+	var graph *mappingGraph // built lazily, shared by all retained version modes
+	warm := make(map[string]*MappedTable, len(tables))
+	for _, t := range tables {
+		mode, ok := dstModes[t.key]
+		if !ok || !s.retains(base, baseSVs, mode, d) || ctx.Err() != nil {
+			res.Evicted = append(res.Evicted, t.key)
+			continue
+		}
+		out := t.table.cloneForWarm(mode, s.alg, s.measures)
+		if len(d.NewFacts) > 0 {
+			if mode.Kind == TCMKind {
+				if err := s.foldTCM(ctx, out, d.NewFacts); err != nil {
+					res.Evicted = append(res.Evicted, t.key)
+					continue
+				}
+			} else {
+				if graph == nil {
+					graph = newMappingGraph(s.mappings, len(s.measures), s.alg)
+				}
+				p := s.mapShard(ctx, graph, s.versionLeafSets(mode.Version), d.NewFacts)
+				if ctx.Err() != nil {
+					res.Evicted = append(res.Evicted, t.key)
+					continue
+				}
+				s.mergePartials(out, []*partialShard{p})
+			}
+			res.DeltaApplied++
+		}
+		warm[t.key] = out
+		res.Retained = append(res.Retained, t.key)
+	}
+
+	if len(warm) > 0 {
+		mv := s.MultiVersion()
+		mv.mu.Lock()
+		for k, mt := range warm {
+			e := &modeEntry{done: make(chan struct{}), table: mt}
+			close(e.done)
+			mv.byMode[k] = e
+		}
+		mv.mu.Unlock()
+		mv.deltas.Add(int64(res.DeltaApplied))
+	}
+	metDeltaApplies.Add(int64(res.DeltaApplied))
+	metModesRetained.Add(int64(len(res.Retained)))
+	metModesEvicted.Add(int64(len(res.Evicted)))
+	return res
+}
+
+// retains decides whether one of base's cached modes is still valid on
+// the (already mutated) receiver under the given delta.
+func (s *Schema) retains(base *Schema, baseSVs map[string]*StructureVersion, mode Mode, d Delta) bool {
+	if mode.Kind == TCMKind {
+		return true
+	}
+	if d.MappingsChanged {
+		return false
+	}
+	if !d.StructureChanged && len(d.DimsTouched) == 0 {
+		// A pure fact batch: dimensions were deep-cloned unchanged.
+		return true
+	}
+	old, ok := baseSVs[mode.Version.ID]
+	if !ok || old.Valid != mode.Version.Valid {
+		return false
+	}
+	// Same ID and interval: the mode survives iff the structural
+	// signature over that interval is unchanged. Structure versions are
+	// maximal constant-signature intervals, so agreement at Start means
+	// agreement throughout — the restriction, and with it every leaf
+	// set and resolution, is identical. Inferred versions carry their
+	// signature; the re-encoding fallback covers hand-composed ones.
+	if old.sig != "" && mode.Version.sig != "" {
+		return old.sig == mode.Version.sig
+	}
+	return base.signatureAt(old.Valid.Start) == s.signatureAt(mode.Version.Valid.Start)
+}
+
+// cloneForWarm returns a copy-on-write clone of a published mapped
+// table, rebound to the new schema's mode, algebra and measures, ready
+// to absorb a fact delta: tuples and the key index are shared, merges
+// privatize per tuple (see MappedTable.add).
+func (mt *MappedTable) cloneForWarm(m Mode, alg ConfidenceAlgebra, measures []Measure) *MappedTable {
+	out := &MappedTable{
+		Mode:     m,
+		facts:    make([]*MappedFact, len(mt.facts)),
+		cowBase:  len(mt.facts),
+		Dropped:  mt.Dropped,
+		alg:      alg,
+		measures: measures,
+		hasAvg:   mt.hasAvg,
+	}
+	copy(out.facts, mt.facts)
+	switch {
+	case mt.base == nil:
+		// Published tables are never mutated again, so the source's
+		// full index can be shared as the frozen base layer.
+		out.base = mt.index
+		out.baseLen = len(mt.facts)
+		out.index = make(map[string]int)
+	case len(mt.index)*flattenThreshold > len(mt.facts):
+		merged := make(map[string]int, len(mt.base)+len(mt.index))
+		for k, v := range mt.base {
+			if v < mt.baseLen {
+				merged[k] = v
+			}
+		}
+		for k, v := range mt.index {
+			merged[k] = v
+		}
+		out.base = merged
+		out.baseLen = len(mt.facts)
+		out.index = make(map[string]int)
+	default:
+		out.base = mt.base
+		out.baseLen = mt.baseLen
+		out.index = make(map[string]int, len(mt.index))
+		for k, v := range mt.index {
+			out.index[k] = v
+		}
+	}
+	return out
+}

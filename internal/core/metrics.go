@@ -28,4 +28,13 @@ var (
 	metQueryCancelled = obs.Default().Counter(
 		"mvolap_query_cancelled_total",
 		"Queries or materializations abandoned on context cancellation or deadline.")
+	metDeltaApplies = obs.Default().Counter(
+		"mvolap_mvft_delta_applies_total",
+		"Retained MVFT modes that absorbed a fact batch incrementally instead of rematerializing.")
+	metModesRetained = obs.Default().Counter(
+		"mvolap_mvft_modes_retained_total",
+		"Cached MVFT modes carried across a schema clone-swap by structure-aware invalidation.")
+	metModesEvicted = obs.Default().Counter(
+		"mvolap_mvft_modes_evicted_total",
+		"Cached MVFT modes dropped across a schema clone-swap because their structure or mappings changed.")
 )

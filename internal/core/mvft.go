@@ -34,10 +34,26 @@ type MappedFact struct {
 
 // MappedTable is the restriction of the MultiVersion Fact Table to one
 // temporal mode: f'(·, ·, tmp).
+//
+// A table is single-writer while it is built and read-only once
+// published. Incremental maintenance (Schema.WarmFrom) never mutates a
+// published table: it takes a copy-on-write clone — shared tuples and a
+// shared frozen index layer — and folds the fact delta into the clone,
+// privatizing only the tuples the delta merges into.
 type MappedTable struct {
 	Mode  Mode
 	facts []*MappedFact
-	index map[string]int
+	// index holds keys owned by this table; base is the frozen index
+	// layer shared with the warm-clone source (nil for a cold build)
+	// and only covers the first baseLen tuples.
+	index   map[string]int
+	base    map[string]int
+	baseLen int
+	// facts[:cowBase] are shared with the clone source and must be
+	// privatized before a merge folds into them; owned marks positions
+	// already privatized.
+	cowBase int
+	owned   map[int]bool
 	// Dropped counts source facts that could not be presented in this
 	// mode at all: no chain of mapping relationships reaches any member
 	// version of the target structure version ("impossible cross-points"
@@ -47,8 +63,7 @@ type MappedTable struct {
 	alg      ConfidenceAlgebra
 	measures []Measure
 	hasAvg   bool
-	// keyBuf is scratch for building index keys during materialization;
-	// the table is single-writer while it is built and read-only after.
+	// keyBuf is scratch for building index keys during materialization.
 	keyBuf []byte
 }
 
@@ -75,16 +90,47 @@ func (mt *MappedTable) Facts() []*MappedFact { return mt.facts }
 // Len reports the number of mapped tuples.
 func (mt *MappedTable) Len() int { return len(mt.facts) }
 
+// lookupKey probes the owned index layer, then the shared base layer
+// inherited from a warm clone.
+func (mt *MappedTable) lookupKey(key []byte) (int, bool) {
+	if i, ok := mt.index[string(key)]; ok {
+		return i, true
+	}
+	if mt.base != nil {
+		if i, ok := mt.base[string(key)]; ok && i < mt.baseLen {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
 // Lookup returns the mapped tuple at the given coordinates and time.
 // It is safe for concurrent use once the table is materialized.
 func (mt *MappedTable) Lookup(coords Coords, t temporal.Instant) (*MappedFact, bool) {
 	var scratch [64]byte
 	key := appendFactKey(scratch[:0], coords, t)
-	i, ok := mt.index[string(key)]
+	i, ok := mt.lookupKey(key)
 	if !ok {
 		return nil, false
 	}
 	return mt.facts[i], true
+}
+
+// clone returns a private copy of the mapped fact for copy-on-write
+// folding: values, confidences and Avg counts are copied (they mutate
+// under merges), coordinates and time stay shared (they never do).
+func (f *MappedFact) clone() *MappedFact {
+	out := &MappedFact{
+		Coords:  f.Coords,
+		Time:    f.Time,
+		Values:  append([]float64(nil), f.Values...),
+		CFs:     append([]Confidence(nil), f.CFs...),
+		Sources: f.Sources,
+	}
+	if f.avgN != nil {
+		out.avgN = append([]int32(nil), f.avgN...)
+	}
+	return out
 }
 
 // add folds one emitted tuple into the table. It takes ownership of
@@ -92,11 +138,19 @@ func (mt *MappedTable) Lookup(coords Coords, t temporal.Instant) (*MappedFact, b
 // mutate (the materialization arenas), never shared buffers.
 func (mt *MappedTable) add(coords Coords, t temporal.Instant, values []float64, cfs []Confidence) {
 	mt.keyBuf = appendFactKey(mt.keyBuf[:0], coords, t)
-	if i, ok := mt.index[string(mt.keyBuf)]; ok {
+	if i, ok := mt.lookupKey(mt.keyBuf); ok {
 		// A merge: several source tuples present themselves on the same
 		// target coordinates. Fold values with the measure aggregate ⊕
 		// and confidences with ⊗cf (Definition 12).
 		f := mt.facts[i]
+		if i < mt.cowBase && !mt.owned[i] {
+			f = f.clone()
+			mt.facts[i] = f
+			if mt.owned == nil {
+				mt.owned = make(map[int]bool)
+			}
+			mt.owned[i] = true
+		}
 		for k := range f.Values {
 			if mt.measures[k].Agg == Avg {
 				f.Values[k], f.avgN[k] = foldAvg(f.Values[k], f.avgN[k], values[k])
@@ -198,13 +252,14 @@ type MultiVersionFactTable struct {
 	mu     sync.Mutex
 	byMode map[string]*modeEntry
 	builds atomic.Int64
+	deltas atomic.Int64
 }
 
 // MultiVersion returns the schema's MultiVersion Fact Table. The table
-// is cached on the schema and recomputed lazily after mutation; facts
-// inserted after the first call require Invalidate before they are
-// visible here (InsertFact invalidates automatically; evolution
-// operators that mutate dimensions in place do not).
+// is cached on the schema and recomputed lazily after mutation.
+// InsertFact and every dimension mutation through the registered API
+// (AddVersion, AddRelationship, SetEnd, EndRelationship — i.e. all
+// evolution operators) invalidate the cache automatically.
 func (s *Schema) MultiVersion() *MultiVersionFactTable {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -292,6 +347,11 @@ func isCancellation(err error) bool {
 // performed — an observability hook that also lets tests assert the
 // singleflight contract (one build per mode, however many callers).
 func (mv *MultiVersionFactTable) Materializations() int64 { return mv.builds.Load() }
+
+// DeltaApplies reports how many retained modes had a fact delta folded
+// in by Schema.WarmFrom instead of a full rematerialization. Warm
+// retention never counts as a Materialization.
+func (mv *MultiVersionFactTable) DeltaApplies() int64 { return mv.deltas.Load() }
 
 // All materializes every mode of the schema — the full f' — running the
 // per-mode materializations concurrently. The returned map is a
@@ -477,6 +537,47 @@ func (s *Schema) mergePartials(out *MappedTable, partials []*partialShard) {
 	}
 }
 
+// foldTCM folds facts into a tcm table in fact order: source values
+// copied into flat arenas (mapped facts own their values), confidences
+// the zero value SourceData. Shared by cold materialization (all facts)
+// and delta application (the appended suffix) — the add sequence, and
+// therefore every bit of the result, is identical either way.
+func (s *Schema) foldTCM(ctx context.Context, out *MappedTable, facts []*Fact) error {
+	nm := len(s.measures)
+	values := make([]float64, 0, len(facts)*nm)
+	cfs := make([]Confidence, len(facts)*nm)
+	for i, f := range facts {
+		if i > 0 && i%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("core: materialization cancelled: %w", err)
+			}
+		}
+		values = append(values, f.Values...)
+		out.add(f.Coords, f.Time,
+			values[i*nm:(i+1)*nm:(i+1)*nm],
+			cfs[i*nm:(i+1)*nm:(i+1)*nm])
+	}
+	return nil
+}
+
+// versionLeafSets builds, per dimension, the acceptable mapping targets
+// for a structure version: the leaf member versions of its restriction.
+// Built once per materialization, read-only for all workers.
+func (s *Schema) versionLeafSets(sv *StructureVersion) []map[MVID]bool {
+	leafIn := make([]map[MVID]bool, len(s.dims))
+	for i, d := range s.dims {
+		rd := sv.Dimension(d.ID)
+		set := make(map[MVID]bool)
+		if rd != nil {
+			for _, mv := range rd.LeavesAt(sv.Valid.Start) {
+				set[mv.ID] = true
+			}
+		}
+		leafIn[i] = set
+	}
+	return leafIn
+}
+
 // mapFacts presents the temporally consistent fact table in the given
 // mode. In tcm the result is the source data tagged sd (the paper's
 // f'|tcm = f × {sd}^m). In a version mode every source coordinate is
@@ -497,21 +598,8 @@ func (s *Schema) mapFacts(ctx context.Context, m Mode) (*MappedTable, error) {
 	switch m.Kind {
 	case TCMKind:
 		out := newMappedTable(m, s.alg, s.measures, len(facts))
-		nm := len(s.measures)
-		// One arena per field: source values are copied (mapped facts
-		// own their values), confidences are the zero value SourceData.
-		values := make([]float64, 0, len(facts)*nm)
-		cfs := make([]Confidence, len(facts)*nm)
-		for i, f := range facts {
-			if i > 0 && i%cancelCheckStride == 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, fmt.Errorf("core: materialization cancelled: %w", err)
-				}
-			}
-			values = append(values, f.Values...)
-			out.add(f.Coords, f.Time,
-				values[i*nm:(i+1)*nm:(i+1)*nm],
-				cfs[i*nm:(i+1)*nm:(i+1)*nm])
+		if err := s.foldTCM(ctx, out, facts); err != nil {
+			return nil, err
 		}
 		return out, nil
 	case VersionKind:
@@ -524,20 +612,7 @@ func (s *Schema) mapFacts(ctx context.Context, m Mode) (*MappedTable, error) {
 
 	sv := m.Version
 	graph := newMappingGraph(s.mappings, len(s.measures), s.alg)
-	// Per dimension, the acceptable targets are the leaf member versions
-	// of the structure version's restriction. Built once, read-only for
-	// all workers.
-	leafIn := make([]map[MVID]bool, len(s.dims))
-	for i, d := range s.dims {
-		rd := sv.Dimension(d.ID)
-		set := make(map[MVID]bool)
-		if rd != nil {
-			for _, mv := range rd.LeavesAt(sv.Valid.Start) {
-				set[mv.ID] = true
-			}
-		}
-		leafIn[i] = set
-	}
+	leafIn := s.versionLeafSets(sv)
 
 	out := newMappedTable(m, s.alg, s.measures, len(facts))
 	workers := s.materializeWorkers(len(facts))

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -62,11 +63,14 @@ func (s *Schema) SetConfidenceAlgebra(alg ConfidenceAlgebra) { s.alg = alg }
 // ConfidenceAlgebra returns the active ⊗cf algebra.
 func (s *Schema) ConfidenceAlgebra() ConfidenceAlgebra { return s.alg }
 
-// AddDimension registers a temporal dimension.
+// AddDimension registers a temporal dimension. The schema hooks the
+// dimension's mutation callback, so later in-place mutations (evolution
+// operators) invalidate the schema's derived caches automatically.
 func (s *Schema) AddDimension(d *Dimension) error {
 	if _, dup := s.dimIndex[d.ID]; dup {
 		return fmt.Errorf("core: schema %s: duplicate dimension %q", s.Name, d.ID)
 	}
+	d.onMutate = s.invalidate
 	s.dimIndex[d.ID] = len(s.dims)
 	s.dims = append(s.dims, d)
 	s.invalidate()
@@ -213,9 +217,18 @@ func (s *Schema) Clone() *Schema {
 		facts:    s.facts.Clone(),
 	}
 	for _, d := range s.dims {
+		cp := d.Clone()
+		cp.onMutate = out.invalidate
 		out.dimIndex[d.ID] = len(out.dims)
-		out.dims = append(out.dims, d.Clone())
+		out.dims = append(out.dims, cp)
 	}
+	// The structure-version partition depends only on the dimensions,
+	// which were just deep-cloned unchanged, so the inferred versions
+	// (frozen, read-only snapshots) carry over. A later mutation of a
+	// cloned dimension clears the copy through its onMutate hook.
+	s.mu.Lock()
+	out.svCache = s.svCache
+	s.mu.Unlock()
 	out.matWorkers.Store(s.matWorkers.Load())
 	return out
 }
@@ -232,8 +245,11 @@ func (s *Schema) invalidate() {
 	s.mu.Unlock()
 }
 
-// Invalidate drops derived caches after external mutation of dimensions
-// (evolution operators mutate dimensions in place).
+// Invalidate drops derived caches. Dimension mutations through the
+// registered Dimension/Schema API invalidate automatically (the schema
+// hooks every dimension's mutation callback in AddDimension and Clone);
+// this remains for external callers that mutate shared state the schema
+// cannot observe.
 func (s *Schema) Invalidate() { s.invalidate() }
 
 // StructureVersion is a maximal interval over which every dimension is
@@ -248,6 +264,12 @@ type StructureVersion struct {
 
 	dims     []*Dimension
 	dimIndex map[DimID]int
+	// sig is the canonical structural signature over Valid (constant
+	// throughout, since structure versions are maximal constant-signature
+	// intervals). Set by StructureVersions; empty on composed versions.
+	// Incremental maintenance compares it to decide retention without
+	// re-encoding the structure.
+	sig string
 }
 
 // Dimension returns this version's restriction of the dimension.
@@ -320,6 +342,7 @@ func (s *Schema) StructureVersions() []*StructureVersion {
 			ID:       fmt.Sprintf("V%d", i+1),
 			Valid:    c.valid,
 			dimIndex: make(map[DimID]int),
+			sig:      c.sig,
 		}
 		for j, d := range s.dims {
 			sv.dimIndex[d.ID] = j
@@ -344,11 +367,12 @@ func (s *Schema) signatureAt(t temporal.Instant) string {
 		}
 	}
 	sort.Strings(parts)
-	joined := ""
+	var b strings.Builder
 	for _, p := range parts {
-		joined += p + "|"
+		b.WriteString(p)
+		b.WriteByte('|')
 	}
-	return joined
+	return b.String()
 }
 
 // VersionAt returns the structure version whose valid time contains t,

@@ -1,0 +1,243 @@
+package evolution_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"mvolap/internal/core"
+	"mvolap/internal/evolution"
+	"mvolap/internal/temporal"
+)
+
+// propSchema builds a small evolving warehouse with all three fold
+// behaviours (Sum, Avg with contribution counts, Min) so the property
+// test exercises every merge path.
+func propSchema(t *testing.T, r *rand.Rand) *core.Schema {
+	t.Helper()
+	s := core.NewSchema("prop",
+		core.Measure{Name: "amount", Agg: core.Sum},
+		core.Measure{Name: "score", Agg: core.Avg},
+		core.Measure{Name: "low", Agg: core.Min},
+	)
+	d := core.NewDimension("D", "D")
+	add := func(id core.MVID, level string, valid temporal.Interval) {
+		t.Helper()
+		if err := d.AddVersion(&core.MemberVersion{ID: id, Level: level, Valid: valid}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("top", "Top", temporal.Since(temporal.Year(2000)))
+	for i := 0; i < 4; i++ {
+		id := core.MVID(fmt.Sprintf("leaf%d", i))
+		start := temporal.YM(2000+r.Intn(3), 1+r.Intn(12))
+		add(id, "Leaf", temporal.Since(start))
+		if err := d.AddRelationship(core.TemporalRelationship{
+			From: id, To: "top", Valid: temporal.Since(start),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AddDimension(d); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// randomFactBatch inserts 1..6 random facts into the clone, at times
+// chosen so collisions (replacements) occasionally happen, and returns
+// the resulting fact-side delta exactly as the serving tier computes
+// it.
+func randomFactBatch(t *testing.T, r *rand.Rand, clone *core.Schema) core.Delta {
+	t.Helper()
+	d := clone.Dimensions()[0]
+	var leaves []*core.MemberVersion
+	for _, mv := range d.Versions() {
+		if mv.Level == "Leaf" {
+			leaves = append(leaves, mv)
+		}
+	}
+	oldLen := clone.Facts().Len()
+	n := 1 + r.Intn(6)
+	inserted := 0
+	for i := 0; i < n; i++ {
+		mv := leaves[r.Intn(len(leaves))]
+		at := mv.Valid.Start + temporal.Instant(r.Intn(48))
+		if !mv.ValidAt(at) {
+			continue
+		}
+		vals := []float64{float64(r.Intn(200)), float64(r.Intn(10)), float64(r.Intn(50))}
+		if r.Intn(12) == 0 {
+			vals[1] = math.NaN() // exercise NaN folding in Avg
+		}
+		if err := clone.InsertFact(core.Coords{mv.ID}, at, vals...); err != nil {
+			t.Fatal(err)
+		}
+		inserted++
+	}
+	var delta core.Delta
+	if clone.Facts().Len() == oldLen+inserted {
+		delta.NewFacts = clone.Facts().Facts()[oldLen:]
+	} else {
+		delta.FactsReplaced = true
+	}
+	return delta
+}
+
+// randomOps builds a 1..2 operator evolution batch against the clone's
+// current members.
+func randomOps(r *rand.Rand, clone *core.Schema) []evolution.Op {
+	d := clone.Dimensions()[0]
+	versions := d.Versions()
+	var ops []evolution.Op
+	n := 1 + r.Intn(2)
+	for i := 0; i < n; i++ {
+		switch r.Intn(4) {
+		case 0: // insert a fresh leaf
+			id := core.MVID(fmt.Sprintf("n%d-%d", r.Intn(1000), len(versions)))
+			ops = append(ops, evolution.Insert{
+				Dim: "D", ID: id, Name: string(id), Level: "Leaf",
+				Start:   temporal.YM(2002+r.Intn(4), 1+r.Intn(12)),
+				Parents: []core.MVID{"top"},
+			})
+		case 1: // exclude an existing leaf somewhere inside its validity
+			mv := versions[r.Intn(len(versions))]
+			if mv.ID == "top" {
+				continue
+			}
+			ops = append(ops, evolution.Exclude{
+				Dim: "D", ID: mv.ID,
+				At: mv.Valid.Start + temporal.Instant(1+r.Intn(60)),
+			})
+		case 2: // associate two distinct members
+			a := versions[r.Intn(len(versions))]
+			b := versions[r.Intn(len(versions))]
+			if a.ID == b.ID || a.ID == "top" || b.ID == "top" {
+				continue
+			}
+			fn := core.Mapper(core.Identity)
+			cf := core.ExactMapping
+			if r.Intn(2) == 0 {
+				fn = core.Linear{K: 0.5}
+				cf = core.ApproxMapping
+			}
+			ops = append(ops, evolution.Associate{Mapping: core.MappingRelationship{
+				From:     a.ID,
+				To:       b.ID,
+				Forward:  core.UniformMapping(3, fn, cf),
+				Backward: core.UniformMapping(3, core.Identity, core.ExactMapping),
+			}})
+		case 3: // reclassify: end and recreate the leaf's link to top
+			mv := versions[r.Intn(len(versions))]
+			if mv.ID == "top" {
+				continue
+			}
+			ops = append(ops, evolution.Reclassify{
+				Dim: "D", ID: mv.ID,
+				Start:      mv.Valid.Start + temporal.Instant(1+r.Intn(36)),
+				OldParents: []core.MVID{"top"},
+				NewParents: []core.MVID{"top"},
+			})
+		}
+	}
+	return ops
+}
+
+// assertBitIdentical compares the warm table against the cold rebuild
+// tuple by tuple: order, coordinates, times, source counts, Dropped,
+// every value by Float64bits and every confidence factor.
+func assertBitIdentical(t *testing.T, step int, mode string, warm, cold *core.MappedTable) {
+	t.Helper()
+	if warm.Dropped != cold.Dropped {
+		t.Fatalf("step %d mode %s: Dropped %d != %d", step, mode, warm.Dropped, cold.Dropped)
+	}
+	wf, cf := warm.Facts(), cold.Facts()
+	if len(wf) != len(cf) {
+		t.Fatalf("step %d mode %s: %d tuples != %d", step, mode, len(wf), len(cf))
+	}
+	for i := range wf {
+		a, b := wf[i], cf[i]
+		if !a.Coords.Equal(b.Coords) || a.Time != b.Time || a.Sources != b.Sources {
+			t.Fatalf("step %d mode %s tuple %d: (%v,%v,%d) != (%v,%v,%d)",
+				step, mode, i, a.Coords, a.Time, a.Sources, b.Coords, b.Time, b.Sources)
+		}
+		for k := range a.Values {
+			if math.Float64bits(a.Values[k]) != math.Float64bits(b.Values[k]) {
+				t.Fatalf("step %d mode %s tuple %d measure %d: %x != %x (%v vs %v)",
+					step, mode, i, k,
+					math.Float64bits(a.Values[k]), math.Float64bits(b.Values[k]),
+					a.Values[k], b.Values[k])
+			}
+			if a.CFs[k] != b.CFs[k] {
+				t.Fatalf("step %d mode %s tuple %d measure %d: cf %v != %v",
+					step, mode, i, k, a.CFs[k], b.CFs[k])
+			}
+		}
+	}
+}
+
+// TestIncrementalMatchesColdRebuild is the tentpole's correctness
+// property: across a randomized interleaving of fact batches and
+// evolution scripts, a warehouse maintained incrementally (WarmFrom
+// carrying caches and folding deltas across every clone-swap) stays
+// bit-identical — values, confidences, Dropped counts, tuple order —
+// to a cold mapFacts rebuild performed from scratch after every step.
+func TestIncrementalMatchesColdRebuild(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			r := rand.New(rand.NewSource(seed))
+			cur := propSchema(t, r)
+			applier := evolution.NewApplier(cur)
+
+			// Materialize everything once so there are caches to carry.
+			if _, err := cur.MultiVersion().All(); err != nil {
+				t.Fatal(err)
+			}
+
+			const steps = 24
+			for step := 0; step < steps; step++ {
+				clone := cur.Clone()
+				var delta core.Delta
+				next := applier
+				if r.Intn(10) < 7 {
+					delta = randomFactBatch(t, r, clone)
+					next = applier.Rebind(clone)
+				} else {
+					reb := applier.Rebind(clone)
+					ts, err := reb.ApplyTouched(randomOps(r, clone)...)
+					if err != nil {
+						continue // failed batch: clone discarded, like the server's 422
+					}
+					delta = ts.Delta()
+					next = reb
+				}
+
+				if res := clone.WarmFrom(context.Background(), cur, delta); res.DeltaApplied > 0 && delta.NewFacts == nil {
+					t.Fatalf("step %d: delta applied without new facts", step)
+				}
+
+				cold := clone.Clone() // identical state, cold caches
+				for _, m := range clone.Modes() {
+					warmT, err := clone.MultiVersion().Mode(m)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cm := m
+					if m.Kind == core.VersionKind {
+						cm = core.InVersion(cold.VersionByID(m.Version.ID))
+					}
+					coldT, err := cold.MultiVersion().Mode(cm)
+					if err != nil {
+						t.Fatal(err)
+					}
+					assertBitIdentical(t, step, m.String(), warmT, coldT)
+				}
+				cur, applier = clone, next
+			}
+		})
+	}
+}

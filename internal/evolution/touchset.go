@@ -1,0 +1,89 @@
+package evolution
+
+import (
+	"sort"
+
+	"mvolap/internal/core"
+)
+
+// StructureToucher is an optional Op refinement: operators that mutate
+// dimension structure report which dimensions they touch, so the
+// serving tier can invalidate MVFT caches structure-aware instead of
+// wholesale. The four basic operators all implement it.
+type StructureToucher interface {
+	// TouchedDims lists the dimensions the operator mutates
+	// structurally (member versions or temporal relationships).
+	TouchedDims() []core.DimID
+}
+
+// MappingToucher is an optional Op refinement: operators that change
+// the schema's mapping-relationship set report it, because the mapping
+// graph is global — a changed set can reroute resolution in every
+// version mode.
+type MappingToucher interface {
+	TouchesMappings() bool
+}
+
+// TouchSet accumulates the structural footprint of an applied operator
+// batch. An operator implementing neither refinement is folded in
+// conservatively, as if it had touched every dimension and the mapping
+// set — unknown operators must degrade to full invalidation, never to
+// stale caches.
+type TouchSet struct {
+	dims         map[core.DimID]bool
+	mappings     bool
+	conservative bool
+}
+
+// observe folds one operator's footprint into the set.
+func (ts *TouchSet) observe(op Op) {
+	known := false
+	if st, ok := op.(StructureToucher); ok {
+		known = true
+		for _, d := range st.TouchedDims() {
+			if ts.dims == nil {
+				ts.dims = make(map[core.DimID]bool)
+			}
+			ts.dims[d] = true
+		}
+	}
+	if mt, ok := op.(MappingToucher); ok {
+		known = true
+		if mt.TouchesMappings() {
+			ts.mappings = true
+		}
+	}
+	if !known {
+		ts.conservative = true
+	}
+}
+
+// Dims returns the touched dimensions, sorted for determinism.
+func (ts TouchSet) Dims() []core.DimID {
+	out := make([]core.DimID, 0, len(ts.dims))
+	for d := range ts.dims {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// StructureChanged reports whether any dimension structure changed.
+func (ts TouchSet) StructureChanged() bool {
+	return len(ts.dims) > 0 || ts.conservative
+}
+
+// MappingsChanged reports whether the mapping-relationship set changed.
+func (ts TouchSet) MappingsChanged() bool {
+	return ts.mappings || ts.conservative
+}
+
+// Delta renders the touch-set as a core.Delta for Schema.WarmFrom; the
+// caller fills in the fact-side fields (NewFacts, FactsReplaced).
+func (ts TouchSet) Delta() core.Delta {
+	return core.Delta{
+		StructureChanged: ts.StructureChanged(),
+		MappingsChanged:  ts.MappingsChanged(),
+		DimsTouched:      ts.Dims(),
+	}
+}

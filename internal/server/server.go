@@ -519,7 +519,8 @@ func (s *Server) handleEvolve(w http.ResponseWriter, r *http.Request) {
 	}
 	clone := s.schema.Clone()
 	applier := s.applier.Rebind(clone)
-	if err := applier.Apply(ops...); err != nil {
+	touched, err := applier.ApplyTouched(ops...)
+	if err != nil {
 		envelope := map[string]any{"error": err.Error()}
 		var ae *evolution.ApplyError
 		if errors.As(err, &ae) {
@@ -556,9 +557,11 @@ func (s *Server) handleEvolve(w http.ResponseWriter, r *http.Request) {
 		resp["walSeq"] = seq
 		snapshotDue = due
 	}
+	s.warmCaches(r, clone, touched.Delta(), "evolve", resp)
 	s.schema = clone
 	s.applier = applier
-	s.logger.Info("evolution applied", "ops", len(ops), "modes", len(clone.Modes()))
+	s.logger.Info("evolution applied", "ops", len(ops), "modes", len(clone.Modes()),
+		"modesRetained", resp["retainedModes"], "modesEvicted", resp["evictedModes"])
 	if snapshotDue {
 		s.snapshotLocked("auto")
 	}
@@ -591,6 +594,7 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	clone := s.schema.Clone()
+	oldLen := clone.Facts().Len()
 	for i, fr := range batch {
 		if err := store.ApplyFact(clone, fr); err != nil {
 			w.Header().Set("Content-Type", "application/json")
@@ -618,13 +622,64 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 		resp["walSeq"] = seq
 		snapshotDue = due
 	}
+	// An insert-only batch appends a suffix the cached modes can fold in
+	// incrementally; a batch that replaced values at existing coordinates
+	// cannot be expressed as a delta and evicts everything.
+	var delta core.Delta
+	if clone.Facts().Len() == oldLen+len(batch) {
+		delta.NewFacts = clone.Facts().Facts()[oldLen:]
+	} else {
+		delta.FactsReplaced = true
+	}
+	s.warmCaches(r, clone, delta, "facts", resp)
 	s.schema = clone
 	s.applier = s.applier.Rebind(clone)
-	s.logger.Info("facts appended", "facts", len(batch), "total", clone.Facts().Len())
+	s.logger.Info("facts appended", "facts", len(batch), "total", clone.Facts().Len(),
+		"modesRetained", resp["retainedModes"], "modesEvicted", resp["evictedModes"])
 	if snapshotDue {
 		s.snapshotLocked("auto")
 	}
 	writeJSON(w, resp)
+}
+
+// warmCaches hands the currently served schema's materialized MVFT
+// modes to the accepted clone right before the swap, folding in only
+// the delta (core.Schema.WarmFrom) — the serving tier no longer starts
+// cold after every mutation. The caller holds s.mu (so s.schema is the
+// outgoing base) and has already passed the point of no failure: the
+// batch applied and the WAL append succeeded. Warming is therefore
+// best-effort and detached from the client's cancellation — an aborted
+// request must not decide cache temperature.
+//
+// The retained/evicted mode lists and delta-apply count are added to
+// the response envelope; with ?trace=1 an "mvft_delta" span tree is
+// attached as well.
+func (s *Server) warmCaches(r *http.Request, clone *core.Schema, d core.Delta, endpoint string, resp map[string]any) {
+	ctx := context.WithoutCancel(r.Context())
+	var root *obs.Span
+	if r.URL.Query().Get("trace") == "1" {
+		ctx, root = obs.NewTrace(ctx, endpoint)
+	}
+	spanCtx, sp := obs.StartSpan(ctx, "mvft_delta")
+	res := clone.WarmFrom(spanCtx, s.schema, d)
+	sp.SetAttr("retained", len(res.Retained))
+	sp.SetAttr("evicted", len(res.Evicted))
+	sp.SetAttr("delta_applies", res.DeltaApplied)
+	sp.SetAttr("delta_facts", len(d.NewFacts))
+	sp.End()
+	if res.Retained == nil {
+		res.Retained = []string{}
+	}
+	if res.Evicted == nil {
+		res.Evicted = []string{}
+	}
+	resp["retainedModes"] = res.Retained
+	resp["evictedModes"] = res.Evicted
+	resp["deltaApplies"] = res.DeltaApplied
+	if root != nil {
+		root.End()
+		resp["trace"] = root.Node()
+	}
 }
 
 // handleAdminSnapshot durably snapshots the served warehouse on
