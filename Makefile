@@ -1,5 +1,10 @@
 GO ?= go
 
+# Machine-readable benchmark record for this change series; CI uploads
+# it as an artifact so performance trajectories accumulate across
+# commits.
+BENCH ?= BENCH_5.json
+
 # Tier-1 verification: build + vet + full tests + race on the
 # concurrency-bearing core package.
 .PHONY: verify
@@ -26,27 +31,33 @@ test:
 race:
 	$(GO) test -race ./internal/core/... ./internal/evolution/... ./internal/obs/... ./internal/server/... ./internal/store/... ./internal/tql/...
 
-# Torn-WAL crash-recovery tests (store-level and over HTTP) under the
-# race detector: kill mid-append, truncate the final record at a random
-# byte, restart, require byte-identical answers.
+# Torn-WAL and warm-snapshot crash-recovery tests (store-level and over
+# HTTP) under the race detector: kill mid-append, truncate the final
+# record at a random byte, corrupt a warm mode payload, restart,
+# require byte-identical answers.
 .PHONY: crash-test
 crash-test:
 	$(GO) test -race -run CrashRecovery -v ./internal/store/... ./internal/server/...
+
+# The snapshot envelope must be deterministic: snapshotting the same
+# state twice (warm tables included) yields byte-identical files.
+.PHONY: determinism-check
+determinism-check:
+	$(GO) test -run SnapshotEnvelopeDeterministic -count=1 -v ./internal/store/
 
 .PHONY: bench
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
 
-# bench-json emits the machine-readable benchmark record for this
-# change series (BENCH_4.json); CI uploads it as an artifact so
-# performance trajectories accumulate across commits.
 .PHONY: bench-json
 bench-json:
-	$(GO) test -json -bench=. -benchmem -run='^$$' ./... > BENCH_4.json
+	$(GO) test -json -bench=. -benchmem -run='^$$' ./... > $(BENCH)
 
-# bench-smoke runs the incremental-maintenance benchmark once — a CI
-# guard that the warm-delta path stays alive and delta-applies to every
-# mode (the bench b.Fatals otherwise).
+# bench-smoke runs the incremental-maintenance and warm-restart
+# benchmarks once — a CI guard that the warm-delta path delta-applies
+# to every mode and that a warm restart serves every snapshotted mode
+# with zero materializations (both benches b.Fatal otherwise).
 .PHONY: bench-smoke
 bench-smoke:
-	$(GO) test -json -bench=IncrementalIngest -benchtime=1x -run='^$$' . > BENCH_4.json
+	$(GO) test -json -bench=IncrementalIngest -benchtime=1x -run='^$$' . > $(BENCH)
+	$(GO) test -json -bench=WarmRestart -benchtime=1x -run='^$$' ./internal/store >> $(BENCH)

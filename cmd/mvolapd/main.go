@@ -61,6 +61,7 @@ type config struct {
 	dataDir         string
 	fsync           string
 	snapshotEvery   int
+	snapshotWarm    bool
 	readTimeout     time.Duration
 	writeTimeout    time.Duration
 	idleTimeout     time.Duration
@@ -81,6 +82,7 @@ func parseFlags(args []string) (*config, error) {
 	fs.StringVar(&c.dataDir, "data-dir", "", "directory for the write-ahead log and snapshots (empty disables persistence)")
 	fs.StringVar(&c.fsync, "fsync", "always", "WAL durability: always, interval or off")
 	fs.IntVar(&c.snapshotEvery, "snapshot-every", 256, "auto-snapshot after this many WAL records (0 disables)")
+	fs.BoolVar(&c.snapshotWarm, "snapshot-warm", true, "carry materialized MVFT modes in snapshots for warm restarts")
 	fs.DurationVar(&c.readTimeout, "read-timeout", 30*time.Second, "max duration to read a request (0 disables)")
 	fs.DurationVar(&c.writeTimeout, "write-timeout", 60*time.Second, "max duration to write a response (0 disables)")
 	fs.DurationVar(&c.idleTimeout, "idle-timeout", 2*time.Minute, "keep-alive idle timeout (0 disables)")
@@ -208,6 +210,7 @@ func main() {
 			stats := st.RecoveryStats()
 			logger.Info("mvolapd ready", "schema", sch.Name,
 				"replayed", stats.Replayed, "snapshotSeq", stats.SnapshotSeq,
+				"warmModes", len(stats.WarmModes),
 				"recoveryMs", float64(stats.Duration)/float64(time.Millisecond))
 			recovered <- recoveryResult{st: st}
 		}()
@@ -244,6 +247,7 @@ func storeOptions(c *config, logger *slog.Logger) (store.Options, error) {
 	return store.Options{
 		Fsync:         policy,
 		SnapshotEvery: c.snapshotEvery,
+		SnapshotWarm:  c.snapshotWarm,
 		Logger:        logger,
 	}, nil
 }

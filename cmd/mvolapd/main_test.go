@@ -59,25 +59,25 @@ func TestParseFlagsPersistenceDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c.dataDir != "" || c.fsync != "always" || c.snapshotEvery != 256 {
-		t.Errorf("defaults = %q %q %d", c.dataDir, c.fsync, c.snapshotEvery)
+	if c.dataDir != "" || c.fsync != "always" || c.snapshotEvery != 256 || !c.snapshotWarm {
+		t.Errorf("defaults = %q %q %d %v", c.dataDir, c.fsync, c.snapshotEvery, c.snapshotWarm)
 	}
-	c, err = parseFlags([]string{"-data-dir", "/tmp/d", "-fsync", "interval", "-snapshot-every", "8"})
+	c, err = parseFlags([]string{"-data-dir", "/tmp/d", "-fsync", "interval", "-snapshot-every", "8", "-snapshot-warm=false"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c.dataDir != "/tmp/d" || c.fsync != "interval" || c.snapshotEvery != 8 {
-		t.Errorf("parsed = %q %q %d", c.dataDir, c.fsync, c.snapshotEvery)
+	if c.dataDir != "/tmp/d" || c.fsync != "interval" || c.snapshotEvery != 8 || c.snapshotWarm {
+		t.Errorf("parsed = %q %q %d %v", c.dataDir, c.fsync, c.snapshotEvery, c.snapshotWarm)
 	}
 }
 
 func TestStoreOptions(t *testing.T) {
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
-	opts, err := storeOptions(&config{fsync: "interval", snapshotEvery: 32}, logger)
+	opts, err := storeOptions(&config{fsync: "interval", snapshotEvery: 32, snapshotWarm: true}, logger)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if opts.Fsync != store.FsyncInterval || opts.SnapshotEvery != 32 || opts.Logger != logger {
+	if opts.Fsync != store.FsyncInterval || opts.SnapshotEvery != 32 || !opts.SnapshotWarm || opts.Logger != logger {
 		t.Errorf("options = %+v", opts)
 	}
 	if _, err := storeOptions(&config{fsync: "bogus"}, logger); err == nil {

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mvolap/internal/temporal"
+)
+
+// Warm export/import: the serving tier's snapshot envelope can carry
+// the materialized MappedTables of every cached temporal mode, so a
+// restarted process answers its first query in each mode without a
+// rematerialization. The exchange type below is a faithful, stable
+// image of one MappedTable: tuple order is preserved (it encodes the
+// fold order, and with it every floating-point bit), values travel as
+// Float64bits (NaN payloads survive), and the Avg contribution counts,
+// Sources and Dropped ride along so a restored table keeps folding
+// deltas exactly like the table it was exported from.
+
+// MappedFactExport is the serializable image of one MappedFact.
+type MappedFactExport struct {
+	Coords Coords
+	Time   temporal.Instant
+	// Values holds math.Float64bits of each measure value, bit-exact.
+	Values  []uint64
+	CFs     []Confidence
+	Sources int
+	// AvgN is present (len == NumMeasures) iff the schema has an Avg
+	// measure; it carries the per-measure contribution counts.
+	AvgN []int32
+}
+
+// MappedTableExport is the serializable image of one cached mode's
+// MappedTable, together with the structural identity the importing
+// schema must match (the same ID + interval + signature rule that
+// governs warm retention across a clone-swap).
+type MappedTableExport struct {
+	// ModeKey is Mode.String(): "tcm" or a structure version ID.
+	ModeKey string
+	// Valid is the structure version's interval; zero for tcm.
+	Valid temporal.Interval
+	// Signature is the structural signature over Valid; "" for tcm.
+	Signature   string
+	Dropped     int
+	NumDims     int
+	NumMeasures int
+	HasAvg      bool
+	Facts       []MappedFactExport
+}
+
+// ExportWarmModes exports every completed, successfully materialized
+// mode of the schema's MVFT cache, sorted by mode key. It never
+// triggers a materialization: a cold cache (or one with only failed or
+// in-flight builds) exports nothing. The export shares no mutable
+// state with the live tables.
+func (s *Schema) ExportWarmModes() []*MappedTableExport {
+	s.mu.Lock()
+	mv := s.mvftCache
+	s.mu.Unlock()
+	if mv == nil {
+		return nil
+	}
+	type cached struct {
+		key   string
+		table *MappedTable
+	}
+	var tables []cached
+	mv.mu.Lock()
+	for k, e := range mv.byMode {
+		select {
+		case <-e.done:
+			if e.err == nil && e.table != nil {
+				tables = append(tables, cached{k, e.table})
+			}
+		default: // still building; a snapshot must not wait on it
+		}
+	}
+	mv.mu.Unlock()
+	sort.Slice(tables, func(i, j int) bool { return tables[i].key < tables[j].key })
+
+	out := make([]*MappedTableExport, 0, len(tables))
+	for _, t := range tables {
+		exp := &MappedTableExport{
+			ModeKey:     t.key,
+			Dropped:     t.table.Dropped,
+			NumDims:     len(s.dims),
+			NumMeasures: len(s.measures),
+			HasAvg:      t.table.hasAvg,
+			Facts:       make([]MappedFactExport, 0, len(t.table.facts)),
+		}
+		if sv := t.table.Mode.Version; t.table.Mode.Kind == VersionKind && sv != nil {
+			exp.Valid = sv.Valid
+			if sv.sig != "" {
+				exp.Signature = sv.sig
+			} else {
+				exp.Signature = s.signatureAt(sv.Valid.Start)
+			}
+		}
+		for _, f := range t.table.facts {
+			fe := MappedFactExport{
+				Coords:  f.Coords,
+				Time:    f.Time,
+				Values:  make([]uint64, len(f.Values)),
+				CFs:     append([]Confidence(nil), f.CFs...),
+				Sources: f.Sources,
+			}
+			for i, v := range f.Values {
+				fe.Values[i] = math.Float64bits(v)
+			}
+			if f.avgN != nil {
+				fe.AvgN = append([]int32(nil), f.avgN...)
+			}
+			exp.Facts = append(exp.Facts, fe)
+		}
+		out = append(out, exp)
+	}
+	return out
+}
+
+// ImportWarmMode validates one exported mode against the schema and,
+// when it matches, installs the rebuilt MappedTable into the MVFT
+// cache as if it had just been materialized (it does not count as a
+// Materialization). Validation enforces the warm-retention rule: the
+// mode must resolve on this schema (tcm, or a structure version with
+// the same ID), and for version modes the valid interval and the
+// structural signature must be unchanged — a snapshot taken on a
+// different structure must rebuild cold, never serve stale tuples.
+// Per-tuple shape, confidence range and duplicate-key checks guard
+// against on-disk corruption that slipped past the envelope CRC.
+func (s *Schema) ImportWarmMode(exp *MappedTableExport) error {
+	if exp.NumDims != len(s.dims) {
+		return fmt.Errorf("core: warm mode %s: %d dims, schema has %d", exp.ModeKey, exp.NumDims, len(s.dims))
+	}
+	if exp.NumMeasures != len(s.measures) {
+		return fmt.Errorf("core: warm mode %s: %d measures, schema has %d", exp.ModeKey, exp.NumMeasures, len(s.measures))
+	}
+	var mode Mode
+	if exp.ModeKey == TCM().String() {
+		mode = TCM()
+	} else {
+		sv := s.VersionByID(exp.ModeKey)
+		if sv == nil {
+			return fmt.Errorf("core: warm mode %s: no such structure version", exp.ModeKey)
+		}
+		if sv.Valid != exp.Valid {
+			return fmt.Errorf("core: warm mode %s: valid %v, schema has %v", exp.ModeKey, exp.Valid, sv.Valid)
+		}
+		want := sv.sig
+		if want == "" {
+			want = s.signatureAt(sv.Valid.Start)
+		}
+		if want != exp.Signature {
+			return fmt.Errorf("core: warm mode %s: structural signature changed", exp.ModeKey)
+		}
+		mode = InVersion(sv)
+	}
+	hasAvg := false
+	for _, m := range s.measures {
+		if m.Agg == Avg {
+			hasAvg = true
+			break
+		}
+	}
+	if exp.HasAvg != hasAvg {
+		return fmt.Errorf("core: warm mode %s: hasAvg %v, schema wants %v", exp.ModeKey, exp.HasAvg, hasAvg)
+	}
+
+	mt := &MappedTable{
+		Mode:     mode,
+		facts:    make([]*MappedFact, 0, len(exp.Facts)),
+		index:    make(map[string]int, len(exp.Facts)),
+		Dropped:  exp.Dropped,
+		alg:      s.alg,
+		measures: s.measures,
+		hasAvg:   hasAvg,
+	}
+	var keyBuf []byte
+	for i, fe := range exp.Facts {
+		if len(fe.Coords) != len(s.dims) {
+			return fmt.Errorf("core: warm mode %s: tuple %d has %d coords", exp.ModeKey, i, len(fe.Coords))
+		}
+		if len(fe.Values) != len(s.measures) || len(fe.CFs) != len(s.measures) {
+			return fmt.Errorf("core: warm mode %s: tuple %d has %d values / %d cfs", exp.ModeKey, i, len(fe.Values), len(fe.CFs))
+		}
+		for _, cf := range fe.CFs {
+			if cf >= numConfidence {
+				return fmt.Errorf("core: warm mode %s: tuple %d has confidence %d out of range", exp.ModeKey, i, cf)
+			}
+		}
+		if fe.Sources < 1 {
+			return fmt.Errorf("core: warm mode %s: tuple %d has %d sources", exp.ModeKey, i, fe.Sources)
+		}
+		if hasAvg && len(fe.AvgN) != len(s.measures) {
+			return fmt.Errorf("core: warm mode %s: tuple %d has %d avg counts", exp.ModeKey, i, len(fe.AvgN))
+		}
+		f := &MappedFact{
+			Coords:  fe.Coords,
+			Time:    fe.Time,
+			Values:  make([]float64, len(fe.Values)),
+			CFs:     append([]Confidence(nil), fe.CFs...),
+			Sources: fe.Sources,
+		}
+		for k, bits := range fe.Values {
+			f.Values[k] = math.Float64frombits(bits)
+		}
+		if hasAvg {
+			f.avgN = append([]int32(nil), fe.AvgN...)
+		}
+		// Values are already folded, so the tuples append directly (no
+		// add() merging); a duplicate key means the export is corrupt.
+		keyBuf = appendFactKey(keyBuf[:0], f.Coords, f.Time)
+		if _, dup := mt.index[string(keyBuf)]; dup {
+			return fmt.Errorf("core: warm mode %s: duplicate tuple key at %d", exp.ModeKey, i)
+		}
+		mt.index[string(keyBuf)] = len(mt.facts)
+		mt.facts = append(mt.facts, f)
+	}
+
+	mv := s.MultiVersion()
+	e := &modeEntry{done: make(chan struct{}), table: mt}
+	close(e.done)
+	mv.mu.Lock()
+	mv.byMode[exp.ModeKey] = e
+	mv.mu.Unlock()
+	return nil
+}
+
+// CachedModeKeys reports the mode keys with a completed, successful
+// materialization in the MVFT cache, sorted — the modes a warm
+// snapshot taken right now would carry.
+func (s *Schema) CachedModeKeys() []string {
+	s.mu.Lock()
+	mv := s.mvftCache
+	s.mu.Unlock()
+	if mv == nil {
+		return nil
+	}
+	var keys []string
+	mv.mu.Lock()
+	for k, e := range mv.byMode {
+		select {
+		case <-e.done:
+			if e.err == nil && e.table != nil {
+				keys = append(keys, k)
+			}
+		default:
+		}
+	}
+	mv.mu.Unlock()
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,262 @@
+package schemaio
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mvolap/internal/core"
+	"mvolap/internal/temporal"
+)
+
+// Mapped-table codec: the binary serialization of one cached MVFT
+// mode, embedded (CRC-checked) in the store's snapshot envelope for
+// warm restarts. The format is deterministic — same table, same bytes
+// — which is what lets CI diff two snapshots of the same state:
+//
+//	magic "MVMT01"
+//	uvarint len(modeKey), modeKey
+//	int64 LE valid.Start, int64 LE valid.End   (raw bits; Now/Origin safe)
+//	uvarint len(signature), signature
+//	uvarint dropped
+//	uvarint numDims, uvarint numMeasures, byte hasAvg
+//	uvarint numFacts, then per fact:
+//	  per dim: uvarint len(id), id
+//	  int64 LE time
+//	  per measure: uint64 LE Float64bits(value)
+//	  per measure: byte confidence
+//	  uvarint sources
+//	  if hasAvg, per measure: uint32 LE avg count
+//
+// Times and interval bounds travel as raw little-endian int64 — the
+// temporal sentinels (Now = MaxInt64, Origin = MinInt64) would not
+// survive a float-typed JSON number.
+
+var mappedTableMagic = []byte("MVMT01")
+
+// Decode limits: a string longer than this, or a count implying more
+// bytes than the input holds, marks the payload corrupt. They bound
+// allocations on hostile input (the fuzz target) without constraining
+// any real table.
+const (
+	mtMaxStringLen = 1 << 20
+	mtMaxCount     = 1 << 28
+)
+
+// EncodeMappedTable serializes one exported mode deterministically.
+func EncodeMappedTable(exp *core.MappedTableExport) ([]byte, error) {
+	if exp == nil {
+		return nil, fmt.Errorf("schemaio: nil mapped-table export")
+	}
+	buf := make([]byte, 0, 64+len(exp.Facts)*(16+8*exp.NumMeasures))
+	buf = append(buf, mappedTableMagic...)
+	buf = appendString(buf, exp.ModeKey)
+	buf = appendInt64(buf, int64(exp.Valid.Start))
+	buf = appendInt64(buf, int64(exp.Valid.End))
+	buf = appendString(buf, exp.Signature)
+	buf = binary.AppendUvarint(buf, uint64(exp.Dropped))
+	buf = binary.AppendUvarint(buf, uint64(exp.NumDims))
+	buf = binary.AppendUvarint(buf, uint64(exp.NumMeasures))
+	if exp.HasAvg {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(exp.Facts)))
+	for i := range exp.Facts {
+		f := &exp.Facts[i]
+		if len(f.Coords) != exp.NumDims || len(f.Values) != exp.NumMeasures || len(f.CFs) != exp.NumMeasures {
+			return nil, fmt.Errorf("schemaio: mapped tuple %d shape mismatch", i)
+		}
+		if exp.HasAvg && len(f.AvgN) != exp.NumMeasures {
+			return nil, fmt.Errorf("schemaio: mapped tuple %d missing avg counts", i)
+		}
+		for _, id := range f.Coords {
+			buf = appendString(buf, string(id))
+		}
+		buf = appendInt64(buf, int64(f.Time))
+		for _, v := range f.Values {
+			buf = binary.LittleEndian.AppendUint64(buf, v)
+		}
+		for _, cf := range f.CFs {
+			buf = append(buf, byte(cf))
+		}
+		buf = binary.AppendUvarint(buf, uint64(f.Sources))
+		if exp.HasAvg {
+			for _, n := range f.AvgN {
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+			}
+		}
+	}
+	return buf, nil
+}
+
+// DecodeMappedTable parses an encoded mode, validating every length
+// and count against the remaining input so corrupt or hostile bytes
+// fail cleanly instead of over-allocating.
+func DecodeMappedTable(data []byte) (*core.MappedTableExport, error) {
+	r := &mtReader{data: data}
+	magic := r.bytes(len(mappedTableMagic))
+	if r.err == nil && string(magic) != string(mappedTableMagic) {
+		return nil, fmt.Errorf("schemaio: bad mapped-table magic")
+	}
+	exp := &core.MappedTableExport{}
+	exp.ModeKey = r.string()
+	exp.Valid.Start = temporal.Instant(r.int64())
+	exp.Valid.End = temporal.Instant(r.int64())
+	exp.Signature = r.string()
+	exp.Dropped = r.count()
+	exp.NumDims = r.count()
+	exp.NumMeasures = r.count()
+	exp.HasAvg = r.byte() != 0
+	nFacts := r.count()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if exp.NumDims > mtMaxCount || exp.NumMeasures > mtMaxCount {
+		return nil, fmt.Errorf("schemaio: mapped table dims/measures out of range")
+	}
+	// Every tuple needs at least one byte per coord plus its fixed
+	// fields; a count the remaining bytes cannot hold is corruption.
+	minPerFact := exp.NumDims + 8 + 9*exp.NumMeasures + 1
+	if minPerFact < 1 {
+		minPerFact = 1
+	}
+	if nFacts*minPerFact > len(r.data)-r.off {
+		return nil, fmt.Errorf("schemaio: mapped table fact count %d exceeds payload", nFacts)
+	}
+	exp.Facts = make([]core.MappedFactExport, 0, nFacts)
+	for i := 0; i < nFacts; i++ {
+		var f core.MappedFactExport
+		f.Coords = make(core.Coords, exp.NumDims)
+		for d := 0; d < exp.NumDims; d++ {
+			f.Coords[d] = core.MVID(r.string())
+		}
+		f.Time = temporal.Instant(r.int64())
+		f.Values = make([]uint64, exp.NumMeasures)
+		for k := range f.Values {
+			f.Values[k] = r.uint64()
+		}
+		f.CFs = make([]core.Confidence, exp.NumMeasures)
+		for k := range f.CFs {
+			f.CFs[k] = core.Confidence(r.byte())
+		}
+		f.Sources = r.count()
+		if exp.HasAvg {
+			f.AvgN = make([]int32, exp.NumMeasures)
+			for k := range f.AvgN {
+				f.AvgN[k] = int32(r.uint32())
+			}
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		exp.Facts = append(exp.Facts, f)
+	}
+	if r.off != len(r.data) {
+		return nil, fmt.Errorf("schemaio: %d trailing bytes after mapped table", len(r.data)-r.off)
+	}
+	return exp, nil
+}
+
+// appendString appends a uvarint-length-prefixed string.
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// appendInt64 appends the raw two's-complement bits little-endian.
+func appendInt64(buf []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, uint64(v))
+}
+
+// mtReader is a bounds-checked cursor over the encoded payload; the
+// first failure sticks and every later read returns zero values.
+type mtReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *mtReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("schemaio: corrupt mapped table: "+format, args...)
+	}
+}
+
+func (r *mtReader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.data) {
+		r.fail("need %d bytes at offset %d of %d", n, r.off, len(r.data))
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *mtReader) byte() byte {
+	b := r.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *mtReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.fail("bad uvarint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// count reads a uvarint that must fit a non-negative int within the
+// decode limits.
+func (r *mtReader) count() int {
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if v > mtMaxCount {
+		r.fail("count %d out of range", v)
+		return 0
+	}
+	return int(v)
+}
+
+func (r *mtReader) string() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > mtMaxStringLen {
+		r.fail("string length %d out of range", n)
+		return ""
+	}
+	return string(r.bytes(int(n)))
+}
+
+func (r *mtReader) uint64() uint64 {
+	b := r.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *mtReader) uint32() uint32 {
+	b := r.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *mtReader) int64() int64 { return int64(r.uint64()) }

@@ -1,0 +1,142 @@
+package schemaio
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"mvolap/internal/core"
+	"mvolap/internal/temporal"
+)
+
+// sampleExport builds an export exercising every field: sentinel
+// interval bounds, NaN value bits, multiple measures, Avg counts.
+func sampleExport(hasAvg bool) *core.MappedTableExport {
+	exp := &core.MappedTableExport{
+		ModeKey:     "V2",
+		Valid:       temporal.Interval{Start: temporal.Instant(408), End: temporal.Now},
+		Signature:   "sig|Org=3|Geo=1",
+		Dropped:     2,
+		NumDims:     2,
+		NumMeasures: 2,
+		HasAvg:      hasAvg,
+	}
+	facts := []core.MappedFactExport{
+		{
+			Coords:  core.Coords{"Dpt.Bill_id", "City.Lyon_id"},
+			Time:    temporal.Instant(410),
+			Values:  []uint64{math.Float64bits(70.5), math.Float64bits(math.NaN())},
+			CFs:     []core.Confidence{0, 2},
+			Sources: 3,
+		},
+		{
+			Coords:  core.Coords{"Dpt.Paul_id", "City.Paris_id"},
+			Time:    temporal.Origin,
+			Values:  []uint64{math.Float64bits(-0.0), math.Float64bits(1e300)},
+			CFs:     []core.Confidence{1, 1},
+			Sources: 1,
+		},
+	}
+	if hasAvg {
+		facts[0].AvgN = []int32{3, 1}
+		facts[1].AvgN = []int32{1, 2}
+	}
+	exp.Facts = facts
+	return exp
+}
+
+func TestMappedTableRoundTrip(t *testing.T) {
+	for _, hasAvg := range []bool{false, true} {
+		exp := sampleExport(hasAvg)
+		data, err := EncodeMappedTable(exp)
+		if err != nil {
+			t.Fatalf("hasAvg=%v: encode: %v", hasAvg, err)
+		}
+		got, err := DecodeMappedTable(data)
+		if err != nil {
+			t.Fatalf("hasAvg=%v: decode: %v", hasAvg, err)
+		}
+		if !reflect.DeepEqual(got, exp) {
+			t.Errorf("hasAvg=%v: round trip mismatch:\n got %+v\nwant %+v", hasAvg, got, exp)
+		}
+		// Determinism: encoding the decoded table reproduces the bytes.
+		again, err := EncodeMappedTable(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(again, data) {
+			t.Errorf("hasAvg=%v: re-encode differs", hasAvg)
+		}
+	}
+}
+
+func TestMappedTableEncodeRejectsBadShapes(t *testing.T) {
+	if _, err := EncodeMappedTable(nil); err == nil {
+		t.Error("nil export must fail")
+	}
+	exp := sampleExport(false)
+	exp.Facts[0].Values = exp.Facts[0].Values[:1]
+	if _, err := EncodeMappedTable(exp); err == nil {
+		t.Error("short values must fail")
+	}
+	exp = sampleExport(true)
+	exp.Facts[1].AvgN = nil
+	if _, err := EncodeMappedTable(exp); err == nil {
+		t.Error("missing avg counts must fail")
+	}
+}
+
+// TestMappedTableDecodeRejectsCorruption truncates and mutates the
+// encoding at every offset: decoding must fail cleanly (or, for a byte
+// flip, either fail or produce a parseable table), never panic.
+func TestMappedTableDecodeRejectsCorruption(t *testing.T) {
+	data, err := EncodeMappedTable(sampleExport(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(data); n++ {
+		if _, err := DecodeMappedTable(data[:n]); err == nil {
+			t.Fatalf("truncation at %d of %d decoded", n, len(data))
+		}
+	}
+	if _, err := DecodeMappedTable(append(append([]byte{}, data...), 0)); err == nil {
+		t.Error("trailing byte must fail")
+	}
+	bad := append([]byte{}, data...)
+	bad[0] ^= 0xFF
+	if _, err := DecodeMappedTable(bad); err == nil {
+		t.Error("bad magic must fail")
+	}
+}
+
+// FuzzMappedTableCodec checks the round-trip invariant on arbitrary
+// bytes: whatever decodes must re-encode and decode back identically,
+// and the decoder must never panic or over-allocate.
+func FuzzMappedTableCodec(f *testing.F) {
+	for _, hasAvg := range []bool{false, true} {
+		seed, err := EncodeMappedTable(sampleExport(hasAvg))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(seed)
+	}
+	f.Add([]byte("MVMT01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		exp, err := DecodeMappedTable(data)
+		if err != nil {
+			return
+		}
+		out, err := EncodeMappedTable(exp)
+		if err != nil {
+			t.Fatalf("decoded table failed to re-encode: %v", err)
+		}
+		back, err := DecodeMappedTable(out)
+		if err != nil {
+			t.Fatalf("re-encoded table failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(back, exp) {
+			t.Fatal("re-encode round trip diverged")
+		}
+	})
+}

@@ -71,6 +71,9 @@ type Server struct {
 	applier     *evolution.Applier
 	store       *store.Store
 	allowEvolve bool
+	// warmRestored lists the temporal modes crash recovery restored
+	// warm from the snapshot (reported by /readyz once ready).
+	warmRestored []string
 
 	logger       *slog.Logger
 	queryTimeout time.Duration
@@ -142,6 +145,9 @@ func (s *Server) Install(sch *core.Schema, applier *evolution.Applier, st *store
 	s.schema = sch
 	s.applier = applier
 	s.store = st
+	if st != nil {
+		s.warmRestored = st.RecoveryStats().WarmModes
+	}
 }
 
 // snapshot returns the schema to serve this request from. The pointer
@@ -202,7 +208,13 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "recovering")
 		return
 	}
-	fmt.Fprintln(w, "ready")
+	s.mu.RLock()
+	warm := s.warmRestored
+	s.mu.RUnlock()
+	if warm == nil {
+		warm = []string{}
+	}
+	writeJSON(w, map[string]any{"status": "ready", "warmRestoredModes": warm})
 }
 
 // handleMetrics serves the process registry in the Prometheus text
@@ -698,14 +710,19 @@ func (s *Server) handleAdminSnapshot(w http.ResponseWriter, _ *http.Request) {
 	start := time.Now()
 	s.mu.Lock()
 	seq, err := st.Snapshot(s.schema, s.applier.Log(), "admin")
+	warmModes := []string{}
+	if err == nil && st.WarmEnabled() {
+		warmModes = append(warmModes, s.schema.CachedModeKeys()...)
+	}
 	s.mu.Unlock()
 	if err != nil {
 		jsonError(w, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, map[string]any{
-		"walSeq": seq,
-		"ms":     float64(time.Since(start)) / float64(time.Millisecond),
+		"walSeq":    seq,
+		"warmModes": warmModes,
+		"ms":        float64(time.Since(start)) / float64(time.Millisecond),
 	})
 }
 

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mvolap/internal/casestudy"
+	"mvolap/internal/core"
+	"mvolap/internal/store"
+)
+
+// The warm-restart acceptance scenario over HTTP: mutate, materialize
+// every temporal mode, snapshot warm, append a WAL tail, SIGKILL
+// (abandon the store), restart — the first query in each retained mode
+// must perform zero materializations and answer byte-identically to a
+// cold-rebuild control.
+
+// openWarmServer is openServer with warm snapshots enabled, also
+// returning the served schema so the test can count materializations.
+func openWarmServer(t *testing.T, dir string) (*httptest.Server, *store.Store, *core.Schema) {
+	t.Helper()
+	seed, err := casestudy.New(casestudy.Config{WithFacts: true, WithSplitMappings: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, sch, applier, err := store.Open(dir, seed, store.Options{SnapshotWarm: true, Logger: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(nil, WithLogger(quietLogger()), WithEvolution())
+	s.Install(sch, applier, st)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, st, sch
+}
+
+// modeQuery is the per-mode probe whose answers the restart must
+// preserve bit for bit.
+func modeQuery(mode string) string {
+	return "/query?q=" + urlEncode("SELECT Amount BY Org.Department, TIME.YEAR MODE "+mode)
+}
+
+// queryModes runs the probe in every given mode and returns the raw
+// bodies, keyed by mode.
+func queryModes(t *testing.T, srv *httptest.Server, modes []string) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	for _, m := range modes {
+		code, body := get(t, srv, modeQuery(m))
+		if code != http.StatusOK {
+			t.Fatalf("query mode %s = %d: %s", m, code, body)
+		}
+		out[m] = body
+	}
+	return out
+}
+
+func TestCrashRecoveryWarmRestartHTTP(t *testing.T) {
+	dir := t.TempDir()
+	srv, _, _ := openWarmServer(t, dir)
+	mutate(t, srv) // WAL 1..4: three evolves + a fact batch
+
+	// Materialize every temporal mode through the query path.
+	code, body := get(t, srv, "/modes")
+	if code != http.StatusOK {
+		t.Fatalf("modes = %d: %s", code, body)
+	}
+	var modeList []struct {
+		Mode string `json:"mode"`
+	}
+	if err := json.Unmarshal(body, &modeList); err != nil {
+		t.Fatal(err)
+	}
+	var modes []string
+	for _, m := range modeList {
+		modes = append(modes, m.Mode)
+	}
+	if len(modes) < 4 {
+		t.Fatalf("fixture has %d modes, want >= 4", len(modes))
+	}
+	queryModes(t, srv, modes)
+
+	// Warm snapshot, then a WAL-tail fact batch the snapshot does not
+	// cover.
+	code, body = post(t, srv, "/admin/snapshot", "")
+	if code != http.StatusOK {
+		t.Fatalf("snapshot = %d: %s", code, body)
+	}
+	var snap struct {
+		WarmModes []string `json:"warmModes"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil || len(snap.WarmModes) < 4 {
+		t.Fatalf("snapshot warmModes = %+v, %v: %s", snap, err, body)
+	}
+	if code, body := post(t, srv, "/facts",
+		`[{"coords":["Dpt.Smith_id"],"time":"2005","values":[11]}]`); code != http.StatusOK {
+		t.Fatalf("tail facts = %d: %s", code, body)
+	}
+	srv.Close() // the store is abandoned un-closed: simulated SIGKILL
+
+	srv2, st2, sch2 := openWarmServer(t, dir)
+	stats := st2.RecoveryStats()
+	if stats.Replayed != 1 {
+		t.Errorf("replayed = %d, want the 1 post-snapshot record", stats.Replayed)
+	}
+	warm := stats.WarmModes
+	if len(warm) < 4 {
+		t.Fatalf("WarmModes = %v, want >= 4", warm)
+	}
+
+	// /readyz reports the warm-restored modes.
+	code, body = get(t, srv2, "/readyz")
+	if code != http.StatusOK {
+		t.Fatalf("readyz = %d: %s", code, body)
+	}
+	var ready struct {
+		Status            string   `json:"status"`
+		WarmRestoredModes []string `json:"warmRestoredModes"`
+	}
+	if err := json.Unmarshal(body, &ready); err != nil || ready.Status != "ready" {
+		t.Fatalf("readyz body = %s (%v)", body, err)
+	}
+	if len(ready.WarmRestoredModes) != len(warm) {
+		t.Errorf("readyz warmRestoredModes = %v, want %v", ready.WarmRestoredModes, warm)
+	}
+
+	// First query per retained mode: zero materializations.
+	got := queryModes(t, srv2, warm)
+	if builds := sch2.MultiVersion().Materializations(); builds != 0 {
+		t.Errorf("first queries after warm restart performed %d materializations, want 0", builds)
+	}
+
+	// Byte-identical to a cold-rebuild control over the same recovered
+	// state.
+	coldSrv := New(nil, WithLogger(quietLogger()))
+	coldSrv.Install(sch2.Clone(), nil, nil)
+	ctrl := httptest.NewServer(coldSrv.Handler())
+	t.Cleanup(ctrl.Close)
+	want := queryModes(t, ctrl, warm)
+	for _, m := range warm {
+		if string(got[m]) != string(want[m]) {
+			t.Errorf("mode %s: warm answer differs from cold rebuild:\n%s\nwant:\n%s", m, got[m], want[m])
+		}
+	}
+
+	// Warm restore is visible in /metrics.
+	code, metrics := get(t, srv2, "/metrics")
+	if code != http.StatusOK {
+		t.Fatal(code)
+	}
+	if !strings.Contains(string(metrics), "mvolap_mvft_warm_restore_total") {
+		t.Error("/metrics missing mvolap_mvft_warm_restore_total")
+	}
+}

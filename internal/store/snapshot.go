@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -23,7 +24,13 @@ import (
 // final name.
 
 // snapshotFormat versions the envelope, not the schema document.
-const snapshotFormat = 1
+// Format 1 (PR 3) carried schema + evolution log; format 2 adds the
+// optional warm section. Readers accept both — an old snapshot simply
+// recovers with zero warm modes.
+const (
+	snapshotFormat       = 2
+	oldestSnapshotFormat = 1
+)
 
 // snapshotFile is the on-disk envelope.
 type snapshotFile struct {
@@ -31,6 +38,19 @@ type snapshotFile struct {
 	WALSeq       uint64             `json:"walSeq"`
 	EvolutionLog []snapshotLogEntry `json:"evolutionLog,omitempty"`
 	Schema       json.RawMessage    `json:"schema"`
+	// Warm optionally carries the materialized MappedTable of every
+	// cached temporal mode, each payload CRC-checked independently so
+	// one corrupt mode degrades to a cold rebuild of that mode only.
+	Warm []warmModeFile `json:"warm,omitempty"`
+}
+
+// warmModeFile is one cached mode's serialized MappedTable. Payload is
+// the schemaio mapped-table binary encoding (base64 inside the JSON
+// envelope); CRC is crc32.ChecksumIEEE over the raw payload bytes.
+type warmModeFile struct {
+	Mode    string `json:"mode"`
+	CRC     uint32 `json:"crc"`
+	Payload []byte `json:"payload"`
 }
 
 // snapshotLogEntry mirrors evolution.LogEntry with stable JSON names.
@@ -60,8 +80,11 @@ func seqOfName(name, prefix, suffix string) (uint64, bool) {
 // encodeSnapshot renders the snapshot envelope for a schema and its
 // evolution log. The bytes are deterministic for a given schema state:
 // schemaio emits dimensions, versions, relationships, mappings and
-// facts in insertion order, and the envelope adds no timestamps.
-func encodeSnapshot(sch *core.Schema, log []evolution.LogEntry, walSeq uint64) ([]byte, error) {
+// facts in insertion order, the warm section sorts by mode key and the
+// mapped-table codec preserves tuple order, and the envelope adds no
+// timestamps. With warm set, every completed mode of the schema's MVFT
+// cache is carried; a cold cache yields no warm section at all.
+func encodeSnapshot(sch *core.Schema, log []evolution.LogEntry, walSeq uint64, warm bool) ([]byte, error) {
 	var schemaDoc bytes.Buffer
 	if err := schemaio.Write(&schemaDoc, sch); err != nil {
 		return nil, fmt.Errorf("store: snapshot schema: %w", err)
@@ -74,13 +97,26 @@ func encodeSnapshot(sch *core.Schema, log []evolution.LogEntry, walSeq uint64) (
 		}
 		out.EvolutionLog = append(out.EvolutionLog, se)
 	}
+	if warm {
+		for _, exp := range sch.ExportWarmModes() {
+			payload, err := schemaio.EncodeMappedTable(exp)
+			if err != nil {
+				return nil, fmt.Errorf("store: snapshot warm mode %s: %w", exp.ModeKey, err)
+			}
+			out.Warm = append(out.Warm, warmModeFile{
+				Mode:    exp.ModeKey,
+				CRC:     crc32.ChecksumIEEE(payload),
+				Payload: payload,
+			})
+		}
+	}
 	return json.MarshalIndent(out, "", " ")
 }
 
 // writeSnapshot durably writes the snapshot for walSeq into dir:
 // temp file → fsync → rename → fsync(dir).
-func writeSnapshot(dir string, sch *core.Schema, log []evolution.LogEntry, walSeq uint64) (string, error) {
-	data, err := encodeSnapshot(sch, log, walSeq)
+func writeSnapshot(dir string, sch *core.Schema, log []evolution.LogEntry, walSeq uint64, warm bool) (string, error) {
+	data, err := encodeSnapshot(sch, log, walSeq, warm)
 	if err != nil {
 		return "", err
 	}
@@ -110,22 +146,25 @@ func writeSnapshot(dir string, sch *core.Schema, log []evolution.LogEntry, walSe
 	return final, nil
 }
 
-// readSnapshot loads and validates one snapshot file.
-func readSnapshot(path string) (*core.Schema, []evolution.LogEntry, uint64, error) {
+// readSnapshot loads and validates one snapshot file. The returned
+// warm list (if any) is unverified: callers CRC-check and decode each
+// mode individually, so a corrupt mode degrades to a cold rebuild of
+// that mode rather than an unreadable snapshot.
+func readSnapshot(path string) (*core.Schema, []evolution.LogEntry, uint64, []warmModeFile, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, 0, nil, err
 	}
 	var in snapshotFile
 	if err := json.Unmarshal(data, &in); err != nil {
-		return nil, nil, 0, fmt.Errorf("store: snapshot %s: %w", path, err)
+		return nil, nil, 0, nil, fmt.Errorf("store: snapshot %s: %w", path, err)
 	}
-	if in.Format != snapshotFormat {
-		return nil, nil, 0, fmt.Errorf("store: snapshot %s: unsupported format %d", path, in.Format)
+	if in.Format < oldestSnapshotFormat || in.Format > snapshotFormat {
+		return nil, nil, 0, nil, fmt.Errorf("store: snapshot %s: unsupported format %d", path, in.Format)
 	}
 	sch, err := schemaio.Read(bytes.NewReader(in.Schema))
 	if err != nil {
-		return nil, nil, 0, fmt.Errorf("store: snapshot %s: %w", path, err)
+		return nil, nil, 0, nil, fmt.Errorf("store: snapshot %s: %w", path, err)
 	}
 	var log []evolution.LogEntry
 	for _, se := range in.EvolutionLog {
@@ -135,7 +174,7 @@ func readSnapshot(path string) (*core.Schema, []evolution.LogEntry, uint64, erro
 		}
 		log = append(log, e)
 	}
-	return sch, log, in.WALSeq, nil
+	return sch, log, in.WALSeq, in.Warm, nil
 }
 
 // listBySeq returns the files in dir matching prefix/suffix, sorted by

@@ -22,6 +22,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"log/slog"
 	"os"
@@ -33,6 +34,7 @@ import (
 	"mvolap/internal/core"
 	"mvolap/internal/evolution"
 	"mvolap/internal/obs"
+	"mvolap/internal/schemaio"
 	"mvolap/internal/temporal"
 )
 
@@ -86,6 +88,12 @@ type Options struct {
 	// SnapshotEvery takes an automatic snapshot after this many WAL
 	// records since the last one; 0 disables automatic snapshots.
 	SnapshotEvery int
+	// SnapshotWarm carries the materialized MappedTables of every cached
+	// temporal mode inside each snapshot, so a restarted process answers
+	// its first query per mode without a rematerialization. It gates
+	// writing only: recovery always restores whatever warm section the
+	// loaded snapshot holds.
+	SnapshotWarm bool
 	// Logger receives recovery and compaction logs; nil means
 	// slog.Default().
 	Logger *slog.Logger
@@ -102,9 +110,14 @@ type RecoveryStats struct {
 	Replayed int
 	// TornBytes is the size of the truncated torn tail, if any.
 	TornBytes int64
+	// WarmModes lists the temporal modes restored warm from the
+	// snapshot's warm section (validated against the recovered schema,
+	// WAL-tail deltas folded in), sorted by mode key.
+	WarmModes []string
 	// Duration is the total recovery time.
 	Duration time.Duration
-	// Trace is the recovery span tree (load-snapshot, replay-wal).
+	// Trace is the recovery span tree (load-snapshot, warm-restore,
+	// replay-wal).
 	Trace *obs.SpanNode
 }
 
@@ -182,12 +195,21 @@ func (st *Store) recover(ctx context.Context, seed *core.Schema) (*core.Schema, 
 	// Load the newest snapshot that parses; older ones are fallbacks
 	// in case of on-disk corruption.
 	_, span := obs.StartSpan(ctx, "load-snapshot")
-	sch, log, err := st.loadLatestSnapshot(seed)
+	sch, log, warm, err := st.loadLatestSnapshot(seed)
 	span.End()
 	if err != nil {
 		return nil, nil, err
 	}
 	applier := evolution.NewApplierWithLog(sch, log)
+
+	// Warm restore runs before WAL replay so the replayed fact batches
+	// delta-fold into the restored tables via WarmFrom, exactly like the
+	// live clone-swap path.
+	if len(warm) > 0 {
+		_, span = obs.StartSpan(ctx, "warm_restore")
+		st.restoreWarm(sch, warm, span)
+		span.End()
+	}
 
 	_, span = obs.StartSpan(ctx, "replay-wal")
 	sch, applier, err = st.replayWAL(sch, applier, span)
@@ -195,31 +217,68 @@ func (st *Store) recover(ctx context.Context, seed *core.Schema) (*core.Schema, 
 	if err != nil {
 		return nil, nil, err
 	}
+	if len(st.stats.WarmModes) > 0 {
+		// Replayed records may have evicted modes (structure changes,
+		// fact replacement); report only the modes still warm on the
+		// schema that will actually serve.
+		st.stats.WarmModes = sch.CachedModeKeys()
+	}
 	return sch, applier, nil
 }
 
 // loadLatestSnapshot picks the newest readable snapshot, or falls back
 // to the seed schema when none exists.
-func (st *Store) loadLatestSnapshot(seed *core.Schema) (*core.Schema, []evolution.LogEntry, error) {
+func (st *Store) loadLatestSnapshot(seed *core.Schema) (*core.Schema, []evolution.LogEntry, []warmModeFile, error) {
 	names, _, err := listBySeq(st.dir, "snapshot-", ".json")
 	if err != nil {
-		return nil, nil, fmt.Errorf("store: %w", err)
+		return nil, nil, nil, fmt.Errorf("store: %w", err)
 	}
 	for i := len(names) - 1; i >= 0; i-- {
 		path := filepath.Join(st.dir, names[i])
-		sch, log, seq, err := readSnapshot(path)
+		sch, log, seq, warm, err := readSnapshot(path)
 		if err != nil {
 			st.logger.Warn("store: skipping unreadable snapshot", "path", path, "err", err)
 			continue
 		}
 		st.snapSeq, st.seq = seq, seq
 		st.stats.SnapshotSeq, st.stats.SnapshotPath = seq, path
-		return sch, log, nil
+		return sch, log, warm, nil
 	}
 	if seed == nil {
-		return nil, nil, fmt.Errorf("store: %s has no snapshot and no seed schema was given", st.dir)
+		return nil, nil, nil, fmt.Errorf("store: %s has no snapshot and no seed schema was given", st.dir)
 	}
-	return seed, nil, nil
+	return seed, nil, nil, nil
+}
+
+// restoreWarm rehydrates the snapshot's warm section into the
+// recovered schema's MVFT cache. Every failure — CRC mismatch, codec
+// corruption, structural-signature drift — is per mode: that mode is
+// logged, counted and skipped, and rebuilds cold on first use; the
+// recovery itself never fails here.
+func (st *Store) restoreWarm(sch *core.Schema, warm []warmModeFile, span *obs.Span) {
+	for _, wm := range warm {
+		if got := crc32.ChecksumIEEE(wm.Payload); got != wm.CRC {
+			st.logger.Warn("store: warm mode failed CRC check, rebuilding cold",
+				"mode", wm.Mode, "want", wm.CRC, "got", got)
+			metWarmSkipped.Inc()
+			continue
+		}
+		exp, err := schemaio.DecodeMappedTable(wm.Payload)
+		if err != nil {
+			st.logger.Warn("store: warm mode undecodable, rebuilding cold", "mode", wm.Mode, "err", err)
+			metWarmSkipped.Inc()
+			continue
+		}
+		if err := sch.ImportWarmMode(exp); err != nil {
+			st.logger.Warn("store: warm mode rejected, rebuilding cold", "mode", wm.Mode, "err", err)
+			metWarmSkipped.Inc()
+			continue
+		}
+		st.stats.WarmModes = append(st.stats.WarmModes, wm.Mode)
+		metWarmRestored.Inc()
+	}
+	span.SetAttr("restored", len(st.stats.WarmModes))
+	span.SetAttr("skipped", len(warm)-len(st.stats.WarmModes))
 }
 
 // replayWAL replays every record after the snapshot through the
@@ -324,10 +383,14 @@ func ApplyFact(s *core.Schema, fr FactRecord) error {
 
 // applyRecord applies one WAL record to a clone of sch (copy-on-write,
 // exactly like the serving path) and returns the evolved clone with
-// its rebound applier.
+// its rebound applier. Like the serving path, the clone is warmed from
+// the base before it takes over: warm-restored (or earlier-replayed)
+// tables survive the replay where the retention rules allow, with each
+// fact batch delta-folded in. WarmFrom is a no-op on a cold base.
 func applyRecord(sch *core.Schema, ap *evolution.Applier, rec walRecord) (*core.Schema, *evolution.Applier, error) {
 	clone := sch.Clone()
 	ap2 := ap.Rebind(clone)
+	var delta core.Delta
 	switch rec.Type {
 	case RecordEvolve:
 		var script string
@@ -338,22 +401,31 @@ func applyRecord(sch *core.Schema, ap *evolution.Applier, rec walRecord) (*core.
 		if err != nil {
 			return nil, nil, err
 		}
-		if err := ap2.Apply(ops...); err != nil {
+		touched, err := ap2.ApplyTouched(ops...)
+		if err != nil {
 			return nil, nil, err
 		}
+		delta = touched.Delta()
 	case RecordFacts:
 		batch, err := ParseFactBatch(rec.Data)
 		if err != nil {
 			return nil, nil, err
 		}
+		oldLen := clone.Facts().Len()
 		for i, fr := range batch {
 			if err := ApplyFact(clone, fr); err != nil {
 				return nil, nil, fmt.Errorf("fact %d: %w", i, err)
 			}
 		}
+		if clone.Facts().Len() == oldLen+len(batch) {
+			delta.NewFacts = clone.Facts().Facts()[oldLen:]
+		} else {
+			delta.FactsReplaced = true // some insert overwrote a coordinate
+		}
 	default:
 		return nil, nil, fmt.Errorf("unknown record type %q", rec.Type)
 	}
+	clone.WarmFrom(context.Background(), sch, delta)
 	return clone, ap2, nil
 }
 
@@ -466,7 +538,7 @@ func (st *Store) Snapshot(sch *core.Schema, log []evolution.LogEntry, trigger st
 	}
 	start := time.Now()
 	seq := st.seq
-	if _, err := writeSnapshot(st.dir, sch, log, seq); err != nil {
+	if _, err := writeSnapshot(st.dir, sch, log, seq, st.opts.SnapshotWarm); err != nil {
 		return 0, fmt.Errorf("store: snapshot: %w", err)
 	}
 	newPath := filepath.Join(st.dir, walName(seq+1))
@@ -538,6 +610,9 @@ func (st *Store) SnapshotSeq() uint64 {
 
 // RecoveryStats reports what Open did.
 func (st *Store) RecoveryStats() RecoveryStats { return st.stats }
+
+// WarmEnabled reports whether snapshots carry the warm MVFT section.
+func (st *Store) WarmEnabled() bool { return st.opts.SnapshotWarm }
 
 // Dir returns the store's root directory.
 func (st *Store) Dir() string { return st.dir }

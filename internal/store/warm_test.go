@@ -1,0 +1,306 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mvolap/internal/core"
+	"mvolap/internal/evolution"
+	"mvolap/internal/schemaio"
+)
+
+// warmExports materializes nothing: it encodes every mode already
+// cached on the schema, keyed by mode, for byte comparison.
+func warmExports(t *testing.T, sch *core.Schema) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	for _, exp := range sch.ExportWarmModes() {
+		data, err := schemaio.EncodeMappedTable(exp)
+		if err != nil {
+			t.Fatalf("encode mode %s: %v", exp.ModeKey, err)
+		}
+		out[exp.ModeKey] = data
+	}
+	return out
+}
+
+// coldExports fully rematerializes a cold clone of sch and returns its
+// per-mode encodings — the ground truth warm restore must match bit
+// for bit.
+func coldExports(t *testing.T, sch *core.Schema) map[string][]byte {
+	t.Helper()
+	cold := sch.Clone()
+	if _, err := cold.MultiVersion().All(); err != nil {
+		t.Fatal(err)
+	}
+	return warmExports(t, cold)
+}
+
+// buildWarmWarehouse opens dir with warm snapshots, evolves once (five
+// temporal modes), materializes every mode and snapshots. The store is
+// returned unclosed so callers can choose where the simulated SIGKILL
+// lands.
+func buildWarmWarehouse(t *testing.T, dir string) (*Store, *core.Schema, *evolution.Applier) {
+	t.Helper()
+	st, sch, ap, err := Open(dir, seedSchema(t), Options{SnapshotWarm: true, Logger: quietLog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, ap = applyEvolve(t, sch, ap, "EXCLUDE Org Dpt.Brian_id AT 01/2004\n")
+	if _, _, err := st.AppendEvolve([]byte("EXCLUDE Org Dpt.Brian_id AT 01/2004\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sch.MultiVersion().All(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sch.CachedModeKeys()); got < 4 {
+		t.Fatalf("fixture has %d cached modes, want >= 4", got)
+	}
+	if _, err := st.Snapshot(sch, ap.Log(), "test"); err != nil {
+		t.Fatal(err)
+	}
+	return st, sch, ap
+}
+
+// TestCrashRecoveryWarmSnapshotNoTail is the SIGKILL-between-snapshot-
+// and-WAL-append case: the snapshot is durable, no record follows, the
+// store is never closed. Recovery must serve every mode warm — zero
+// materializations — with tables byte-identical to a cold rebuild.
+func TestCrashRecoveryWarmSnapshotNoTail(t *testing.T) {
+	dir := t.TempDir()
+	_, sch, _ := buildWarmWarehouse(t, dir) // store abandoned: simulated SIGKILL
+	want := warmExports(t, sch)
+
+	st2, sch2, _, err := Open(dir, nil, Options{Logger: quietLog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := st2.RecoveryStats().WarmModes; len(got) != len(want) {
+		t.Fatalf("WarmModes = %v, want %d modes", got, len(want))
+	}
+	if _, err := sch2.MultiVersion().All(); err != nil {
+		t.Fatal(err)
+	}
+	if builds := sch2.MultiVersion().Materializations(); builds != 0 {
+		t.Errorf("warm restart performed %d materializations, want 0", builds)
+	}
+	got := warmExports(t, sch2)
+	if !reflect.DeepEqual(got, want) {
+		t.Error("warm-restored tables differ from the snapshotted ones")
+	}
+	cold := coldExports(t, sch2)
+	if !reflect.DeepEqual(got, cold) {
+		t.Error("warm-restored tables differ from a cold rebuild")
+	}
+}
+
+// TestCrashRecoveryWarmSnapshotThenWALTail kills the process after a
+// warm snapshot and two more fact batches: replay must delta-fold the
+// tail into the restored tables (no materializations) and still match
+// a cold rebuild bit for bit.
+func TestCrashRecoveryWarmSnapshotThenWALTail(t *testing.T) {
+	dir := t.TempDir()
+	st, _, _ := buildWarmWarehouse(t, dir)
+	for _, batch := range [][]FactRecord{
+		{
+			{Coords: []string{"Dpt.Bill_id"}, Time: "2004", Values: []float64{70}},
+			{Coords: []string{"Dpt.Paul_id"}, Time: "2004", Values: []float64{30}},
+		},
+		{
+			{Coords: []string{"Dpt.Smith_id"}, Time: "2005", Values: []float64{11}},
+		},
+	} {
+		if _, _, err := st.AppendFactBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Store abandoned without Close: simulated SIGKILL with a WAL tail.
+
+	st2, sch2, _, err := Open(dir, nil, Options{Logger: quietLog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.RecoveryStats().Replayed != 2 {
+		t.Fatalf("replayed = %d, want 2", st2.RecoveryStats().Replayed)
+	}
+	warm := st2.RecoveryStats().WarmModes
+	if len(warm) < 4 {
+		t.Fatalf("WarmModes = %v, want >= 4", warm)
+	}
+	if deltas := sch2.MultiVersion().DeltaApplies(); deltas == 0 {
+		t.Error("WAL-tail fact batches were not delta-folded into warm tables")
+	}
+	if _, err := sch2.MultiVersion().All(); err != nil {
+		t.Fatal(err)
+	}
+	if builds := sch2.MultiVersion().Materializations(); builds != 0 {
+		t.Errorf("warm restart performed %d materializations, want 0", builds)
+	}
+	got := warmExports(t, sch2)
+	cold := coldExports(t, sch2)
+	if !reflect.DeepEqual(got, cold) {
+		t.Error("warm tables with folded WAL tail differ from a cold rebuild")
+	}
+}
+
+// TestCrashRecoveryWarmCorruptModeDegradesCold flips one byte in one
+// mode's payload: only that mode rebuilds cold; every other mode stays
+// warm, and answers are still exactly the cold-rebuild answers.
+func TestCrashRecoveryWarmCorruptModeDegradesCold(t *testing.T) {
+	dir := t.TempDir()
+	st, _, _ := buildWarmWarehouse(t, dir)
+	if _, _, err := st.AppendFactBatch([]FactRecord{
+		{Coords: []string{"Dpt.Bill_id"}, Time: "2004", Values: []float64{70}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snapshot-*.json"))
+	if len(snaps) != 1 {
+		t.Fatalf("snapshots = %v", snaps)
+	}
+	data, err := os.ReadFile(snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in snapshotFile
+	if err := json.Unmarshal(data, &in); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Warm) < 4 {
+		t.Fatalf("snapshot carries %d warm modes, want >= 4", len(in.Warm))
+	}
+	corrupted := in.Warm[1].Mode
+	in.Warm[1].Payload[len(in.Warm[1].Payload)/2] ^= 0xFF
+	data, err = json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snaps[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, sch2, _, err := Open(dir, nil, Options{Logger: quietLog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	warm := st2.RecoveryStats().WarmModes
+	for _, m := range warm {
+		if m == corrupted {
+			t.Fatalf("corrupt mode %s reported warm", m)
+		}
+	}
+	if len(warm) != len(in.Warm)-1 {
+		t.Errorf("WarmModes = %v, want the %d uncorrupted modes", warm, len(in.Warm)-1)
+	}
+	if _, err := sch2.MultiVersion().All(); err != nil {
+		t.Fatal(err)
+	}
+	if builds := sch2.MultiVersion().Materializations(); builds != 1 {
+		t.Errorf("materializations = %d, want exactly the corrupted mode", builds)
+	}
+	got := warmExports(t, sch2)
+	cold := coldExports(t, sch2)
+	if !reflect.DeepEqual(got, cold) {
+		t.Error("degraded warm restart differs from a cold rebuild")
+	}
+}
+
+// TestOldFormatSnapshotRecovers rewrites the snapshot as a PR 3
+// format-1 envelope (no warm section): recovery must load it cleanly
+// with zero warm modes — the format bump is backward compatible.
+func TestOldFormatSnapshotRecovers(t *testing.T) {
+	dir := t.TempDir()
+	st, sch, _ := buildWarmWarehouse(t, dir)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := schemaBytes(t, sch)
+
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snapshot-*.json"))
+	data, err := os.ReadFile(snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in snapshotFile
+	if err := json.Unmarshal(data, &in); err != nil {
+		t.Fatal(err)
+	}
+	in.Format = 1
+	in.Warm = nil
+	data, err = json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snaps[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A snapshot from a future format must be skipped, not fatal: the
+	// older readable snapshot is the fallback.
+	future, err := json.Marshal(snapshotFile{Format: snapshotFormat + 1, WALSeq: 99, Schema: in.Schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, snapshotName(99)), future, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, sch2, _, err := Open(dir, nil, Options{Logger: quietLog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.RecoveryStats().SnapshotSeq != 1 {
+		t.Errorf("snapshotSeq = %d, want fallback to the format-1 snapshot", st2.RecoveryStats().SnapshotSeq)
+	}
+	if warm := st2.RecoveryStats().WarmModes; len(warm) != 0 {
+		t.Errorf("format-1 snapshot restored warm modes %v", warm)
+	}
+	if got := schemaBytes(t, sch2); !bytes.Equal(got, want) {
+		t.Error("format-1 snapshot recovered a different schema")
+	}
+}
+
+// TestSnapshotEnvelopeDeterministic snapshots the same state twice and
+// compares the envelopes byte for byte — the CI determinism guard. A
+// nondeterministic codec would silently break the byte-identical
+// warm-restore guarantee.
+func TestSnapshotEnvelopeDeterministic(t *testing.T) {
+	st, sch, ap, err := Open(t.TempDir(), seedSchema(t), Options{SnapshotWarm: true, Logger: quietLog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	sch, ap = applyEvolve(t, sch, ap, "EXCLUDE Org Dpt.Brian_id AT 01/2004\n")
+	if _, err := sch.MultiVersion().All(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := encodeSnapshot(sch, ap.Log(), 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := encodeSnapshot(sch, ap.Log(), 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two snapshots of the same state differ byte for byte")
+	}
+	coldOnly, err := encodeSnapshot(sch, ap.Log(), 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(coldOnly, []byte(`"warm"`)) {
+		t.Error("warm=false envelope still carries a warm section")
+	}
+	if !bytes.Contains(a, []byte(`"warm"`)) {
+		t.Error("warm=true envelope carries no warm section")
+	}
+}
