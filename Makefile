@@ -3,7 +3,7 @@ GO ?= go
 # Machine-readable benchmark record for this change series; CI uploads
 # it as an artifact so performance trajectories accumulate across
 # commits.
-BENCH ?= BENCH_5.json
+BENCH ?= BENCH_6.json
 
 # Tier-1 verification: build + vet + full tests + race on the
 # concurrency-bearing core package.
@@ -53,11 +53,27 @@ bench:
 bench-json:
 	$(GO) test -json -bench=. -benchmem -run='^$$' ./... > $(BENCH)
 
-# bench-smoke runs the incremental-maintenance and warm-restart
-# benchmarks once — a CI guard that the warm-delta path delta-applies
-# to every mode and that a warm restart serves every snapshotted mode
-# with zero materializations (both benches b.Fatal otherwise).
+# bench-smoke runs the incremental-maintenance, sharded-swap/scan and
+# warm-restart benchmarks once — a CI guard that the warm-delta path
+# delta-applies to every mode, that shard-sharing clone-swaps and the
+# columnar scan still execute, and that a warm restart serves every
+# snapshotted mode with zero materializations (the benches b.Fatal
+# otherwise).
 .PHONY: bench-smoke
 bench-smoke:
-	$(GO) test -json -bench=IncrementalIngest -benchtime=1x -run='^$$' . > $(BENCH)
+	$(GO) test -json -bench='IncrementalIngest|ShardedSwap|ShardedScan' -benchtime=1x -run='^$$' . > $(BENCH)
 	$(GO) test -json -bench=WarmRestart -benchtime=1x -run='^$$' ./internal/store >> $(BENCH)
+
+# bench-delta compares the sharded-swap/scan benchmarks on this
+# checkout against a benchstat-style baseline committed as $(BENCH).
+# The comparison is advisory: only a build failure fails the target
+# (bench runs and deltas are best-effort, prefixed with `-`), so noisy
+# CI runners never block a merge while the numbers still land in the
+# uploaded artifact.
+.PHONY: bench-delta
+bench-delta: build
+	-$(GO) test -bench='ShardedSwap|ShardedScan' -benchmem -benchtime=3x -count=3 -run='^$$' . | tee bench-delta.txt
+	-@if [ -f $(BENCH) ]; then \
+		echo "--- delta vs $(BENCH) (committed baseline) ---"; \
+		grep -h '"Output"' $(BENCH) 2>/dev/null | grep -o 'Benchmark[^\\"]*' | grep -E 'ShardedSwap|ShardedScan' || true; \
+	fi

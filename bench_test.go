@@ -977,6 +977,126 @@ func BenchmarkIncrementalIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedSwap measures what a clone-swap pays per retained
+// mode on a ~100k-fact warehouse. warm-swap is the real path end to
+// end: Schema.Clone, a one-fact batch, and WarmFrom folding it into
+// every cached mode over shared storage shards (O(shard headers) per
+// mode plus one privatized tail shard). flat-baseline reproduces the
+// dominant per-mode cost of the pre-shard layout — copying each
+// retained mode's full tuple-pointer slice — so the ratio between the
+// two is the warm-clone reduction the sharded layout buys.
+func BenchmarkShardedSwap(b *testing.B) {
+	const leaves, months = 1000, 100 // 100k facts
+	base := ingestSchema(b, leaves, months)
+	tables, err := base.MultiVersion().All()
+	if err != nil {
+		b.Fatal(err)
+	}
+	nModes := len(base.Modes())
+	batch := ingestBatch(leaves, months, 1)
+
+	b.Run("warm-swap", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			clone := base.Clone()
+			oldLen := clone.Facts().Len()
+			for _, f := range batch {
+				if err := clone.InsertFact(core.Coords{f.id}, f.at, f.v); err != nil {
+					b.Fatal(err)
+				}
+			}
+			delta := core.Delta{NewFacts: clone.Facts().Facts()[oldLen:]}
+			res := clone.WarmFrom(context.Background(), base, delta)
+			if res.DeltaApplied != nModes {
+				b.Fatalf("delta applied to %d modes, want %d", res.DeltaApplied, nModes)
+			}
+		}
+	})
+	// table-swap isolates the WarmFrom table clone+fold itself —
+	// Schema.Clone and fact insertion happen off the clock — so it is
+	// the direct comparand for flat-baseline below.
+	b.Run("table-swap", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			clone := base.Clone()
+			oldLen := clone.Facts().Len()
+			for _, f := range batch {
+				if err := clone.InsertFact(core.Coords{f.id}, f.at, f.v); err != nil {
+					b.Fatal(err)
+				}
+			}
+			delta := core.Delta{NewFacts: clone.Facts().Facts()[oldLen:]}
+			// Drain the GC debt of the untimed setup so collector
+			// pauses are not billed to the swap itself.
+			runtime.GC()
+			b.StartTimer()
+			res := clone.WarmFrom(context.Background(), base, delta)
+			if res.DeltaApplied != nModes {
+				b.Fatalf("delta applied to %d modes, want %d", res.DeltaApplied, nModes)
+			}
+		}
+	})
+	b.Run("flat-baseline", func(b *testing.B) {
+		// Pre-build the row views outside the timer; the old layout
+		// stored rows natively.
+		for _, mt := range tables {
+			_ = mt.Facts()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		var sink int
+		for i := 0; i < b.N; i++ {
+			for _, mt := range tables {
+				fs := mt.Facts()
+				cp := make([]*core.MappedFact, len(fs))
+				copy(cp, fs)
+				sink += len(cp)
+			}
+		}
+		if sink == 0 {
+			b.Fatal("no tuples copied")
+		}
+	})
+}
+
+// BenchmarkShardedScan measures steady-state query aggregation over
+// the ~100k-tuple materialized table: the columnar scan classifying
+// tuples straight out of the shard arrays, sequential vs parallel
+// classification (the fold is always sequential, so every worker
+// count returns bit-identical rows).
+func BenchmarkShardedScan(b *testing.B) {
+	const leaves, months = 1000, 100 // 100k facts
+	s := ingestSchema(b, leaves, months)
+	q := core.Query{
+		GroupBy: []core.GroupBy{{Dim: "Org", Level: "Division"}},
+		Grain:   core.GrainYear,
+		Mode:    core.TCM(),
+	}
+	if _, err := s.Execute(q); err != nil {
+		b.Fatal(err)
+	}
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s.SetMaterializeWorkers(workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := s.Execute(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) == 0 {
+					b.Fatal("empty result")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMartExtraction measures Figure-1 data-mart extraction.
 func BenchmarkMartExtraction(b *testing.B) {
 	w := workload.MustGenerate(sweepConfigs[1])

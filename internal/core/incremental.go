@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Delta describes what one accepted mutation batch changed between a
@@ -71,12 +73,16 @@ type WarmResult struct {
 // would run after the base facts, so retained tables are bit-identical
 // to full rematerialization (see TestIncrementalMatchesColdRebuild).
 // Published base tables are never mutated: folding happens on
-// copy-on-write clones, so in-flight queries on base keep their
-// consistent snapshots.
+// copy-on-write clones that share the base's storage shards wholesale
+// and privatize only the shards the delta lands in, so a swap costs
+// O(shards touched), not O(warehouse), and in-flight queries on base
+// keep their consistent snapshots. Retained modes fold their deltas
+// concurrently — each mode's fold is independent and deterministic, so
+// the parallelism cannot change a single bit of any table.
 //
 // Retained modes do not count as Materializations; they count as
 // DeltaApplies when a fact delta was folded. A ctx cancellation
-// mid-fold simply evicts the remaining modes — the swap must not fail
+// mid-fold simply evicts the affected modes — the swap must not fail
 // because warming was abandoned.
 func (s *Schema) WarmFrom(ctx context.Context, base *Schema, d Delta) WarmResult {
 	var res WarmResult
@@ -126,36 +132,86 @@ func (s *Schema) WarmFrom(ctx context.Context, base *Schema, d Delta) WarmResult
 		baseSVs[sv.ID] = sv
 	}
 
-	var graph *mappingGraph // built lazily, shared by all retained version modes
-	warm := make(map[string]*MappedTable, len(tables))
+	type job struct {
+		key  string
+		src  *MappedTable
+		mode Mode
+	}
+	var jobs []job
 	for _, t := range tables {
 		mode, ok := dstModes[t.key]
 		if !ok || !s.retains(base, baseSVs, mode, d) || ctx.Err() != nil {
 			res.Evicted = append(res.Evicted, t.key)
 			continue
 		}
-		out := t.table.cloneForWarm(mode, s.alg, s.measures)
-		if len(d.NewFacts) > 0 {
-			if mode.Kind == TCMKind {
-				if err := s.foldTCM(ctx, out, d.NewFacts); err != nil {
-					res.Evicted = append(res.Evicted, t.key)
-					continue
-				}
-			} else {
-				if graph == nil {
-					graph = newMappingGraph(s.mappings, len(s.measures), s.alg)
-				}
-				p := s.mapShard(ctx, graph, s.versionLeafSets(mode.Version), d.NewFacts)
-				if ctx.Err() != nil {
-					res.Evicted = append(res.Evicted, t.key)
-					continue
-				}
-				s.mergePartials(out, []*partialShard{p})
+		jobs = append(jobs, job{t.key, t.table, mode})
+	}
+
+	// Most version-mode tables carry their materialization context
+	// (mapping graph + leaf sets) from the build that produced them;
+	// one shared graph covers any that do not (e.g. snapshot imports).
+	var sharedGraph *mappingGraph
+	if len(d.NewFacts) > 0 {
+		for _, j := range jobs {
+			if j.mode.Kind == VersionKind && j.src.graph == nil {
+				sharedGraph = newMappingGraph(s.mappings, len(s.measures), s.alg)
+				break
 			}
+		}
+	}
+
+	// Clone and fold every retained mode concurrently. Each mode's fold
+	// is independent (private clone, read-only shared graph) and
+	// deterministic, so results are assembled in sorted key order
+	// regardless of completion order.
+	folded := make([]*MappedTable, len(jobs))
+	workers := min(len(jobs), runtime.GOMAXPROCS(0))
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			j := jobs[i]
+			out := j.src.cloneForWarm(j.mode, s.alg, s.measures)
+			if len(d.NewFacts) > 0 {
+				if j.mode.Kind == TCMKind {
+					if err := s.foldTCM(ctx, out, d.NewFacts); err != nil {
+						return // folded[i] stays nil: evicted
+					}
+				} else {
+					if out.graph == nil {
+						out.graph = sharedGraph
+					}
+					if out.leafIn == nil {
+						out.leafIn = s.versionLeafSets(j.mode.Version)
+					}
+					if err := s.mapInto(ctx, out, out.graph, out.leafIn, d.NewFacts); err != nil {
+						return
+					}
+				}
+			}
+			folded[i] = out
+		}(i)
+	}
+	wg.Wait()
+
+	warm := make(map[string]*MappedTable, len(jobs))
+	for i, j := range jobs {
+		if folded[i] == nil {
+			res.Evicted = append(res.Evicted, j.key)
+			continue
+		}
+		warm[j.key] = folded[i]
+		res.Retained = append(res.Retained, j.key)
+		if len(d.NewFacts) > 0 {
 			res.DeltaApplied++
 		}
-		warm[t.key] = out
-		res.Retained = append(res.Retained, t.key)
 	}
 
 	if len(warm) > 0 {
@@ -206,27 +262,37 @@ func (s *Schema) retains(base *Schema, baseSVs map[string]*StructureVersion, mod
 
 // cloneForWarm returns a copy-on-write clone of a published mapped
 // table, rebound to the new schema's mode, algebra and measures, ready
-// to absorb a fact delta: tuples and the key index are shared, merges
-// privatize per tuple (see MappedTable.add).
+// to absorb a fact delta. The clone copies one header per storage
+// shard — never the tuples — and takes a fresh epoch, so every
+// inherited shard is shared until a merge or append actually writes
+// into it (see MappedTable.writableShard). The materialization context
+// (mapping graph, leaf sets) rides along: warm retention guarantees
+// the mapping set and structural signature are unchanged, so the next
+// delta fold reuses both instead of rebuilding O(structure) state.
 func (mt *MappedTable) cloneForWarm(m Mode, alg ConfidenceAlgebra, measures []Measure) *MappedTable {
 	out := &MappedTable{
 		Mode:     m,
-		facts:    make([]*MappedFact, len(mt.facts)),
-		cowBase:  len(mt.facts),
+		shards:   append([]*factShard(nil), mt.shards...),
+		n:        mt.n,
+		epoch:    shardEpochCounter.Add(1),
+		nd:       mt.nd,
+		nm:       mt.nm,
 		Dropped:  mt.Dropped,
 		alg:      alg,
 		measures: measures,
 		hasAvg:   mt.hasAvg,
+		graph:    mt.graph,
+		leafIn:   mt.leafIn,
 	}
-	copy(out.facts, mt.facts)
+	metShardsShared.Add(int64(len(mt.shards)))
 	switch {
 	case mt.base == nil:
 		// Published tables are never mutated again, so the source's
 		// full index can be shared as the frozen base layer.
 		out.base = mt.index
-		out.baseLen = len(mt.facts)
+		out.baseLen = mt.n
 		out.index = make(map[string]int)
-	case len(mt.index)*flattenThreshold > len(mt.facts):
+	case len(mt.index)*flattenThreshold > mt.n:
 		merged := make(map[string]int, len(mt.base)+len(mt.index))
 		for k, v := range mt.base {
 			if v < mt.baseLen {
@@ -237,7 +303,7 @@ func (mt *MappedTable) cloneForWarm(m Mode, alg ConfidenceAlgebra, measures []Me
 			merged[k] = v
 		}
 		out.base = merged
-		out.baseLen = len(mt.facts)
+		out.baseLen = mt.n
 		out.index = make(map[string]int)
 	default:
 		out.base = mt.base

@@ -37,4 +37,10 @@ var (
 	metModesEvicted = obs.Default().Counter(
 		"mvolap_mvft_modes_evicted_total",
 		"Cached MVFT modes dropped across a schema clone-swap because their structure or mappings changed.")
+	metShardsShared = obs.Default().Counter(
+		"mvolap_mvft_shards_shared_total",
+		"MappedTable storage shards shared wholesale (header copy only) by warm copy-on-write clones.")
+	metShardsPrivatized = obs.Default().Counter(
+		"mvolap_mvft_shards_privatized_total",
+		"Shared MappedTable storage shards deep-copied because a delta fold wrote into them.")
 )

@@ -17,6 +17,9 @@ import (
 // for a particular temporal mode of presentation: coordinates valid in
 // that mode, the (possibly mapped) measure values, and one confidence
 // factor per value.
+//
+// Storage is columnar (see factShard); a MappedFact is a read-only view
+// whose slices alias the shard columns. Callers must not mutate it.
 type MappedFact struct {
 	Coords Coords
 	Time   temporal.Instant
@@ -32,28 +35,68 @@ type MappedFact struct {
 	avgN []int32
 }
 
+// MappedShardSize is the number of tuples per storage shard of a
+// MappedTable. Every shard except the last is exactly full, so tuple i
+// lives in shard i/MappedShardSize at offset i%MappedShardSize. The
+// size trades swap granularity (a delta privatizes whole shards)
+// against sharing granularity (a warm clone copies one header per
+// shard): at 4096 tuples a 100k-fact mode is ~25 headers per swap.
+const MappedShardSize = 4096
+
+const (
+	shardShift = 12 // log2(MappedShardSize)
+	shardMask  = MappedShardSize - 1
+)
+
+// shardEpochCounter issues table ownership epochs. Epoch 0 is reserved
+// for frozen shards no table owns (e.g. adopted from a snapshot), so a
+// table always privatizes them before writing.
+var shardEpochCounter atomic.Uint64
+
+// factShard is one fixed-size block of mapped tuples in struct-of-
+// arrays layout: parallel columns instead of per-tuple structs, so
+// aggregation scans are cache-dense and a warm clone shares untouched
+// shards wholesale. A shard is writable only by the table whose epoch
+// it carries; every other table copy-on-writes it first (privatize).
+type factShard struct {
+	epoch uint64
+	n     int
+	// coords holds n*nd member version IDs, times n instants, values
+	// and cfs n*nm entries each, sources n counts, and avgN n*nm Avg
+	// contribution counts (nil unless the schema has an Avg measure).
+	coords  []MVID
+	times   []temporal.Instant
+	values  []float64
+	cfs     []Confidence
+	sources []int32
+	avgN    []int32
+}
+
 // MappedTable is the restriction of the MultiVersion Fact Table to one
 // temporal mode: f'(·, ·, tmp).
 //
 // A table is single-writer while it is built and read-only once
 // published. Incremental maintenance (Schema.WarmFrom) never mutates a
-// published table: it takes a copy-on-write clone — shared tuples and a
+// published table: it takes a copy-on-write clone — shared shards and a
 // shared frozen index layer — and folds the fact delta into the clone,
-// privatizing only the tuples the delta merges into.
+// privatizing only the shards the delta lands in (per-shard epochs; a
+// shard whose epoch differs from the table's is copied before the
+// first write into it).
 type MappedTable struct {
-	Mode  Mode
-	facts []*MappedFact
+	Mode   Mode
+	shards []*factShard
+	// n is the total tuple count; epoch is this table's shard-ownership
+	// epoch (a shard with a different epoch is shared and frozen).
+	n     int
+	epoch uint64
+	// nd and nm are the coordinate and measure widths of every tuple.
+	nd, nm int
 	// index holds keys owned by this table; base is the frozen index
 	// layer shared with the warm-clone source (nil for a cold build)
 	// and only covers the first baseLen tuples.
 	index   map[string]int
 	base    map[string]int
 	baseLen int
-	// facts[:cowBase] are shared with the clone source and must be
-	// privatized before a merge folds into them; owned marks positions
-	// already privatized.
-	cowBase int
-	owned   map[int]bool
 	// Dropped counts source facts that could not be presented in this
 	// mode at all: no chain of mapping relationships reaches any member
 	// version of the target structure version ("impossible cross-points"
@@ -65,11 +108,28 @@ type MappedTable struct {
 	hasAvg   bool
 	// keyBuf is scratch for building index keys during materialization.
 	keyBuf []byte
+
+	// graph and leafIn cache the materialization context of a version
+	// mode (the mapping-relationship graph snapshot and per-dimension
+	// acceptable leaf sets). Warm retention guarantees both are still
+	// valid on the retained clone — same mapping set, same structural
+	// signature — so delta folds reuse them instead of rebuilding
+	// O(structure) state per swap.
+	graph  *mappingGraph
+	leafIn []map[MVID]bool
+
+	// view caches the row-oriented compatibility view built by Facts().
+	// Built lazily after the table is published; a table under
+	// construction must not be viewed.
+	view atomic.Pointer[[]*MappedFact]
 }
 
-func newMappedTable(m Mode, alg ConfidenceAlgebra, measures []Measure, capacity int) *MappedTable {
+func newMappedTable(m Mode, alg ConfidenceAlgebra, measures []Measure, nd, capacity int) *MappedTable {
 	mt := &MappedTable{
 		Mode:     m,
+		epoch:    shardEpochCounter.Add(1),
+		nd:       nd,
+		nm:       len(measures),
 		index:    make(map[string]int, capacity),
 		alg:      alg,
 		measures: measures,
@@ -83,18 +143,61 @@ func newMappedTable(m Mode, alg ConfidenceAlgebra, measures []Measure, capacity 
 	return mt
 }
 
-// Facts returns the mapped facts in deterministic order. The slice is
-// shared; callers must not mutate it.
-func (mt *MappedTable) Facts() []*MappedFact { return mt.facts }
-
 // Len reports the number of mapped tuples.
-func (mt *MappedTable) Len() int { return len(mt.facts) }
+func (mt *MappedTable) Len() int { return mt.n }
+
+// NumShards reports the number of storage shards backing the table.
+func (mt *MappedTable) NumShards() int { return len(mt.shards) }
+
+// Facts returns the mapped facts in deterministic order as read-only
+// views over the columnar shards. The view is built once per published
+// table and cached; callers must not mutate it. Hot paths (query
+// aggregation, export) iterate the shards directly instead.
+func (mt *MappedTable) Facts() []*MappedFact {
+	if v := mt.view.Load(); v != nil {
+		return *v
+	}
+	arena := make([]MappedFact, mt.n)
+	out := make([]*MappedFact, mt.n)
+	i := 0
+	for _, sh := range mt.shards {
+		for j := 0; j < sh.n; j++ {
+			mt.fillView(&arena[i], sh, j)
+			out[i] = &arena[i]
+			i++
+		}
+	}
+	mt.view.Store(&out)
+	return out
+}
+
+// fillView points one row view at tuple j of a shard.
+func (mt *MappedTable) fillView(f *MappedFact, sh *factShard, j int) {
+	nd, nm := mt.nd, mt.nm
+	f.Coords = Coords(sh.coords[j*nd : (j+1)*nd : (j+1)*nd])
+	f.Time = sh.times[j]
+	f.Values = sh.values[j*nm : (j+1)*nm : (j+1)*nm]
+	f.CFs = sh.cfs[j*nm : (j+1)*nm : (j+1)*nm]
+	f.Sources = int(sh.sources[j])
+	if sh.avgN != nil {
+		f.avgN = sh.avgN[j*nm : (j+1)*nm : (j+1)*nm]
+	}
+}
+
+// shardAt returns the shard and in-shard offset of global tuple i.
+func (mt *MappedTable) shardAt(i int) (*factShard, int) {
+	return mt.shards[i>>shardShift], i & shardMask
+}
 
 // lookupKey probes the owned index layer, then the shared base layer
-// inherited from a warm clone.
+// inherited from a warm clone. The owned layer is skipped entirely
+// while empty — the common state of a fresh warm clone, whose merge
+// folds would otherwise pay a dead map probe per delta tuple.
 func (mt *MappedTable) lookupKey(key []byte) (int, bool) {
-	if i, ok := mt.index[string(key)]; ok {
-		return i, true
+	if len(mt.index) != 0 {
+		if i, ok := mt.index[string(key)]; ok {
+			return i, true
+		}
 	}
 	if mt.base != nil {
 		if i, ok := mt.base[string(key)]; ok && i < mt.baseLen {
@@ -104,8 +207,9 @@ func (mt *MappedTable) lookupKey(key []byte) (int, bool) {
 	return 0, false
 }
 
-// Lookup returns the mapped tuple at the given coordinates and time.
-// It is safe for concurrent use once the table is materialized.
+// Lookup returns the mapped tuple at the given coordinates and time as
+// a read-only view. It is safe for concurrent use once the table is
+// materialized.
 func (mt *MappedTable) Lookup(coords Coords, t temporal.Instant) (*MappedFact, bool) {
 	var scratch [64]byte
 	key := appendFactKey(scratch[:0], coords, t)
@@ -113,66 +217,99 @@ func (mt *MappedTable) Lookup(coords Coords, t temporal.Instant) (*MappedFact, b
 	if !ok {
 		return nil, false
 	}
-	return mt.facts[i], true
+	f := &MappedFact{}
+	sh, j := mt.shardAt(i)
+	mt.fillView(f, sh, j)
+	return f, true
 }
 
-// clone returns a private copy of the mapped fact for copy-on-write
-// folding: values, confidences and Avg counts are copied (they mutate
-// under merges), coordinates and time stay shared (they never do).
-func (f *MappedFact) clone() *MappedFact {
-	out := &MappedFact{
-		Coords:  f.Coords,
-		Time:    f.Time,
-		Values:  append([]float64(nil), f.Values...),
-		CFs:     append([]Confidence(nil), f.CFs...),
-		Sources: f.Sources,
+// writableShard returns shard si, privatizing it first when it is
+// shared with (or frozen by) another table.
+func (mt *MappedTable) writableShard(si int) *factShard {
+	sh := mt.shards[si]
+	if sh.epoch != mt.epoch {
+		sh = mt.privatize(si)
 	}
-	if f.avgN != nil {
-		out.avgN = append([]int32(nil), f.avgN...)
-	}
-	return out
+	return sh
 }
 
-// add folds one emitted tuple into the table. It takes ownership of
-// coords, values and cfs — callers pass slices the table may retain and
-// mutate (the materialization arenas), never shared buffers.
+// privatize deep-copies shard si so this table owns it. This is the
+// whole copy-on-write cost of a delta landing in a shared shard:
+// O(MappedShardSize) once per (table, shard), never per tuple.
+func (mt *MappedTable) privatize(si int) *factShard {
+	src := mt.shards[si]
+	cp := &factShard{
+		epoch:   mt.epoch,
+		n:       src.n,
+		coords:  append([]MVID(nil), src.coords...),
+		times:   append([]temporal.Instant(nil), src.times...),
+		values:  append([]float64(nil), src.values...),
+		cfs:     append([]Confidence(nil), src.cfs...),
+		sources: append([]int32(nil), src.sources...),
+	}
+	if src.avgN != nil {
+		cp.avgN = append([]int32(nil), src.avgN...)
+	}
+	mt.shards[si] = cp
+	metShardsPrivatized.Inc()
+	return cp
+}
+
+// tailShard returns the shard the next appended tuple lands in,
+// opening a fresh one when the tail is full and privatizing a shared
+// partial tail first.
+func (mt *MappedTable) tailShard() *factShard {
+	if len(mt.shards) == 0 || mt.shards[len(mt.shards)-1].n == MappedShardSize {
+		sh := &factShard{epoch: mt.epoch}
+		mt.shards = append(mt.shards, sh)
+		return sh
+	}
+	return mt.writableShard(len(mt.shards) - 1)
+}
+
+// add folds one emitted tuple into the table. Values, confidences and
+// coordinates are copied into the columnar shards; callers keep
+// ownership of the passed slices.
 func (mt *MappedTable) add(coords Coords, t temporal.Instant, values []float64, cfs []Confidence) {
 	mt.keyBuf = appendFactKey(mt.keyBuf[:0], coords, t)
+	nm := mt.nm
 	if i, ok := mt.lookupKey(mt.keyBuf); ok {
 		// A merge: several source tuples present themselves on the same
 		// target coordinates. Fold values with the measure aggregate ⊕
 		// and confidences with ⊗cf (Definition 12).
-		f := mt.facts[i]
-		if i < mt.cowBase && !mt.owned[i] {
-			f = f.clone()
-			mt.facts[i] = f
-			if mt.owned == nil {
-				mt.owned = make(map[int]bool)
-			}
-			mt.owned[i] = true
-		}
-		for k := range f.Values {
+		sh := mt.writableShard(i >> shardShift)
+		j := i & shardMask
+		vals := sh.values[j*nm : (j+1)*nm]
+		cfd := sh.cfs[j*nm : (j+1)*nm]
+		for k := range vals {
 			if mt.measures[k].Agg == Avg {
-				f.Values[k], f.avgN[k] = foldAvg(f.Values[k], f.avgN[k], values[k])
+				vals[k], sh.avgN[j*nm+k] = foldAvg(vals[k], sh.avgN[j*nm+k], values[k])
 			} else {
-				f.Values[k] = foldPair(mt.measures[k].Agg, f.Values[k], values[k])
+				vals[k] = foldPair(mt.measures[k].Agg, vals[k], values[k])
 			}
-			f.CFs[k] = mt.alg.Combine(f.CFs[k], cfs[k])
+			cfd[k] = mt.alg.Combine(cfd[k], cfs[k])
 		}
-		f.Sources++
+		sh.sources[j]++
 		return
 	}
-	f := &MappedFact{Coords: coords, Time: t, Values: values, CFs: cfs, Sources: 1}
+	sh := mt.tailShard()
+	sh.coords = append(sh.coords, coords...)
+	sh.times = append(sh.times, t)
+	sh.values = append(sh.values, values...)
+	sh.cfs = append(sh.cfs, cfs...)
+	sh.sources = append(sh.sources, 1)
 	if mt.hasAvg {
-		f.avgN = make([]int32, len(values))
-		for k, v := range values {
+		for _, v := range values {
+			var c int32
 			if !math.IsNaN(v) {
-				f.avgN[k] = 1
+				c = 1
 			}
+			sh.avgN = append(sh.avgN, c)
 		}
 	}
-	mt.index[string(mt.keyBuf)] = len(mt.facts)
-	mt.facts = append(mt.facts, f)
+	sh.n++
+	mt.index[string(mt.keyBuf)] = mt.n
+	mt.n++
 }
 
 // foldPair folds two values under an aggregate kind, with NaN treated as
@@ -517,8 +654,6 @@ func (s *Schema) mapShard(ctx context.Context, graph *mappingGraph, leafIn []map
 // within a shard in fact order, through MappedTable.add — exactly the
 // add sequence the sequential path would have run, so merges fold in
 // the same order and the result is bit-identical for any worker count.
-// The mapped facts alias the shard arenas (capped sub-slices), which
-// the table then owns.
 func (s *Schema) mergePartials(out *MappedTable, partials []*partialShard) {
 	nd, nm := len(s.dims), len(s.measures)
 	for _, p := range partials {
@@ -537,11 +672,51 @@ func (s *Schema) mergePartials(out *MappedTable, partials []*partialShard) {
 	}
 }
 
+// mapInto resolves facts through the mapping graph and folds them into
+// out: the expensive resolution/mapping phase shards across
+// materializeWorkers goroutines, the cheap fold replays the shards
+// deterministically (see mergePartials). Shared by cold
+// materialization (all facts) and warm delta application (the appended
+// suffix) — the add sequence, and with it every floating-point bit, is
+// identical either way.
+func (s *Schema) mapInto(ctx context.Context, out *MappedTable, graph *mappingGraph, leafIn []map[MVID]bool, facts []*Fact) error {
+	workers := s.materializeWorkers(len(facts))
+	if workers <= 1 {
+		p := s.mapShard(ctx, graph, leafIn, facts)
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: materialization cancelled: %w", err)
+		}
+		s.mergePartials(out, []*partialShard{p})
+		return nil
+	}
+	partials := make([]*partialShard, workers)
+	chunk := (len(facts) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(facts))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			partials[w] = s.mapShard(ctx, graph, leafIn, facts[lo:hi])
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: materialization cancelled: %w", err)
+	}
+	s.mergePartials(out, partials)
+	return nil
+}
+
 // foldTCM folds facts into a tcm table in fact order: source values
-// copied into flat arenas (mapped facts own their values), confidences
-// the zero value SourceData. Shared by cold materialization (all facts)
-// and delta application (the appended suffix) — the add sequence, and
-// therefore every bit of the result, is identical either way.
+// copied into flat arenas, confidences the zero value SourceData.
+// Shared by cold materialization (all facts) and delta application
+// (the appended suffix) — the add sequence, and therefore every bit of
+// the result, is identical either way.
 func (s *Schema) foldTCM(ctx context.Context, out *MappedTable, facts []*Fact) error {
 	nm := len(s.measures)
 	values := make([]float64, 0, len(facts)*nm)
@@ -589,7 +764,8 @@ func (s *Schema) versionLeafSets(sv *StructureVersion) []map[MVID]bool {
 // Resolution and mapping — the expensive phase — is sharded across
 // materializeWorkers goroutines over a shared read-only mapping-graph
 // snapshot; the cheap fold phase replays the shards deterministically
-// (see mergePartials).
+// (see mapInto). The graph and leaf sets are cached on the table so
+// warm delta folds after a clone-swap reuse them.
 func (s *Schema) mapFacts(ctx context.Context, m Mode) (*MappedTable, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: materialization cancelled: %w", err)
@@ -597,7 +773,7 @@ func (s *Schema) mapFacts(ctx context.Context, m Mode) (*MappedTable, error) {
 	facts := s.facts.Facts()
 	switch m.Kind {
 	case TCMKind:
-		out := newMappedTable(m, s.alg, s.measures, len(facts))
+		out := newMappedTable(m, s.alg, s.measures, len(s.dims), len(facts))
 		if err := s.foldTCM(ctx, out, facts); err != nil {
 			return nil, err
 		}
@@ -611,38 +787,11 @@ func (s *Schema) mapFacts(ctx context.Context, m Mode) (*MappedTable, error) {
 	}
 
 	sv := m.Version
-	graph := newMappingGraph(s.mappings, len(s.measures), s.alg)
-	leafIn := s.versionLeafSets(sv)
-
-	out := newMappedTable(m, s.alg, s.measures, len(facts))
-	workers := s.materializeWorkers(len(facts))
-	if workers <= 1 {
-		p := s.mapShard(ctx, graph, leafIn, facts)
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("core: materialization cancelled: %w", err)
-		}
-		s.mergePartials(out, []*partialShard{p})
-		return out, nil
+	out := newMappedTable(m, s.alg, s.measures, len(s.dims), len(facts))
+	out.graph = newMappingGraph(s.mappings, len(s.measures), s.alg)
+	out.leafIn = s.versionLeafSets(sv)
+	if err := s.mapInto(ctx, out, out.graph, out.leafIn, facts); err != nil {
+		return nil, err
 	}
-	partials := make([]*partialShard, workers)
-	chunk := (len(facts) + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, len(facts))
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			partials[w] = s.mapShard(ctx, graph, leafIn, facts[lo:hi])
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("core: materialization cancelled: %w", err)
-	}
-	s.mergePartials(out, partials)
 	return out, nil
 }

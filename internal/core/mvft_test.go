@@ -493,8 +493,9 @@ func sameMappedTable(a, b *MappedTable) string {
 	if a.Dropped != b.Dropped {
 		return "dropped differs"
 	}
-	for i := range a.facts {
-		fa, fb := a.facts[i], b.facts[i]
+	af, bf := a.Facts(), b.Facts()
+	for i := range af {
+		fa, fb := af[i], bf[i]
 		if !fa.Coords.Equal(fb.Coords) || fa.Time != fb.Time || fa.Sources != fb.Sources {
 			return "tuple identity differs"
 		}

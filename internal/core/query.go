@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"mvolap/internal/obs"
 	"mvolap/internal/temporal"
@@ -223,6 +224,136 @@ func (s *Schema) executeOn(ctx context.Context, mt *MappedTable, q Query) (*Resu
 		dices = append(dices, dice{dimPos: pos, names: names})
 	}
 
+	// The scan splits into two phases. Classification — range and dice
+	// filters, rollup to the grouping levels, building each (tuple,
+	// combination) cell key — is the expensive part and carries no
+	// cross-tuple state, so it fans out across contiguous tuple ranges
+	// of the columnar shards, one rollup cache per worker. The fold —
+	// Accumulator.Add and ⊗cf per emission — is cheap but
+	// order-dependent (float Sum is not associative), so it replays the
+	// emissions sequentially in global tuple order: the exact add
+	// sequence of a sequential scan, bit-identical for any worker count.
+	type cellEmit struct {
+		tuple     int
+		timeKey   string
+		timeOrder int64
+		key       string
+		groups    []string
+		groupIDs  []MVID
+	}
+	classify := func(ctx context.Context, lo, hi int, lookup *rollupCache) ([]cellEmit, error) {
+		var out []cellEmit
+		perAxis := make([][]*MemberVersion, len(axes))
+		combo := make([]int, len(axes))
+		nd := mt.nd
+		for fi := lo; fi < hi; fi++ {
+			if (fi-lo)%cancelCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("core: query cancelled: %w", err)
+				}
+			}
+			sh, j := mt.shardAt(fi)
+			t := sh.times[j]
+			if !rng.Contains(t) {
+				continue
+			}
+			coords := sh.coords[j*nd : (j+1)*nd]
+			timeKey, timeOrder := bucketOf(q.Grain, t)
+			pass := true
+			for _, dc := range dices {
+				if !lookup.underAnyNamed(dc.dimPos, coords[dc.dimPos], dc.names, t) {
+					pass = false
+					break
+				}
+			}
+			if !pass {
+				continue
+			}
+			// Each axis may roll the fact up to several members (multiple
+			// hierarchies); a fact contributes to every combination.
+			skip := false
+			for ai, ax := range axes {
+				ups := lookup.ancestorsAtLevel(ax.dimPos, coords[ax.dimPos], ax.level, t)
+				if len(ups) == 0 {
+					skip = true // non-covering hierarchy: no ancestor at the level
+					break
+				}
+				perAxis[ai] = ups
+			}
+			if skip {
+				continue
+			}
+			for i := range combo {
+				combo[i] = 0
+			}
+			for {
+				groups := make([]string, len(axes))
+				groupIDs := make([]MVID, len(axes))
+				for ai := range axes {
+					mv := perAxis[ai][combo[ai]]
+					groups[ai] = mv.DisplayName()
+					groupIDs[ai] = mv.ID
+				}
+				out = append(out, cellEmit{
+					tuple:     fi,
+					timeKey:   timeKey,
+					timeOrder: timeOrder,
+					key:       timeKey + "\x1e" + strings.Join(groups, "\x1f"),
+					groups:    groups,
+					groupIDs:  groupIDs,
+				})
+				// Advance the combination counter.
+				i := 0
+				for ; i < len(combo); i++ {
+					combo[i]++
+					if combo[i] < len(perAxis[i]) {
+						break
+					}
+					combo[i] = 0
+				}
+				if i == len(combo) {
+					break
+				}
+			}
+		}
+		return out, nil
+	}
+
+	workers := s.materializeWorkers(mt.Len())
+	var emitChunks [][]cellEmit
+	if workers <= 1 {
+		emits, err := classify(ctx, 0, mt.Len(), lookup)
+		if err != nil {
+			metQueryCancelled.Inc()
+			return nil, err
+		}
+		emitChunks = [][]cellEmit{emits}
+	} else {
+		emitChunks = make([][]cellEmit, workers)
+		errs := make([]error, workers)
+		chunk := (mt.Len() + workers - 1) / workers
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := min(lo+chunk, mt.Len())
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				emitChunks[w], errs[w] = classify(ctx, lo, hi, newRollupCache(s, q.Mode))
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				metQueryCancelled.Inc()
+				return nil, err
+			}
+		}
+	}
+
 	type cellState struct {
 		row  *Row
 		accs []*Accumulator
@@ -230,68 +361,19 @@ func (s *Schema) executeOn(ctx context.Context, mt *MappedTable, q Query) (*Resu
 	}
 	cells := make(map[string]*cellState)
 	var order []string
-
-	// Scratch reused across facts; only per-row slices are allocated
-	// fresh (they escape into the result).
-	perAxis := make([][]*MemberVersion, len(axes))
-	combo := make([]int, len(axes))
-
-	for fi, f := range mt.Facts() {
-		if fi%cancelCheckStride == 0 {
-			if err := ctx.Err(); err != nil {
-				metQueryCancelled.Inc()
-				return nil, fmt.Errorf("core: query cancelled: %w", err)
-			}
-		}
-		if !rng.Contains(f.Time) {
-			continue
-		}
-		timeKey, timeOrder := bucketOf(q.Grain, f.Time)
-		pass := true
-		for _, dc := range dices {
-			if !lookup.underAnyNamed(dc.dimPos, f.Coords[dc.dimPos], dc.names, f.Time) {
-				pass = false
-				break
-			}
-		}
-		if !pass {
-			continue
-		}
-		// Each axis may roll the fact up to several members (multiple
-		// hierarchies); a fact contributes to every combination.
-		skip := false
-		for ai, ax := range axes {
-			ups := lookup.ancestorsAtLevel(ax.dimPos, f.Coords[ax.dimPos], ax.level, f.Time)
-			if len(ups) == 0 {
-				skip = true // non-covering hierarchy: no ancestor at the level
-				break
-			}
-			perAxis[ai] = ups
-		}
-		if skip {
-			continue
-		}
-		for i := range combo {
-			combo[i] = 0
-		}
-		for {
-			groups := make([]string, len(axes))
-			groupIDs := make([]MVID, len(axes))
-			for ai := range axes {
-				mv := perAxis[ai][combo[ai]]
-				groups[ai] = mv.DisplayName()
-				groupIDs[ai] = mv.ID
-			}
-			key := timeKey + "\x1e" + strings.Join(groups, "\x1f")
-			st, ok := cells[key]
+	nm := mt.nm
+	for _, emits := range emitChunks {
+		for i := range emits {
+			e := &emits[i]
+			st, ok := cells[e.key]
 			if !ok {
 				st = &cellState{
 					row: &Row{
-						TimeKey:   timeKey,
-						Groups:    groups,
-						GroupIDs:  groupIDs,
+						TimeKey:   e.timeKey,
+						Groups:    e.groups,
+						GroupIDs:  e.groupIDs,
 						CFs:       make([]Confidence, len(mIdx)),
-						timeOrder: timeOrder,
+						timeOrder: e.timeOrder,
 					},
 					accs: make([]*Accumulator, len(mIdx)),
 					seen: make([]bool, len(mIdx)),
@@ -299,35 +381,24 @@ func (s *Schema) executeOn(ctx context.Context, mt *MappedTable, q Query) (*Resu
 				for k, mi := range mIdx {
 					st.accs[k] = NewAccumulator(s.measures[mi].Agg)
 				}
-				cells[key] = st
-				order = append(order, key)
+				cells[e.key] = st
+				order = append(order, e.key)
 			}
+			sh, j := mt.shardAt(e.tuple)
 			for k, mi := range mIdx {
-				st.accs[k].Add(f.Values[mi])
+				st.accs[k].Add(sh.values[j*nm+mi])
 				if !st.seen[k] {
-					st.row.CFs[k] = f.CFs[mi]
+					st.row.CFs[k] = sh.cfs[j*nm+mi]
 					st.seen[k] = true
 				} else {
-					st.row.CFs[k] = s.alg.Combine(st.row.CFs[k], f.CFs[mi])
+					st.row.CFs[k] = s.alg.Combine(st.row.CFs[k], sh.cfs[j*nm+mi])
 				}
 			}
 			st.row.N++
-			// Advance the combination counter.
-			i := 0
-			for ; i < len(combo); i++ {
-				combo[i]++
-				if combo[i] < len(perAxis[i]) {
-					break
-				}
-				combo[i] = 0
-			}
-			if i == len(combo) {
-				break
-			}
 		}
 	}
 
-	metFactsScanned.Add(int64(len(mt.Facts())))
+	metFactsScanned.Add(int64(mt.Len()))
 	res := &Result{MeasureNames: mNames, GroupNames: gNames, Mode: q.Mode, Dropped: mt.Dropped}
 	for _, key := range order {
 		st := cells[key]

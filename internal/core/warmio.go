@@ -11,30 +11,35 @@ import (
 // Warm export/import: the serving tier's snapshot envelope can carry
 // the materialized MappedTables of every cached temporal mode, so a
 // restarted process answers its first query in each mode without a
-// rematerialization. The exchange type below is a faithful, stable
-// image of one MappedTable: tuple order is preserved (it encodes the
-// fold order, and with it every floating-point bit), values travel as
-// Float64bits (NaN payloads survive), and the Avg contribution counts,
-// Sources and Dropped ride along so a restored table keeps folding
-// deltas exactly like the table it was exported from.
+// rematerialization. The exchange types below are a faithful, stable
+// image of one MappedTable in its native columnar shard layout: tuple
+// order is preserved (it encodes the fold order, and with it every
+// floating-point bit), values travel as Float64bits (NaN payloads
+// survive), and the Avg contribution counts, Sources and Dropped ride
+// along so a restored table keeps folding deltas exactly like the
+// table it was exported from.
 
-// MappedFactExport is the serializable image of one MappedFact.
-type MappedFactExport struct {
-	Coords Coords
-	Time   temporal.Instant
+// MappedShardExport is the serializable image of one storage shard:
+// N tuples in struct-of-arrays layout. Coords holds N×NumDims member
+// version IDs, Values and CFs N×NumMeasures entries, Times and Sources
+// N entries, and AvgN N×NumMeasures counts iff the table has an Avg
+// measure.
+type MappedShardExport struct {
+	N      int
+	Coords []MVID
+	Times  []temporal.Instant
 	// Values holds math.Float64bits of each measure value, bit-exact.
 	Values  []uint64
 	CFs     []Confidence
-	Sources int
-	// AvgN is present (len == NumMeasures) iff the schema has an Avg
-	// measure; it carries the per-measure contribution counts.
-	AvgN []int32
+	Sources []int32
+	AvgN    []int32
 }
 
 // MappedTableExport is the serializable image of one cached mode's
 // MappedTable, together with the structural identity the importing
 // schema must match (the same ID + interval + signature rule that
-// governs warm retention across a clone-swap).
+// governs warm retention across a clone-swap). Every shard except the
+// last holds exactly MappedShardSize tuples.
 type MappedTableExport struct {
 	// ModeKey is Mode.String(): "tcm" or a structure version ID.
 	ModeKey string
@@ -46,14 +51,17 @@ type MappedTableExport struct {
 	NumDims     int
 	NumMeasures int
 	HasAvg      bool
-	Facts       []MappedFactExport
+	NumFacts    int
+	Shards      []MappedShardExport
 }
 
 // ExportWarmModes exports every completed, successfully materialized
 // mode of the schema's MVFT cache, sorted by mode key. It never
 // triggers a materialization: a cold cache (or one with only failed or
-// in-flight builds) exports nothing. The export shares no mutable
-// state with the live tables.
+// in-flight builds) exports nothing. The export aliases the immutable
+// shard columns of the published tables (values are re-encoded as
+// bits); importing such an export adopts the shards frozen, so neither
+// side can ever write through the shared arrays.
 func (s *Schema) ExportWarmModes() []*MappedTableExport {
 	s.mu.Lock()
 	mv := s.mvftCache
@@ -87,7 +95,8 @@ func (s *Schema) ExportWarmModes() []*MappedTableExport {
 			NumDims:     len(s.dims),
 			NumMeasures: len(s.measures),
 			HasAvg:      t.table.hasAvg,
-			Facts:       make([]MappedFactExport, 0, len(t.table.facts)),
+			NumFacts:    t.table.n,
+			Shards:      make([]MappedShardExport, 0, len(t.table.shards)),
 		}
 		if sv := t.table.Mode.Version; t.table.Mode.Kind == VersionKind && sv != nil {
 			exp.Valid = sv.Valid
@@ -97,21 +106,20 @@ func (s *Schema) ExportWarmModes() []*MappedTableExport {
 				exp.Signature = s.signatureAt(sv.Valid.Start)
 			}
 		}
-		for _, f := range t.table.facts {
-			fe := MappedFactExport{
-				Coords:  f.Coords,
-				Time:    f.Time,
-				Values:  make([]uint64, len(f.Values)),
-				CFs:     append([]Confidence(nil), f.CFs...),
-				Sources: f.Sources,
+		for _, sh := range t.table.shards {
+			se := MappedShardExport{
+				N:       sh.n,
+				Coords:  sh.coords,
+				Times:   sh.times,
+				Values:  make([]uint64, len(sh.values)),
+				CFs:     sh.cfs,
+				Sources: sh.sources,
+				AvgN:    sh.avgN,
 			}
-			for i, v := range f.Values {
-				fe.Values[i] = math.Float64bits(v)
+			for i, v := range sh.values {
+				se.Values[i] = math.Float64bits(v)
 			}
-			if f.avgN != nil {
-				fe.AvgN = append([]int32(nil), f.avgN...)
-			}
-			exp.Facts = append(exp.Facts, fe)
+			exp.Shards = append(exp.Shards, se)
 		}
 		out = append(out, exp)
 	}
@@ -126,8 +134,13 @@ func (s *Schema) ExportWarmModes() []*MappedTableExport {
 // the same ID), and for version modes the valid interval and the
 // structural signature must be unchanged — a snapshot taken on a
 // different structure must rebuild cold, never serve stale tuples.
-// Per-tuple shape, confidence range and duplicate-key checks guard
+// Per-shard shape, confidence range and duplicate-key checks guard
 // against on-disk corruption that slipped past the envelope CRC.
+//
+// Imported shards are adopted frozen (epoch 0, which no table ever
+// owns): the table serves reads from them directly, and the first
+// delta fold that writes into one privatizes it — so an export that
+// aliased a live table's columns can never be written through.
 func (s *Schema) ImportWarmMode(exp *MappedTableExport) error {
 	if exp.NumDims != len(s.dims) {
 		return fmt.Errorf("core: warm mode %s: %d dims, schema has %d", exp.ModeKey, exp.NumDims, len(s.dims))
@@ -166,55 +179,78 @@ func (s *Schema) ImportWarmMode(exp *MappedTableExport) error {
 		return fmt.Errorf("core: warm mode %s: hasAvg %v, schema wants %v", exp.ModeKey, exp.HasAvg, hasAvg)
 	}
 
+	nd, nm := len(s.dims), len(s.measures)
 	mt := &MappedTable{
 		Mode:     mode,
-		facts:    make([]*MappedFact, 0, len(exp.Facts)),
-		index:    make(map[string]int, len(exp.Facts)),
+		epoch:    shardEpochCounter.Add(1),
+		nd:       nd,
+		nm:       nm,
+		index:    make(map[string]int, exp.NumFacts),
 		Dropped:  exp.Dropped,
 		alg:      s.alg,
 		measures: s.measures,
 		hasAvg:   hasAvg,
 	}
 	var keyBuf []byte
-	for i, fe := range exp.Facts {
-		if len(fe.Coords) != len(s.dims) {
-			return fmt.Errorf("core: warm mode %s: tuple %d has %d coords", exp.ModeKey, i, len(fe.Coords))
+	for si := range exp.Shards {
+		se := &exp.Shards[si]
+		if se.N < 1 || se.N > MappedShardSize {
+			return fmt.Errorf("core: warm mode %s: shard %d holds %d tuples", exp.ModeKey, si, se.N)
 		}
-		if len(fe.Values) != len(s.measures) || len(fe.CFs) != len(s.measures) {
-			return fmt.Errorf("core: warm mode %s: tuple %d has %d values / %d cfs", exp.ModeKey, i, len(fe.Values), len(fe.CFs))
+		if si < len(exp.Shards)-1 && se.N != MappedShardSize {
+			return fmt.Errorf("core: warm mode %s: non-final shard %d holds %d tuples", exp.ModeKey, si, se.N)
 		}
-		for _, cf := range fe.CFs {
+		if len(se.Coords) != se.N*nd || len(se.Times) != se.N ||
+			len(se.Values) != se.N*nm || len(se.CFs) != se.N*nm || len(se.Sources) != se.N {
+			return fmt.Errorf("core: warm mode %s: shard %d column shape mismatch", exp.ModeKey, si)
+		}
+		wantAvg := 0
+		if hasAvg {
+			wantAvg = se.N * nm
+		}
+		if len(se.AvgN) != wantAvg {
+			return fmt.Errorf("core: warm mode %s: shard %d has %d avg counts, want %d", exp.ModeKey, si, len(se.AvgN), wantAvg)
+		}
+		for _, cf := range se.CFs {
 			if cf >= numConfidence {
-				return fmt.Errorf("core: warm mode %s: tuple %d has confidence %d out of range", exp.ModeKey, i, cf)
+				return fmt.Errorf("core: warm mode %s: shard %d has confidence %d out of range", exp.ModeKey, si, cf)
 			}
 		}
-		if fe.Sources < 1 {
-			return fmt.Errorf("core: warm mode %s: tuple %d has %d sources", exp.ModeKey, i, fe.Sources)
+		for _, src := range se.Sources {
+			if src < 1 {
+				return fmt.Errorf("core: warm mode %s: shard %d has %d sources", exp.ModeKey, si, src)
+			}
 		}
-		if hasAvg && len(fe.AvgN) != len(s.measures) {
-			return fmt.Errorf("core: warm mode %s: tuple %d has %d avg counts", exp.ModeKey, i, len(fe.AvgN))
+		sh := &factShard{
+			// Adopted frozen: see the doc comment above.
+			epoch:   0,
+			n:       se.N,
+			coords:  se.Coords,
+			times:   se.Times,
+			values:  make([]float64, len(se.Values)),
+			cfs:     se.CFs,
+			sources: se.Sources,
 		}
-		f := &MappedFact{
-			Coords:  fe.Coords,
-			Time:    fe.Time,
-			Values:  make([]float64, len(fe.Values)),
-			CFs:     append([]Confidence(nil), fe.CFs...),
-			Sources: fe.Sources,
-		}
-		for k, bits := range fe.Values {
-			f.Values[k] = math.Float64frombits(bits)
+		for i, bits := range se.Values {
+			sh.values[i] = math.Float64frombits(bits)
 		}
 		if hasAvg {
-			f.avgN = append([]int32(nil), fe.AvgN...)
+			sh.avgN = se.AvgN
 		}
-		// Values are already folded, so the tuples append directly (no
-		// add() merging); a duplicate key means the export is corrupt.
-		keyBuf = appendFactKey(keyBuf[:0], f.Coords, f.Time)
-		if _, dup := mt.index[string(keyBuf)]; dup {
-			return fmt.Errorf("core: warm mode %s: duplicate tuple key at %d", exp.ModeKey, i)
+		// Tuples are already folded, so they install directly (no add()
+		// merging); a duplicate key means the export is corrupt.
+		for j := 0; j < se.N; j++ {
+			keyBuf = appendFactKey(keyBuf[:0], Coords(sh.coords[j*nd:(j+1)*nd]), sh.times[j])
+			if _, dup := mt.index[string(keyBuf)]; dup {
+				return fmt.Errorf("core: warm mode %s: duplicate tuple key in shard %d at %d", exp.ModeKey, si, j)
+			}
+			mt.index[string(keyBuf)] = mt.n
+			mt.n++
 		}
-		mt.index[string(keyBuf)] = len(mt.facts)
-		mt.facts = append(mt.facts, f)
+		mt.shards = append(mt.shards, sh)
+	}
+	if mt.n != exp.NumFacts {
+		return fmt.Errorf("core: warm mode %s: %d tuples across shards, header says %d", exp.ModeKey, mt.n, exp.NumFacts)
 	}
 
 	mv := s.MultiVersion()

@@ -11,27 +11,42 @@ import (
 // Mapped-table codec: the binary serialization of one cached MVFT
 // mode, embedded (CRC-checked) in the store's snapshot envelope for
 // warm restarts. The format is deterministic — same table, same bytes
-// — which is what lets CI diff two snapshots of the same state:
+// — which is what lets CI diff two snapshots of the same state.
 //
-//	magic "MVMT01"
+// Format 2 (current) mirrors the engine's columnar shard layout:
+// after the header, each field travels as one contiguous column over
+// all tuples, so encoding streams straight out of the shard arrays and
+// decoding re-chunks into shards without ever materializing rows:
+//
+//	magic "MVMT02"
 //	uvarint len(modeKey), modeKey
 //	int64 LE valid.Start, int64 LE valid.End   (raw bits; Now/Origin safe)
 //	uvarint len(signature), signature
 //	uvarint dropped
 //	uvarint numDims, uvarint numMeasures, byte hasAvg
-//	uvarint numFacts, then per fact:
-//	  per dim: uvarint len(id), id
-//	  int64 LE time
-//	  per measure: uint64 LE Float64bits(value)
-//	  per measure: byte confidence
-//	  uvarint sources
-//	  if hasAvg, per measure: uint32 LE avg count
+//	uvarint numFacts, then field-major columns:
+//	  numFacts×numDims coord ids, each uvarint len + bytes
+//	  numFacts int64 LE times
+//	  numFacts×numMeasures uint64 LE Float64bits values
+//	  numFacts×numMeasures byte confidences
+//	  numFacts uvarint source counts
+//	  if hasAvg: numFacts×numMeasures uint32 LE avg counts
+//
+// Format 1 ("MVMT01") carried the same header followed by row-major
+// tuples (per fact: coords, time, values, cfs, sources, avg counts).
+// DecodeMappedTable still reads it — snapshots written before the
+// format bump must warm-restore, not silently rebuild cold — and
+// EncodeMappedTableV1 still writes it for regression tests and
+// downgrade tooling.
 //
 // Times and interval bounds travel as raw little-endian int64 — the
 // temporal sentinels (Now = MaxInt64, Origin = MinInt64) would not
 // survive a float-typed JSON number.
 
-var mappedTableMagic = []byte("MVMT01")
+var (
+	mappedTableMagic   = []byte("MVMT02")
+	mappedTableMagicV1 = []byte("MVMT01")
+)
 
 // Decode limits: a string longer than this, or a count implying more
 // bytes than the input holds, marks the payload corrupt. They bound
@@ -42,13 +57,48 @@ const (
 	mtMaxCount     = 1 << 28
 )
 
-// EncodeMappedTable serializes one exported mode deterministically.
-func EncodeMappedTable(exp *core.MappedTableExport) ([]byte, error) {
-	if exp == nil {
-		return nil, fmt.Errorf("schemaio: nil mapped-table export")
+// validateExportShape checks the shard invariants the engine
+// guarantees (and decoding re-establishes): every shard but the last
+// exactly full, column lengths matching the shard's tuple count, tuple
+// counts summing to NumFacts.
+func validateExportShape(exp *core.MappedTableExport) error {
+	total := 0
+	for si := range exp.Shards {
+		sh := &exp.Shards[si]
+		if sh.N < 1 || sh.N > core.MappedShardSize {
+			return fmt.Errorf("schemaio: mapped shard %d holds %d tuples", si, sh.N)
+		}
+		if si < len(exp.Shards)-1 && sh.N != core.MappedShardSize {
+			return fmt.Errorf("schemaio: non-final mapped shard %d holds %d tuples", si, sh.N)
+		}
+		if len(sh.Coords) != sh.N*exp.NumDims || len(sh.Times) != sh.N ||
+			len(sh.Values) != sh.N*exp.NumMeasures || len(sh.CFs) != sh.N*exp.NumMeasures ||
+			len(sh.Sources) != sh.N {
+			return fmt.Errorf("schemaio: mapped shard %d column shape mismatch", si)
+		}
+		wantAvg := 0
+		if exp.HasAvg {
+			wantAvg = sh.N * exp.NumMeasures
+		}
+		if len(sh.AvgN) != wantAvg {
+			return fmt.Errorf("schemaio: mapped shard %d has %d avg counts, want %d", si, len(sh.AvgN), wantAvg)
+		}
+		for _, s := range sh.Sources {
+			if s < 0 {
+				return fmt.Errorf("schemaio: mapped shard %d has negative source count", si)
+			}
+		}
+		total += sh.N
 	}
-	buf := make([]byte, 0, 64+len(exp.Facts)*(16+8*exp.NumMeasures))
-	buf = append(buf, mappedTableMagic...)
+	if total != exp.NumFacts {
+		return fmt.Errorf("schemaio: mapped table has %d tuples across shards, header says %d", total, exp.NumFacts)
+	}
+	return nil
+}
+
+// appendMappedHeader appends the header fields shared by both formats
+// (everything between the magic and the fact payload).
+func appendMappedHeader(buf []byte, exp *core.MappedTableExport) []byte {
 	buf = appendString(buf, exp.ModeKey)
 	buf = appendInt64(buf, int64(exp.Valid.Start))
 	buf = appendInt64(buf, int64(exp.Valid.End))
@@ -61,28 +111,49 @@ func EncodeMappedTable(exp *core.MappedTableExport) ([]byte, error) {
 	} else {
 		buf = append(buf, 0)
 	}
-	buf = binary.AppendUvarint(buf, uint64(len(exp.Facts)))
-	for i := range exp.Facts {
-		f := &exp.Facts[i]
-		if len(f.Coords) != exp.NumDims || len(f.Values) != exp.NumMeasures || len(f.CFs) != exp.NumMeasures {
-			return nil, fmt.Errorf("schemaio: mapped tuple %d shape mismatch", i)
-		}
-		if exp.HasAvg && len(f.AvgN) != exp.NumMeasures {
-			return nil, fmt.Errorf("schemaio: mapped tuple %d missing avg counts", i)
-		}
-		for _, id := range f.Coords {
+	return binary.AppendUvarint(buf, uint64(exp.NumFacts))
+}
+
+// EncodeMappedTable serializes one exported mode deterministically in
+// the current (columnar, format 2) framing.
+func EncodeMappedTable(exp *core.MappedTableExport) ([]byte, error) {
+	if exp == nil {
+		return nil, fmt.Errorf("schemaio: nil mapped-table export")
+	}
+	if err := validateExportShape(exp); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 64+exp.NumFacts*(16+9*exp.NumMeasures))
+	buf = append(buf, mappedTableMagic...)
+	buf = appendMappedHeader(buf, exp)
+	for si := range exp.Shards {
+		for _, id := range exp.Shards[si].Coords {
 			buf = appendString(buf, string(id))
 		}
-		buf = appendInt64(buf, int64(f.Time))
-		for _, v := range f.Values {
+	}
+	for si := range exp.Shards {
+		for _, t := range exp.Shards[si].Times {
+			buf = appendInt64(buf, int64(t))
+		}
+	}
+	for si := range exp.Shards {
+		for _, v := range exp.Shards[si].Values {
 			buf = binary.LittleEndian.AppendUint64(buf, v)
 		}
-		for _, cf := range f.CFs {
+	}
+	for si := range exp.Shards {
+		for _, cf := range exp.Shards[si].CFs {
 			buf = append(buf, byte(cf))
 		}
-		buf = binary.AppendUvarint(buf, uint64(f.Sources))
-		if exp.HasAvg {
-			for _, n := range f.AvgN {
+	}
+	for si := range exp.Shards {
+		for _, s := range exp.Shards[si].Sources {
+			buf = binary.AppendUvarint(buf, uint64(s))
+		}
+	}
+	if exp.HasAvg {
+		for si := range exp.Shards {
+			for _, n := range exp.Shards[si].AvgN {
 				buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
 			}
 		}
@@ -90,15 +161,67 @@ func EncodeMappedTable(exp *core.MappedTableExport) ([]byte, error) {
 	return buf, nil
 }
 
-// DecodeMappedTable parses an encoded mode, validating every length
-// and count against the remaining input so corrupt or hostile bytes
-// fail cleanly instead of over-allocating.
-func DecodeMappedTable(data []byte) (*core.MappedTableExport, error) {
-	r := &mtReader{data: data}
-	magic := r.bytes(len(mappedTableMagic))
-	if r.err == nil && string(magic) != string(mappedTableMagic) {
-		return nil, fmt.Errorf("schemaio: bad mapped-table magic")
+// EncodeMappedTableV1 serializes one exported mode in the legacy
+// row-major format 1 framing. The engine never writes it anymore; it
+// exists so tests can prove format-1 payloads still warm-restore, and
+// as a downgrade escape hatch.
+func EncodeMappedTableV1(exp *core.MappedTableExport) ([]byte, error) {
+	if exp == nil {
+		return nil, fmt.Errorf("schemaio: nil mapped-table export")
 	}
+	if err := validateExportShape(exp); err != nil {
+		return nil, err
+	}
+	nd, nm := exp.NumDims, exp.NumMeasures
+	buf := make([]byte, 0, 64+exp.NumFacts*(16+9*nm))
+	buf = append(buf, mappedTableMagicV1...)
+	buf = appendMappedHeader(buf, exp)
+	for si := range exp.Shards {
+		sh := &exp.Shards[si]
+		for j := 0; j < sh.N; j++ {
+			for _, id := range sh.Coords[j*nd : (j+1)*nd] {
+				buf = appendString(buf, string(id))
+			}
+			buf = appendInt64(buf, int64(sh.Times[j]))
+			for _, v := range sh.Values[j*nm : (j+1)*nm] {
+				buf = binary.LittleEndian.AppendUint64(buf, v)
+			}
+			for _, cf := range sh.CFs[j*nm : (j+1)*nm] {
+				buf = append(buf, byte(cf))
+			}
+			buf = binary.AppendUvarint(buf, uint64(sh.Sources[j]))
+			if exp.HasAvg {
+				for _, n := range sh.AvgN[j*nm : (j+1)*nm] {
+					buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+				}
+			}
+		}
+	}
+	return buf, nil
+}
+
+// DecodeMappedTable parses an encoded mode in either format, validating
+// every length and count against the remaining input so corrupt or
+// hostile bytes fail cleanly instead of over-allocating.
+func DecodeMappedTable(data []byte) (*core.MappedTableExport, error) {
+	if len(data) >= len(mappedTableMagic) {
+		switch string(data[:len(mappedTableMagic)]) {
+		case string(mappedTableMagic):
+			return decodeMappedTable(data[len(mappedTableMagic):], false)
+		case string(mappedTableMagicV1):
+			return decodeMappedTable(data[len(mappedTableMagicV1):], true)
+		}
+	}
+	return nil, fmt.Errorf("schemaio: bad mapped-table magic")
+}
+
+// decodeMappedTable parses the body shared by both formats: the header,
+// then either row-major (v1) or field-major (v2) fact payload. Both
+// land in the same flat columns, chunked into MappedShardSize shards,
+// so a v1 payload decodes into exactly the export a v2 round trip
+// would produce.
+func decodeMappedTable(body []byte, rowMajor bool) (*core.MappedTableExport, error) {
+	r := &mtReader{data: body}
 	exp := &core.MappedTableExport{}
 	exp.ModeKey = r.string()
 	exp.Valid.Start = temporal.Instant(r.int64())
@@ -117,43 +240,87 @@ func DecodeMappedTable(data []byte) (*core.MappedTableExport, error) {
 	}
 	// Every tuple needs at least one byte per coord plus its fixed
 	// fields; a count the remaining bytes cannot hold is corruption.
+	// This also bounds the column allocations below by the input size.
 	minPerFact := exp.NumDims + 8 + 9*exp.NumMeasures + 1
-	if minPerFact < 1 {
-		minPerFact = 1
+	if exp.HasAvg {
+		minPerFact += 4 * exp.NumMeasures
 	}
 	if nFacts*minPerFact > len(r.data)-r.off {
 		return nil, fmt.Errorf("schemaio: mapped table fact count %d exceeds payload", nFacts)
 	}
-	exp.Facts = make([]core.MappedFactExport, 0, nFacts)
-	for i := 0; i < nFacts; i++ {
-		var f core.MappedFactExport
-		f.Coords = make(core.Coords, exp.NumDims)
-		for d := 0; d < exp.NumDims; d++ {
-			f.Coords[d] = core.MVID(r.string())
-		}
-		f.Time = temporal.Instant(r.int64())
-		f.Values = make([]uint64, exp.NumMeasures)
-		for k := range f.Values {
-			f.Values[k] = r.uint64()
-		}
-		f.CFs = make([]core.Confidence, exp.NumMeasures)
-		for k := range f.CFs {
-			f.CFs[k] = core.Confidence(r.byte())
-		}
-		f.Sources = r.count()
-		if exp.HasAvg {
-			f.AvgN = make([]int32, exp.NumMeasures)
-			for k := range f.AvgN {
-				f.AvgN[k] = int32(r.uint32())
+	exp.NumFacts = nFacts
+	nd, nm := exp.NumDims, exp.NumMeasures
+	coords := make([]core.MVID, nFacts*nd)
+	times := make([]temporal.Instant, nFacts)
+	values := make([]uint64, nFacts*nm)
+	cfs := make([]core.Confidence, nFacts*nm)
+	sources := make([]int32, nFacts)
+	var avgN []int32
+	if exp.HasAvg {
+		avgN = make([]int32, nFacts*nm)
+	}
+	if rowMajor {
+		for i := 0; i < nFacts; i++ {
+			for d := 0; d < nd; d++ {
+				coords[i*nd+d] = core.MVID(r.string())
 			}
+			times[i] = temporal.Instant(r.int64())
+			for k := 0; k < nm; k++ {
+				values[i*nm+k] = r.uint64()
+			}
+			for k := 0; k < nm; k++ {
+				cfs[i*nm+k] = core.Confidence(r.byte())
+			}
+			sources[i] = int32(r.count())
+			if exp.HasAvg {
+				for k := 0; k < nm; k++ {
+					avgN[i*nm+k] = int32(r.uint32())
+				}
+			}
+			if r.err != nil {
+				return nil, r.err
+			}
+		}
+	} else {
+		for i := range coords {
+			coords[i] = core.MVID(r.string())
+		}
+		for i := range times {
+			times[i] = temporal.Instant(r.int64())
+		}
+		for i := range values {
+			values[i] = r.uint64()
+		}
+		for i := range cfs {
+			cfs[i] = core.Confidence(r.byte())
+		}
+		for i := range sources {
+			sources[i] = int32(r.count())
+		}
+		for i := range avgN {
+			avgN[i] = int32(r.uint32())
 		}
 		if r.err != nil {
 			return nil, r.err
 		}
-		exp.Facts = append(exp.Facts, f)
 	}
 	if r.off != len(r.data) {
 		return nil, fmt.Errorf("schemaio: %d trailing bytes after mapped table", len(r.data)-r.off)
+	}
+	for lo := 0; lo < nFacts; lo += core.MappedShardSize {
+		hi := min(lo+core.MappedShardSize, nFacts)
+		se := core.MappedShardExport{
+			N:       hi - lo,
+			Coords:  coords[lo*nd : hi*nd : hi*nd],
+			Times:   times[lo:hi:hi],
+			Values:  values[lo*nm : hi*nm : hi*nm],
+			CFs:     cfs[lo*nm : hi*nm : hi*nm],
+			Sources: sources[lo:hi:hi],
+		}
+		if exp.HasAvg {
+			se.AvgN = avgN[lo*nm : hi*nm : hi*nm]
+		}
+		exp.Shards = append(exp.Shards, se)
 	}
 	return exp, nil
 }

@@ -21,28 +21,26 @@ func sampleExport(hasAvg bool) *core.MappedTableExport {
 		NumDims:     2,
 		NumMeasures: 2,
 		HasAvg:      hasAvg,
+		NumFacts:    2,
 	}
-	facts := []core.MappedFactExport{
-		{
-			Coords:  core.Coords{"Dpt.Bill_id", "City.Lyon_id"},
-			Time:    temporal.Instant(410),
-			Values:  []uint64{math.Float64bits(70.5), math.Float64bits(math.NaN())},
-			CFs:     []core.Confidence{0, 2},
-			Sources: 3,
+	sh := core.MappedShardExport{
+		N: 2,
+		Coords: []core.MVID{
+			"Dpt.Bill_id", "City.Lyon_id",
+			"Dpt.Paul_id", "City.Paris_id",
 		},
-		{
-			Coords:  core.Coords{"Dpt.Paul_id", "City.Paris_id"},
-			Time:    temporal.Origin,
-			Values:  []uint64{math.Float64bits(-0.0), math.Float64bits(1e300)},
-			CFs:     []core.Confidence{1, 1},
-			Sources: 1,
+		Times: []temporal.Instant{temporal.Instant(410), temporal.Origin},
+		Values: []uint64{
+			math.Float64bits(70.5), math.Float64bits(math.NaN()),
+			math.Float64bits(math.Copysign(0, -1)), math.Float64bits(1e300),
 		},
+		CFs:     []core.Confidence{0, 2, 1, 1},
+		Sources: []int32{3, 1},
 	}
 	if hasAvg {
-		facts[0].AvgN = []int32{3, 1}
-		facts[1].AvgN = []int32{1, 2}
+		sh.AvgN = []int32{3, 1, 1, 2}
 	}
-	exp.Facts = facts
+	exp.Shards = []core.MappedShardExport{sh}
 	return exp
 }
 
@@ -71,19 +69,64 @@ func TestMappedTableRoundTrip(t *testing.T) {
 	}
 }
 
+// TestMappedTableV1DecodesAsV2 is the format-1→2 regression: a payload
+// written in the legacy row-major framing must decode into exactly the
+// export its columnar re-encoding round-trips to — old snapshots keep
+// warm-restoring after the bump.
+func TestMappedTableV1DecodesAsV2(t *testing.T) {
+	for _, hasAvg := range []bool{false, true} {
+		exp := sampleExport(hasAvg)
+		v1, err := EncodeMappedTableV1(exp)
+		if err != nil {
+			t.Fatalf("hasAvg=%v: encode v1: %v", hasAvg, err)
+		}
+		v2, err := EncodeMappedTable(exp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(v1, v2) {
+			t.Fatal("v1 and v2 framings must differ on the wire")
+		}
+		got, err := DecodeMappedTable(v1)
+		if err != nil {
+			t.Fatalf("hasAvg=%v: decode v1: %v", hasAvg, err)
+		}
+		if !reflect.DeepEqual(got, exp) {
+			t.Errorf("hasAvg=%v: v1 decode mismatch:\n got %+v\nwant %+v", hasAvg, got, exp)
+		}
+		reenc, err := EncodeMappedTable(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(reenc, v2) {
+			t.Errorf("hasAvg=%v: v1-decoded table re-encodes differently from native v2", hasAvg)
+		}
+	}
+}
+
 func TestMappedTableEncodeRejectsBadShapes(t *testing.T) {
 	if _, err := EncodeMappedTable(nil); err == nil {
 		t.Error("nil export must fail")
 	}
 	exp := sampleExport(false)
-	exp.Facts[0].Values = exp.Facts[0].Values[:1]
+	exp.Shards[0].Values = exp.Shards[0].Values[:1]
 	if _, err := EncodeMappedTable(exp); err == nil {
-		t.Error("short values must fail")
+		t.Error("short values column must fail")
 	}
 	exp = sampleExport(true)
-	exp.Facts[1].AvgN = nil
+	exp.Shards[0].AvgN = nil
 	if _, err := EncodeMappedTable(exp); err == nil {
 		t.Error("missing avg counts must fail")
+	}
+	exp = sampleExport(false)
+	exp.NumFacts = 3
+	if _, err := EncodeMappedTable(exp); err == nil {
+		t.Error("fact count not matching shards must fail")
+	}
+	exp = sampleExport(false)
+	exp.Shards[0].N = 0
+	if _, err := EncodeMappedTable(exp); err == nil {
+		t.Error("empty shard must fail")
 	}
 }
 
@@ -91,28 +134,33 @@ func TestMappedTableEncodeRejectsBadShapes(t *testing.T) {
 // encoding at every offset: decoding must fail cleanly (or, for a byte
 // flip, either fail or produce a parseable table), never panic.
 func TestMappedTableDecodeRejectsCorruption(t *testing.T) {
-	data, err := EncodeMappedTable(sampleExport(true))
-	if err != nil {
-		t.Fatal(err)
-	}
-	for n := 0; n < len(data); n++ {
-		if _, err := DecodeMappedTable(data[:n]); err == nil {
-			t.Fatalf("truncation at %d of %d decoded", n, len(data))
+	for name, enc := range map[string]func(*core.MappedTableExport) ([]byte, error){
+		"v2": EncodeMappedTable,
+		"v1": EncodeMappedTableV1,
+	} {
+		data, err := enc(sampleExport(true))
+		if err != nil {
+			t.Fatal(err)
 		}
-	}
-	if _, err := DecodeMappedTable(append(append([]byte{}, data...), 0)); err == nil {
-		t.Error("trailing byte must fail")
-	}
-	bad := append([]byte{}, data...)
-	bad[0] ^= 0xFF
-	if _, err := DecodeMappedTable(bad); err == nil {
-		t.Error("bad magic must fail")
+		for n := 0; n < len(data); n++ {
+			if _, err := DecodeMappedTable(data[:n]); err == nil {
+				t.Fatalf("%s: truncation at %d of %d decoded", name, n, len(data))
+			}
+		}
+		if _, err := DecodeMappedTable(append(append([]byte{}, data...), 0)); err == nil {
+			t.Errorf("%s: trailing byte must fail", name)
+		}
+		bad := append([]byte{}, data...)
+		bad[0] ^= 0xFF
+		if _, err := DecodeMappedTable(bad); err == nil {
+			t.Errorf("%s: bad magic must fail", name)
+		}
 	}
 }
 
 // FuzzMappedTableCodec checks the round-trip invariant on arbitrary
-// bytes: whatever decodes must re-encode and decode back identically,
-// and the decoder must never panic or over-allocate.
+// bytes: whatever decodes (in either format) must re-encode and decode
+// back identically, and the decoder must never panic or over-allocate.
 func FuzzMappedTableCodec(f *testing.F) {
 	for _, hasAvg := range []bool{false, true} {
 		seed, err := EncodeMappedTable(sampleExport(hasAvg))
@@ -120,8 +168,14 @@ func FuzzMappedTableCodec(f *testing.F) {
 			f.Fatal(err)
 		}
 		f.Add(seed)
+		seedV1, err := EncodeMappedTableV1(sampleExport(hasAvg))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(seedV1)
 	}
 	f.Add([]byte("MVMT01"))
+	f.Add([]byte("MVMT02"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		exp, err := DecodeMappedTable(data)
 		if err != nil {

@@ -3,6 +3,7 @@ package store
 import (
 	"bytes"
 	"encoding/json"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -210,6 +211,78 @@ func TestCrashRecoveryWarmCorruptModeDegradesCold(t *testing.T) {
 	cold := coldExports(t, sch2)
 	if !reflect.DeepEqual(got, cold) {
 		t.Error("degraded warm restart differs from a cold rebuild")
+	}
+}
+
+// TestV1MappedCodecSnapshotRecovers rewrites every warm payload of a
+// snapshot in the legacy MVMT01 row-major framing (as a snapshot
+// written before the codec bump would carry): recovery must restore
+// every mode warm — zero materializations — with tables byte-identical
+// to a cold rebuild. This is the format-1→2 mapped-codec regression.
+func TestV1MappedCodecSnapshotRecovers(t *testing.T) {
+	dir := t.TempDir()
+	_, sch, _ := buildWarmWarehouse(t, dir) // store abandoned: simulated SIGKILL
+	want := warmExports(t, sch)
+
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snapshot-*.json"))
+	if len(snaps) != 1 {
+		t.Fatalf("snapshots = %v", snaps)
+	}
+	data, err := os.ReadFile(snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in snapshotFile
+	if err := json.Unmarshal(data, &in); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Warm) < 4 {
+		t.Fatalf("snapshot carries %d warm modes, want >= 4", len(in.Warm))
+	}
+	for i := range in.Warm {
+		exp, err := schemaio.DecodeMappedTable(in.Warm[i].Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1, err := schemaio.EncodeMappedTableV1(exp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(v1, in.Warm[i].Payload) {
+			t.Fatalf("mode %s: v1 re-encoding identical to v2 payload", in.Warm[i].Mode)
+		}
+		in.Warm[i].Payload = v1
+		in.Warm[i].CRC = crc32.ChecksumIEEE(v1)
+	}
+	data, err = json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snaps[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, sch2, _, err := Open(dir, nil, Options{Logger: quietLog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := st2.RecoveryStats().WarmModes; len(got) != len(in.Warm) {
+		t.Fatalf("WarmModes = %v, want all %d modes from the v1 payloads", got, len(in.Warm))
+	}
+	if _, err := sch2.MultiVersion().All(); err != nil {
+		t.Fatal(err)
+	}
+	if builds := sch2.MultiVersion().Materializations(); builds != 0 {
+		t.Errorf("v1-payload warm restart performed %d materializations, want 0", builds)
+	}
+	got := warmExports(t, sch2)
+	if !reflect.DeepEqual(got, want) {
+		t.Error("v1-payload warm restore differs from the original tables")
+	}
+	cold := coldExports(t, sch2)
+	if !reflect.DeepEqual(got, cold) {
+		t.Error("v1-payload warm restore differs from a cold rebuild")
 	}
 }
 
