@@ -3,7 +3,7 @@ GO ?= go
 # Machine-readable benchmark record for this change series; CI uploads
 # it as an artifact so performance trajectories accumulate across
 # commits.
-BENCH ?= BENCH_6.json
+BENCH ?= BENCH_7.json
 
 # Tier-1 verification: build + vet + full tests + race on the
 # concurrency-bearing core package.
@@ -39,6 +39,14 @@ race:
 crash-test:
 	$(GO) test -race -run CrashRecovery -v ./internal/store/... ./internal/server/...
 
+# Replication suite under the race detector: the WAL append/recovery
+# durability fixes, the leader's stream reader, and the end-to-end
+# leader + two followers convergence scenario (kill one mid-stream,
+# restart it, require byte-identical answers from every follower).
+.PHONY: repl-test
+repl-test:
+	$(GO) test -race -run 'TestAppendRejects|TestAppendFsync|TestScanWALRejects|TestStreamReader|TestHeartbeatFrame|TestWaitForSeq|TestReplication|TestFollower|TestWALEndpoints|TestStreamEnds' -v ./internal/store/... ./internal/server/...
+
 # The snapshot envelope must be deterministic: snapshotting the same
 # state twice (warm tables included) yields byte-identical files.
 .PHONY: determinism-check
@@ -53,16 +61,18 @@ bench:
 bench-json:
 	$(GO) test -json -bench=. -benchmem -run='^$$' ./... > $(BENCH)
 
-# bench-smoke runs the incremental-maintenance, sharded-swap/scan and
-# warm-restart benchmarks once — a CI guard that the warm-delta path
-# delta-applies to every mode, that shard-sharing clone-swaps and the
-# columnar scan still execute, and that a warm restart serves every
-# snapshotted mode with zero materializations (the benches b.Fatal
-# otherwise).
+# bench-smoke runs the incremental-maintenance, sharded-swap/scan,
+# warm-restart and replication benchmarks once — a CI guard that the
+# warm-delta path delta-applies to every mode, that shard-sharing
+# clone-swaps and the columnar scan still execute, that a warm restart
+# serves every snapshotted mode with zero materializations (the
+# benches b.Fatal otherwise), and that a follower bootstraps and
+# catches up to a leader's WAL.
 .PHONY: bench-smoke
 bench-smoke:
 	$(GO) test -json -bench='IncrementalIngest|ShardedSwap|ShardedScan' -benchtime=1x -run='^$$' . > $(BENCH)
 	$(GO) test -json -bench=WarmRestart -benchtime=1x -run='^$$' ./internal/store >> $(BENCH)
+	$(GO) test -json -bench='FollowerCatchup|ReplicaQueryThroughput' -benchtime=1x -run='^$$' ./internal/server >> $(BENCH)
 
 # bench-delta compares the sharded-swap/scan benchmarks on this
 # checkout against a benchstat-style baseline committed as $(BENCH).

@@ -6,6 +6,7 @@
 //	mvolapd -addr :8080 -schema warehouse.json
 //	mvolapd -addr :8080 -demo -allow-evolve
 //	mvolapd -addr :8080 -demo -allow-evolve -data-dir /var/lib/mvolap
+//	mvolapd -addr :8081 -replicate-from http://leader:8080
 //
 // Then:
 //
@@ -24,6 +25,12 @@
 // on startup the daemon listens immediately (GET /readyz answers 503)
 // while crash recovery replays the log, then flips ready. See
 // docs/persistence.md.
+//
+// With -replicate-from, the daemon runs as a read-only follower: it
+// bootstraps from the leader's latest snapshot, applies its streamed
+// WAL, serves /query and /schema with warm caches, and answers 403
+// (pointing at the leader) on mutating endpoints. See
+// docs/replication.md.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener
 // closes immediately, in-flight requests get -shutdown-timeout to
@@ -44,6 +51,7 @@ import (
 
 	"mvolap/internal/casestudy"
 	"mvolap/internal/core"
+	"mvolap/internal/evolution"
 	"mvolap/internal/schemaio"
 	"mvolap/internal/server"
 	"mvolap/internal/store"
@@ -59,6 +67,7 @@ type config struct {
 	pprof           bool
 	logJSON         bool
 	dataDir         string
+	replicateFrom   string
 	fsync           string
 	snapshotEvery   int
 	snapshotWarm    bool
@@ -80,6 +89,7 @@ func parseFlags(args []string) (*config, error) {
 	fs.BoolVar(&c.pprof, "pprof", false, "mount /debug/pprof/ handlers")
 	fs.BoolVar(&c.logJSON, "log-json", false, "emit the access log as JSON instead of text")
 	fs.StringVar(&c.dataDir, "data-dir", "", "directory for the write-ahead log and snapshots (empty disables persistence)")
+	fs.StringVar(&c.replicateFrom, "replicate-from", "", "leader base URL; run as a read-only follower replicating its WAL (e.g. http://leader:8080)")
 	fs.StringVar(&c.fsync, "fsync", "always", "WAL durability: always, interval or off")
 	fs.IntVar(&c.snapshotEvery, "snapshot-every", 256, "auto-snapshot after this many WAL records (0 disables)")
 	fs.BoolVar(&c.snapshotWarm, "snapshot-warm", true, "carry materialized MVFT modes in snapshots for warm restarts")
@@ -134,15 +144,20 @@ func serverOptions(c *config, logger *slog.Logger) []server.Option {
 }
 
 // serve runs srv until ctx is cancelled, then shuts it down gracefully
-// within grace. It returns the error that ended the listener, or the
-// shutdown error if draining timed out.
-func serve(ctx context.Context, srv *http.Server, grace time.Duration) error {
+// within grace. stop, if non-nil, runs before the drain begins — it
+// ends the otherwise-infinite WAL streams so Shutdown can finish. It
+// returns the error that ended the listener, or the shutdown error if
+// draining timed out.
+func serve(ctx context.Context, srv *http.Server, grace time.Duration, stop func()) error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+	}
+	if stop != nil {
+		stop()
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
@@ -162,16 +177,30 @@ func main() {
 	}
 	logger := newLogger(c)
 
-	// The seed schema is optional when a data dir may hold a snapshot;
-	// without a data dir it is the only schema source.
+	if c.replicateFrom != "" {
+		// A follower's only source of truth is the leader's WAL; a local
+		// data dir (or a seed schema) would fork the history.
+		if c.dataDir != "" || c.demo || c.schemaPath != "" {
+			fmt.Fprintln(os.Stderr, "mvolapd: -replicate-from cannot be combined with -data-dir, -schema or -demo")
+			os.Exit(2)
+		}
+		if c.allowEvolve {
+			fmt.Fprintln(os.Stderr, "mvolapd: -allow-evolve is meaningless on a follower; evolve on the leader")
+			os.Exit(2)
+		}
+	}
+
+	// The seed schema is optional when a data dir may hold a snapshot,
+	// and unused by a follower (it bootstraps from the leader); without
+	// either, it is the only schema source.
 	var seed *core.Schema
 	if c.demo || c.schemaPath != "" {
 		if seed, err = loadSchema(c.schemaPath, c.demo); err != nil {
 			fmt.Fprintln(os.Stderr, "mvolapd:", err)
 			os.Exit(1)
 		}
-	} else if c.dataDir == "" {
-		fmt.Fprintln(os.Stderr, "mvolapd: need -schema FILE, -demo or -data-dir DIR")
+	} else if c.dataDir == "" && c.replicateFrom == "" {
+		fmt.Fprintln(os.Stderr, "mvolapd: need -schema FILE, -demo, -data-dir DIR or -replicate-from URL")
 		os.Exit(1)
 	}
 
@@ -184,11 +213,24 @@ func main() {
 	}
 	var s *server.Server
 	recovered := make(chan recoveryResult, 1)
-	if c.dataDir == "" {
+	switch {
+	case c.replicateFrom != "":
+		// Follower: no local store. The replica bootstraps from the
+		// leader's snapshot and publishes each applied clone-swap into
+		// the server; /readyz answers 503 until the first publish.
+		rep := store.NewReplica(c.replicateFrom, store.ReplicaOptions{Logger: logger})
+		s = server.New(nil, append(serverOptions(c, logger), server.WithReplica(rep))...)
+		rep.SetPublish(func(sch *core.Schema, applier *evolution.Applier) {
+			s.Install(sch, applier, nil)
+		})
+		go rep.Run(ctx)
+		logger.Info("mvolapd following", "leader", c.replicateFrom, "addr", c.addr,
+			"queryTimeout", c.queryTimeout)
+	case c.dataDir == "":
 		s = server.New(seed, serverOptions(c, logger)...)
 		logger.Info("mvolapd serving", "schema", seed.Name, "addr", c.addr,
 			"evolve", c.allowEvolve, "pprof", c.pprof, "queryTimeout", c.queryTimeout)
-	} else {
+	default:
 		// Listen first, recover in the background: /healthz is alive and
 		// /readyz answers 503 while the WAL replays, then flips ready.
 		storeOpts, err := storeOptions(c, logger)
@@ -217,7 +259,7 @@ func main() {
 	}
 
 	srv := newHTTPServer(c, s.Handler())
-	err = serve(ctx, srv, c.shutdownTimeout)
+	err = serve(ctx, srv, c.shutdownTimeout, s.Stop)
 	select {
 	case res := <-recovered:
 		if res.err != nil {

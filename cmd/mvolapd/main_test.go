@@ -59,8 +59,8 @@ func TestParseFlagsPersistenceDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c.dataDir != "" || c.fsync != "always" || c.snapshotEvery != 256 || !c.snapshotWarm {
-		t.Errorf("defaults = %q %q %d %v", c.dataDir, c.fsync, c.snapshotEvery, c.snapshotWarm)
+	if c.dataDir != "" || c.fsync != "always" || c.snapshotEvery != 256 || !c.snapshotWarm || c.replicateFrom != "" {
+		t.Errorf("defaults = %q %q %d %v %q", c.dataDir, c.fsync, c.snapshotEvery, c.snapshotWarm, c.replicateFrom)
 	}
 	c, err = parseFlags([]string{"-data-dir", "/tmp/d", "-fsync", "interval", "-snapshot-every", "8", "-snapshot-warm=false"})
 	if err != nil {
@@ -68,6 +68,13 @@ func TestParseFlagsPersistenceDefaults(t *testing.T) {
 	}
 	if c.dataDir != "/tmp/d" || c.fsync != "interval" || c.snapshotEvery != 8 || c.snapshotWarm {
 		t.Errorf("parsed = %q %q %d %v", c.dataDir, c.fsync, c.snapshotEvery, c.snapshotWarm)
+	}
+	c, err = parseFlags([]string{"-replicate-from", "http://leader:8080"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.replicateFrom != "http://leader:8080" {
+		t.Errorf("replicateFrom = %q", c.replicateFrom)
 	}
 }
 

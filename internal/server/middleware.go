@@ -48,6 +48,11 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return n, err
 }
 
+// Unwrap exposes the underlying writer so http.NewResponseController
+// reaches Flush and the per-request deadline overrides the WAL stream
+// endpoint needs.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
 // logExtra lets a handler attach response-derived fields (the query's
 // quality factor) to the access-log line the middleware emits.
 type logExtra struct {

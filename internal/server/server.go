@@ -13,6 +13,8 @@
 //	POST /evolve            apply an evolution script (requires enabling)
 //	POST /facts             append a fact batch (requires enabling)
 //	POST /admin/snapshot    durably snapshot the warehouse (requires a store)
+//	GET  /wal/snapshot      latest snapshot bytes (follower bootstrap; requires a store)
+//	GET  /wal/stream        stream committed WAL frames from ?from=<seq> (requires a store)
 //	GET  /healthz           liveness
 //	GET  /readyz            readiness: 503 until recovery completes
 //	GET  /metrics           Prometheus text-format metrics
@@ -31,6 +33,12 @@
 // never records a state that was not served; a batch that fails to
 // apply, or whose WAL append fails, is never logged and never served,
 // preserving the 422 atomicity envelope.
+//
+// A server built WithReplica is a read-only follower: it serves
+// /query, /modes and /schema from state replicated off a leader's
+// WAL stream, answers 403 with the leader's address on every
+// mutating endpoint, reports replication lag on /readyz, and honors
+// ?minWalSeq= as a read-your-writes barrier. See docs/replication.md.
 package server
 
 import (
@@ -71,6 +79,9 @@ type Server struct {
 	applier     *evolution.Applier
 	store       *store.Store
 	allowEvolve bool
+	// replica is set on a read-only follower: mutations 403 to the
+	// leader, /readyz reports lag, ?minWalSeq= waits on the apply loop.
+	replica *store.Replica
 	// warmRestored lists the temporal modes crash recovery restored
 	// warm from the snapshot (reported by /readyz once ready).
 	warmRestored []string
@@ -79,6 +90,11 @@ type Server struct {
 	queryTimeout time.Duration
 	slowQuery    time.Duration
 	enablePprof  bool
+
+	// closing is closed by Stop to end long-lived replication streams
+	// ahead of a graceful shutdown (Shutdown waits for handlers).
+	closing   chan struct{}
+	closeOnce sync.Once
 }
 
 // Option configures the server.
@@ -125,11 +141,19 @@ func New(sch *core.Schema, opts ...Option) *Server {
 		applier:   evolution.NewApplier(sch),
 		logger:    slog.Default(),
 		slowQuery: 500 * time.Millisecond,
+		closing:   make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(s)
 	}
 	return s
+}
+
+// Stop ends the server's long-lived replication streams so a graceful
+// http.Server.Shutdown can drain; followers reconnect elsewhere (or
+// to the restarted process) on their own. Idempotent.
+func (s *Server) Stop() {
+	s.closeOnce.Do(func() { close(s.closing) })
 }
 
 // Install publishes a recovered warehouse: the schema, the applier
@@ -187,6 +211,8 @@ func (s *Server) Handler() http.Handler {
 	handle("POST /evolve", "/evolve", s.handleEvolve)
 	handle("POST /facts", "/facts", s.handleFacts)
 	handle("POST /admin/snapshot", "/admin/snapshot", s.handleAdminSnapshot)
+	handle("GET /wal/stream", "/wal/stream", s.handleWALStream)
+	handle("GET /wal/snapshot", "/wal/snapshot", s.handleWALSnapshot)
 	handle("GET /metrics", "/metrics", handleMetrics)
 	handle("GET /debug/vars", "/debug/vars", handleDebugVars)
 	if s.enablePprof {
@@ -200,21 +226,44 @@ func (s *Server) Handler() http.Handler {
 }
 
 // handleReadyz is the readiness probe, distinct from /healthz
-// liveness: the process is alive during crash recovery but must not
-// receive traffic until the replayed warehouse is installed.
+// liveness: the process is alive during crash recovery (or a
+// follower's bootstrap) but must not receive traffic until a
+// warehouse is installed. On a follower the response carries the
+// replication lag: the seq delta behind the leader plus the
+// wall-clock age of the applied frontier.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.snapshot() == nil {
+		if s.replica != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]any{
+				"status":      "bootstrapping",
+				"role":        "follower",
+				"replication": s.replica.Status(),
+			})
+			return
+		}
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "recovering")
 		return
 	}
 	s.mu.RLock()
 	warm := s.warmRestored
+	st := s.store
 	s.mu.RUnlock()
 	if warm == nil {
 		warm = []string{}
 	}
-	writeJSON(w, map[string]any{"status": "ready", "warmRestoredModes": warm})
+	resp := map[string]any{"status": "ready", "warmRestoredModes": warm}
+	switch {
+	case s.replica != nil:
+		resp["role"] = "follower"
+		resp["replication"] = s.replica.Status()
+	case st != nil:
+		resp["role"] = "leader"
+		resp["walSeq"] = st.LastSeq()
+	}
+	writeJSON(w, resp)
 }
 
 // handleMetrics serves the process registry in the Prometheus text
@@ -323,6 +372,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.queryTimeout)
 		defer cancel()
+	}
+	// Read-your-writes: a request pinned to a walSeq waits (bounded by
+	// the same deadline as the query itself) until this process has
+	// applied it — immediate on the leader, a replication barrier on a
+	// follower.
+	if status, err := s.awaitMinSeq(ctx, r); err != nil {
+		jsonError(w, status, err)
+		return
 	}
 	var root *obs.Span
 	if r.URL.Query().Get("trace") == "1" {
@@ -459,8 +516,18 @@ type evolutionEntry struct {
 	Description string `json:"description"`
 }
 
-func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 	if s.notReady(w) {
+		return
+	}
+	ctx := r.Context()
+	if s.queryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.queryTimeout)
+		defer cancel()
+	}
+	if status, err := s.awaitMinSeq(ctx, r); err != nil {
+		jsonError(w, status, err)
 		return
 	}
 	s.mu.RLock()
@@ -507,6 +574,9 @@ func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
 // failure, which operator failed (index and Table 11 description),
 // and that nothing was retained.
 func (s *Server) handleEvolve(w http.ResponseWriter, r *http.Request) {
+	if s.forbidOnReplica(w) {
+		return
+	}
 	if !s.allowEvolve {
 		jsonError(w, http.StatusForbidden, fmt.Errorf("evolution disabled; start with WithEvolution"))
 		return
@@ -586,6 +656,9 @@ func (s *Server) handleEvolve(w http.ResponseWriter, r *http.Request) {
 // into service. A batch with any invalid fact changes nothing and is
 // never logged.
 func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
+	if s.forbidOnReplica(w) {
+		return
+	}
 	if !s.allowEvolve {
 		jsonError(w, http.StatusForbidden, fmt.Errorf("mutation disabled; start with WithEvolution"))
 		return
@@ -697,6 +770,9 @@ func (s *Server) warmCaches(r *http.Request, clone *core.Schema, d core.Delta, e
 // handleAdminSnapshot durably snapshots the served warehouse on
 // demand and truncates the write-ahead log.
 func (s *Server) handleAdminSnapshot(w http.ResponseWriter, _ *http.Request) {
+	if s.forbidOnReplica(w) {
+		return
+	}
 	s.mu.RLock()
 	st := s.store
 	s.mu.RUnlock()

@@ -46,4 +46,13 @@ var (
 	metWarmSkipped = obs.Default().Counter(
 		"mvolap_mvft_warm_restore_skipped_total",
 		"Snapshot warm modes rejected during recovery (CRC, codec or structural mismatch) and left to rebuild cold.")
+	metReplApplied = obs.Default().Counter(
+		"mvolap_repl_applied_total",
+		"WAL records applied by this follower (bootstraps not included).")
+	metReplLag = obs.Default().Gauge(
+		"mvolap_repl_lag_records",
+		"Replication lag in WAL records: leader's last known committed sequence minus the follower's applied sequence.")
+	metReplReconnects = obs.Default().Counter(
+		"mvolap_repl_reconnects_total",
+		"Follower replication stream reconnect attempts (bootstrap retries included).")
 )

@@ -155,16 +155,22 @@ func readSnapshot(path string) (*core.Schema, []evolution.LogEntry, uint64, []wa
 	if err != nil {
 		return nil, nil, 0, nil, err
 	}
+	return decodeSnapshot(data, path)
+}
+
+// decodeSnapshot parses a snapshot envelope from memory; name labels
+// errors (a file path, or the bootstrap URL a replica fetched from).
+func decodeSnapshot(data []byte, name string) (*core.Schema, []evolution.LogEntry, uint64, []warmModeFile, error) {
 	var in snapshotFile
 	if err := json.Unmarshal(data, &in); err != nil {
-		return nil, nil, 0, nil, fmt.Errorf("store: snapshot %s: %w", path, err)
+		return nil, nil, 0, nil, fmt.Errorf("store: snapshot %s: %w", name, err)
 	}
 	if in.Format < oldestSnapshotFormat || in.Format > snapshotFormat {
-		return nil, nil, 0, nil, fmt.Errorf("store: snapshot %s: unsupported format %d", path, in.Format)
+		return nil, nil, 0, nil, fmt.Errorf("store: snapshot %s: unsupported format %d", name, in.Format)
 	}
 	sch, err := schemaio.Read(bytes.NewReader(in.Schema))
 	if err != nil {
-		return nil, nil, 0, nil, fmt.Errorf("store: snapshot %s: %w", path, err)
+		return nil, nil, 0, nil, fmt.Errorf("store: snapshot %s: %w", name, err)
 	}
 	var log []evolution.LogEntry
 	for _, se := range in.EvolutionLog {

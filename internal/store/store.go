@@ -131,12 +131,18 @@ type Store struct {
 	mu      sync.Mutex
 	wal     *os.File
 	walPath string
-	walSize int64
+	walSize int64  // committed bytes of walPath (never covers a rolled-back frame)
 	seq     uint64 // last appended (or replayed) record
 	snapSeq uint64 // sequence covered by the latest snapshot
 	dirty   bool   // unsynced appends pending (interval policy)
 	closed  bool
 	stats   RecoveryStats
+	// appendCh is closed and replaced on every committed append (and on
+	// Close), waking WAL stream readers; never nil.
+	appendCh chan struct{}
+	// fsyncHook overrides the WAL fsync in fault-injection tests; nil
+	// means the real (*os.File).Sync.
+	fsyncHook func() error
 
 	flushStop chan struct{}
 	flushDone chan struct{}
@@ -160,7 +166,7 @@ func Open(dir string, seed *core.Schema, opts Options) (*Store, *core.Schema, *e
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, nil, fmt.Errorf("store: %w", err)
 	}
-	st := &Store{dir: dir, opts: opts, logger: logger}
+	st := &Store{dir: dir, opts: opts, logger: logger, appendCh: make(chan struct{})}
 
 	start := time.Now()
 	ctx, root := obs.NewTrace(context.Background(), "recovery")
@@ -256,29 +262,38 @@ func (st *Store) loadLatestSnapshot(seed *core.Schema) (*core.Schema, []evolutio
 // logged, counted and skipped, and rebuilds cold on first use; the
 // recovery itself never fails here.
 func (st *Store) restoreWarm(sch *core.Schema, warm []warmModeFile, span *obs.Span) {
+	st.stats.WarmModes = restoreWarmModes(sch, warm, st.logger)
+	span.SetAttr("restored", len(st.stats.WarmModes))
+	span.SetAttr("skipped", len(warm)-len(st.stats.WarmModes))
+}
+
+// restoreWarmModes is the warm-restore core shared by crash recovery
+// and replica bootstrap: validate and import each warm mode payload,
+// returning the keys of the modes restored.
+func restoreWarmModes(sch *core.Schema, warm []warmModeFile, logger *slog.Logger) []string {
+	var restored []string
 	for _, wm := range warm {
 		if got := crc32.ChecksumIEEE(wm.Payload); got != wm.CRC {
-			st.logger.Warn("store: warm mode failed CRC check, rebuilding cold",
+			logger.Warn("store: warm mode failed CRC check, rebuilding cold",
 				"mode", wm.Mode, "want", wm.CRC, "got", got)
 			metWarmSkipped.Inc()
 			continue
 		}
 		exp, err := schemaio.DecodeMappedTable(wm.Payload)
 		if err != nil {
-			st.logger.Warn("store: warm mode undecodable, rebuilding cold", "mode", wm.Mode, "err", err)
+			logger.Warn("store: warm mode undecodable, rebuilding cold", "mode", wm.Mode, "err", err)
 			metWarmSkipped.Inc()
 			continue
 		}
 		if err := sch.ImportWarmMode(exp); err != nil {
-			st.logger.Warn("store: warm mode rejected, rebuilding cold", "mode", wm.Mode, "err", err)
+			logger.Warn("store: warm mode rejected, rebuilding cold", "mode", wm.Mode, "err", err)
 			metWarmSkipped.Inc()
 			continue
 		}
-		st.stats.WarmModes = append(st.stats.WarmModes, wm.Mode)
+		restored = append(restored, wm.Mode)
 		metWarmRestored.Inc()
 	}
-	span.SetAttr("restored", len(st.stats.WarmModes))
-	span.SetAttr("skipped", len(warm)-len(st.stats.WarmModes))
+	return restored
 }
 
 // replayWAL replays every record after the snapshot through the
@@ -460,43 +475,89 @@ func (st *Store) append(typ string, data json.RawMessage) (uint64, bool, error) 
 	if err != nil {
 		return 0, false, err
 	}
+	if payload := len(buf) - recordHeaderSize; payload > maxWALRecord {
+		// scanWAL rejects oversized frames, so writing one would ack a
+		// record that recovery — and every replica — must then throw
+		// away, along with everything appended after it.
+		return 0, false, fmt.Errorf("%w: payload is %d bytes, bound is %d", ErrRecordTooLarge, payload, maxWALRecord)
+	}
 	if _, err := st.wal.Write(buf); err != nil {
 		// Roll the file back to the last record boundary so one failed
 		// write does not poison every later append with a garbage gap.
-		if terr := st.wal.Truncate(st.walSize); terr != nil {
-			st.closed = true
-			return 0, false, fmt.Errorf("store: wal write failed (%v) and rollback failed (%v): store disabled", err, terr)
-		}
-		if _, serr := st.wal.Seek(st.walSize, io.SeekStart); serr != nil {
-			st.closed = true
-			return 0, false, fmt.Errorf("store: wal write failed (%v) and reseek failed (%v): store disabled", err, serr)
+		if rerr := st.rollbackLocked(); rerr != nil {
+			return 0, false, fmt.Errorf("store: wal write failed (%v) and rollback failed (%v): store disabled", err, rerr)
 		}
 		return 0, false, fmt.Errorf("store: wal append: %w", err)
 	}
+	if st.opts.Fsync == FsyncAlways {
+		if err := st.syncLocked(); err != nil {
+			// The bytes are in the file but the caller is about to be
+			// told the append failed: if the record survived, a restart
+			// would replay — and a replica replicate — a write the client
+			// believes was rejected. Undo the bytes and make the undo
+			// durable; a disk that cannot even do that latches the store
+			// closed.
+			if rerr := st.rollbackLocked(); rerr != nil {
+				return 0, false, fmt.Errorf("store: wal fsync failed (%v) and rollback failed (%v): store disabled", err, rerr)
+			}
+			if serr := st.syncLocked(); serr != nil {
+				st.closed = true
+				return 0, false, fmt.Errorf("store: wal fsync failed (%v) and rollback fsync failed (%v): store disabled", err, serr)
+			}
+			return 0, false, fmt.Errorf("store: wal fsync: %w", err)
+		}
+	}
+	// The record is committed: only now do the sequence and the
+	// committed size advance, so a concurrent WAL stream can never ship
+	// a frame that a failed append later rolls back.
 	st.walSize += int64(len(buf))
 	st.seq = rec.Seq
+	if st.opts.Fsync == FsyncInterval {
+		st.dirty = true
+	}
+	st.notifyLocked()
 
 	metWALAppends.With(typ).Inc()
 	metWALBytes.Add(int64(len(buf)))
 	metWALLastSeq.Set(int64(st.seq))
 	metWALSinceSnapshot.Set(int64(st.seq - st.snapSeq))
 
-	switch st.opts.Fsync {
-	case FsyncAlways:
-		if err := st.syncLocked(); err != nil {
-			return 0, false, fmt.Errorf("store: wal fsync: %w", err)
-		}
-	case FsyncInterval:
-		st.dirty = true
-	}
 	due := st.opts.SnapshotEvery > 0 && st.seq-st.snapSeq >= uint64(st.opts.SnapshotEvery)
 	return st.seq, due, nil
 }
 
-// syncLocked fsyncs the WAL; the caller holds st.mu.
+// rollbackLocked discards the bytes of a failed append: truncate back
+// to the last committed record boundary (st.walSize has not advanced)
+// and reseek for the next write. Failure latches the store closed —
+// the file may hold a frame whose append was reported as failed.
+func (st *Store) rollbackLocked() error {
+	if err := st.wal.Truncate(st.walSize); err != nil {
+		st.closed = true
+		return err
+	}
+	if _, err := st.wal.Seek(st.walSize, io.SeekStart); err != nil {
+		st.closed = true
+		return err
+	}
+	return nil
+}
+
+// notifyLocked wakes everything waiting for WAL progress (replication
+// stream readers); the caller holds st.mu.
+func (st *Store) notifyLocked() {
+	close(st.appendCh)
+	st.appendCh = make(chan struct{})
+}
+
+// syncLocked fsyncs the WAL; the caller holds st.mu. fsyncHook
+// substitutes for the real fsync in fault-injection tests.
 func (st *Store) syncLocked() error {
 	start := time.Now()
-	err := st.wal.Sync()
+	sync := st.wal.Sync
+	if st.fsyncHook != nil {
+		sync = st.fsyncHook
+	}
+	err := sync()
 	metWALFsyncs.Inc()
 	metWALFsyncSeconds.Observe(time.Since(start).Seconds())
 	if err == nil {
@@ -627,6 +688,7 @@ func (st *Store) Close() error {
 		return nil
 	}
 	st.closed = true
+	st.notifyLocked() // wake stream readers so they observe the close
 	flushStop := st.flushStop
 	st.mu.Unlock()
 	if flushStop != nil {

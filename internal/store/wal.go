@@ -3,6 +3,7 @@ package store
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -20,7 +21,10 @@ import (
 // increasing sequence numbers; a record is torn (incomplete header or
 // payload, or CRC mismatch) only as the result of a crash mid-append,
 // so scanning stops at the first invalid record and recovery truncates
-// the file back to the last good byte.
+// the file back to the last good byte. A frame whose CRC matches but
+// whose payload does not parse cannot be torn — the checksum covers
+// the whole payload — so it is refused as corruption instead of
+// truncated (see scanWAL).
 
 const (
 	walMagic = "MVOWAL01"
@@ -38,7 +42,17 @@ const (
 	RecordEvolve = "evolve"
 	// RecordFacts is a fact-batch append: a JSON array of FactRecord.
 	RecordFacts = "facts"
+	// RecordHeartbeat is a liveness frame on the replication stream,
+	// carrying the leader's last committed sequence. It is never
+	// written to a WAL file and never applied by a follower.
+	RecordHeartbeat = "hb"
 )
+
+// ErrRecordTooLarge reports an append whose payload exceeds
+// maxWALRecord. Writing such a record would ack a mutation that
+// scanWAL must then reject on recovery — truncating it and everything
+// appended after it — so the append path refuses it up front.
+var ErrRecordTooLarge = errors.New("store: record exceeds the WAL record size bound")
 
 // walRecord is the JSON payload of one WAL record.
 type walRecord struct {
@@ -135,7 +149,14 @@ func scanWAL(path string) (*walScan, error) {
 		}
 		var rec walRecord
 		if err := json.Unmarshal(payload, &rec); err != nil {
-			break // valid frame, unparseable content: treat as torn
+			// A crash-torn write cannot produce this: the CRC covers the
+			// whole payload, so a partial or interleaved write fails the
+			// checksum above. A frame that checks out but does not parse
+			// is mid-history corruption or version skew, and treating it
+			// as a torn tail would silently truncate away every later
+			// valid record — refuse recovery like a sequence jump.
+			return nil, fmt.Errorf("store: %s: record %d (offset %d): CRC-valid frame with unparseable payload: %w",
+				path, len(scan.records)+1, scan.goodSize, err)
 		}
 		if n := len(scan.records); n > 0 && rec.Seq != scan.records[n-1].Seq+1 {
 			return nil, fmt.Errorf("store: %s: wal sequence jumped %d → %d",
