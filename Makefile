@@ -74,6 +74,28 @@ bench-smoke:
 	$(GO) test -json -bench=WarmRestart -benchtime=1x -run='^$$' ./internal/store >> $(BENCH)
 	$(GO) test -json -bench='FollowerCatchup|ReplicaQueryThroughput' -benchtime=1x -run='^$$' ./internal/server >> $(BENCH)
 
+# loadtest is the mvolap-bench smoke: an in-process leader + 1
+# follower under ~5s of mixed query/facts/evolve load with a recorded
+# trace, then a serial replay of the capture (the trace self-verifies
+# its CRC framing and op digest on read), plus the record/replay
+# determinism and golden-trace tests. LOADJSON is uploaded by CI.
+LOADJSON ?= loadtest.json
+.PHONY: loadtest
+loadtest: build
+	$(GO) run ./cmd/mvolap-bench -inprocess 1 -duration 4s -warmup 1s -concurrency 8 \
+		-record loadtest.mvtr -json $(LOADJSON)
+	$(GO) run ./cmd/mvolap-bench -inprocess 0 -replay loadtest.mvtr -concurrency 1
+	$(GO) test -run 'TestRecordReplayDeterminism|TestSeedTrace' -count=1 ./internal/bench/
+	@rm -f loadtest.mvtr
+
+# bench-load regenerates BENCH_8.json: a saturation sweep against an
+# in-process leader + 2 followers, queries fanned across the
+# followers, replication lag sampled from their /readyz.
+.PHONY: bench-load
+bench-load: build
+	$(GO) run ./cmd/mvolap-bench -inprocess 2 -sweep-concurrency 1,8,64 \
+		-duration 4s -warmup 1s -json BENCH_8.json
+
 # bench-delta compares the sharded-swap/scan benchmarks on this
 # checkout against a benchstat-style baseline committed as $(BENCH).
 # The comparison is advisory: only a build failure fails the target

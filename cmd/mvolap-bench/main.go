@@ -1,0 +1,352 @@
+// Command mvolap-bench load-tests a live mvolapd (or an in-process
+// cluster it starts itself) with a configurable mix of TQL queries,
+// fact ingestion and evolution scripts, in the style of warp and other
+// saturation benchmarkers: a pool of concurrent clients, a warmup
+// phase, and per-op-type latency percentiles from HDR-style
+// histograms.
+//
+// Usage:
+//
+//	mvolap-bench -inprocess 2 -duration 30s -concurrency 16
+//	mvolap-bench -host http://leader:8080 -followers http://f1:8081,http://f2:8082
+//	mvolap-bench -inprocess 2 -sweep-concurrency 1,8,64,256 -json BENCH_8.json
+//	mvolap-bench -inprocess 0 -max-ops 5000 -record run.mvtr
+//	mvolap-bench -inprocess 0 -replay run.mvtr
+//
+// With -followers (or -inprocess N for N > 0), queries fan out
+// round-robin across the followers while mutations stay on the leader,
+// and follower staleness (lag records / ms from /readyz) is sampled
+// through the measured window. With -rate, arrivals are paced open
+// loop and latency is measured from scheduled arrival, so queue wait
+// under saturation is not coordinated-omission'd away.
+//
+// -record captures the exact op stream to a CRC-guarded trace file;
+// -replay reissues a capture and reports the stream digest, so two
+// runs are provably driven by identical workloads. See
+// docs/benchmarking.md.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"mvolap/internal/bench"
+	"mvolap/internal/buildinfo"
+	"mvolap/internal/workload"
+)
+
+// config collects the tool's flags; separated from main so tests can
+// exercise the wiring without a process.
+type config struct {
+	host      string
+	followers string
+	inprocess int
+
+	mix           string
+	concurrency   int
+	sweep         string
+	duration      time.Duration
+	warmup        time.Duration
+	rate          float64
+	maxOps        uint64
+	factsPerBatch int
+	seed          int64
+	idPrefix      string
+
+	record       string
+	replay       string
+	resultDigest bool
+
+	jsonPath string
+	version  bool
+
+	// In-process workload sizing.
+	divisions    int
+	departments  int
+	years        int
+	evolutions   int
+	factsPerYear int
+	measures     int
+	workloadSeed int64
+}
+
+func parseFlags(args []string) (*config, error) {
+	fs := flag.NewFlagSet("mvolap-bench", flag.ContinueOnError)
+	c := &config{}
+	fs.StringVar(&c.host, "host", "", "leader base URL of an externally provisioned mvolapd (e.g. http://leader:8080)")
+	fs.StringVar(&c.followers, "followers", "", "comma-separated follower base URLs; queries fan out across them round-robin")
+	fs.IntVar(&c.inprocess, "inprocess", -1, "start an in-process leader plus this many followers instead of -host")
+	fs.StringVar(&c.mix, "mix", bench.DefaultMix.String(), "op mix as kind=weight pairs (kinds: query, facts, evolve)")
+	fs.IntVar(&c.concurrency, "concurrency", 16, "concurrent client count")
+	fs.StringVar(&c.sweep, "sweep-concurrency", "", "comma-separated concurrency steps (e.g. 1,8,64,256); overrides -concurrency")
+	fs.DurationVar(&c.duration, "duration", 30*time.Second, "measured duration per run")
+	fs.DurationVar(&c.warmup, "warmup", 3*time.Second, "warmup discarded before measuring")
+	fs.Float64Var(&c.rate, "rate", 0, "open-loop arrival rate in ops/s across the pool (0 = closed loop)")
+	fs.Uint64Var(&c.maxOps, "max-ops", 0, "stop after this many ops regardless of -duration (deterministic-length runs)")
+	fs.IntVar(&c.factsPerBatch, "facts-per-batch", 32, "facts per POST /facts batch")
+	fs.Int64Var(&c.seed, "seed", 1, "op generator seed")
+	fs.StringVar(&c.idPrefix, "id-prefix", "bench", "namespace prefix for generated member IDs")
+	fs.StringVar(&c.record, "record", "", "record the issued op stream to this trace file")
+	fs.StringVar(&c.replay, "replay", "", "replay this trace file instead of generating ops")
+	fs.BoolVar(&c.resultDigest, "result-digest", false, "accumulate a SHA-256 over all responses (reproducible only serially against a fresh server)")
+	fs.StringVar(&c.jsonPath, "json", "", "write the JSON report here ('-' for stdout)")
+	fs.BoolVar(&c.version, "version", false, "print the build version and exit")
+	fs.IntVar(&c.divisions, "divisions", 3, "in-process workload: division count")
+	fs.IntVar(&c.departments, "departments", 24, "in-process workload: department count")
+	fs.IntVar(&c.years, "years", 4, "in-process workload: years of history")
+	fs.IntVar(&c.evolutions, "evolutions-per-year", 3, "in-process workload: evolution events per year boundary")
+	fs.IntVar(&c.factsPerYear, "facts-per-year", 12, "in-process workload: facts per department per year")
+	fs.IntVar(&c.measures, "measures", 2, "in-process workload: measure count")
+	fs.Int64Var(&c.workloadSeed, "workload-seed", 11, "in-process workload: generator seed")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// validate rejects flag combinations with no sensible meaning.
+func (c *config) validate() error {
+	if c.version {
+		return nil
+	}
+	if (c.host == "") == (c.inprocess < 0) {
+		return fmt.Errorf("need exactly one of -host URL or -inprocess N")
+	}
+	if c.inprocess >= 0 && c.followers != "" {
+		return fmt.Errorf("-followers names external followers; with -inprocess they are started for you")
+	}
+	if c.record != "" && c.replay != "" {
+		return fmt.Errorf("-record and -replay are mutually exclusive")
+	}
+	if c.record != "" && c.sweep != "" {
+		return fmt.Errorf("-record captures one run; it cannot be combined with -sweep-concurrency")
+	}
+	if c.replay != "" && c.sweep != "" {
+		return fmt.Errorf("-replay reissues one capture; it cannot be combined with -sweep-concurrency")
+	}
+	if c.concurrency <= 0 {
+		return fmt.Errorf("-concurrency must be positive")
+	}
+	if c.replay == "" && c.duration <= 0 && c.maxOps == 0 {
+		return fmt.Errorf("need -duration or -max-ops")
+	}
+	if _, err := parseSweep(c.sweep); err != nil {
+		return err
+	}
+	if _, err := bench.ParseMix(c.mix); err != nil {
+		return err
+	}
+	return nil
+}
+
+// parseSweep parses "1,8,64" into concurrency steps.
+func parseSweep(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var steps []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -sweep-concurrency step %q", part)
+		}
+		steps = append(steps, n)
+	}
+	return steps, nil
+}
+
+func (c *config) workloadConfig() workload.Config {
+	return workload.Config{
+		Seed:              c.workloadSeed,
+		Divisions:         c.divisions,
+		Departments:       c.departments,
+		Years:             c.years,
+		EvolutionsPerYear: c.evolutions,
+		FactsPerYear:      c.factsPerYear,
+		Measures:          c.measures,
+	}
+}
+
+// run executes the benchmark per the flags, writing the human table to
+// tableOut and, with -json, the report to jsonPath.
+func run(ctx context.Context, c *config, tableOut, jsonOut io.Writer) error {
+	mix, err := bench.ParseMix(c.mix)
+	if err != nil {
+		return err
+	}
+	steps, err := parseSweep(c.sweep)
+	if err != nil {
+		return err
+	}
+	if len(steps) == 0 {
+		steps = []int{c.concurrency}
+	}
+
+	report := bench.NewReport()
+	report.Mix = mix.String()
+	report.Seed = c.seed
+
+	// Resolve the target cluster.
+	var leader string
+	var followers []string
+	var surface workload.Surface
+	client := &http.Client{Timeout: 120 * time.Second}
+	if c.inprocess >= 0 {
+		wcfg := c.workloadConfig()
+		cluster, err := bench.StartCluster(ctx, bench.ClusterOptions{
+			Workload:  wcfg,
+			Followers: c.inprocess,
+		})
+		if err != nil {
+			return err
+		}
+		defer cluster.Close()
+		leader, followers = cluster.Leader, cluster.Followers
+		surface = cluster.Surface()
+		report.Workload = fmt.Sprintf("inprocess seed=%d divisions=%d departments=%d years=%d evolutions-per-year=%d facts-per-year=%d measures=%d",
+			wcfg.Seed, wcfg.Divisions, wcfg.Departments, wcfg.Years, wcfg.EvolutionsPerYear, wcfg.FactsPerYear, wcfg.Measures)
+	} else {
+		leader = strings.TrimRight(c.host, "/")
+		if c.followers != "" {
+			for _, f := range strings.Split(c.followers, ",") {
+				followers = append(followers, strings.TrimRight(strings.TrimSpace(f), "/"))
+			}
+		}
+		if c.replay == "" {
+			if surface, err = bench.DiscoverSurface(client, leader); err != nil {
+				return err
+			}
+		}
+		report.Workload = "external"
+	}
+	report.Leader, report.Followers = leader, followers
+
+	// Replay mode: one run, reissuing the capture.
+	if c.replay != "" {
+		tr, err := bench.ReadTrace(c.replay)
+		if err != nil {
+			return err
+		}
+		report.Trace = c.replay
+		report.Seed = tr.Header.Seed
+		report.Mix = tr.Header.Mix
+		res, err := bench.Run(ctx, bench.Options{
+			Leader:              leader,
+			Followers:           followers,
+			Concurrency:         steps[0],
+			Replay:              tr.Ops,
+			CollectResultDigest: c.resultDigest || steps[0] == 1,
+			Client:              client,
+		})
+		if err != nil {
+			return err
+		}
+		report.Runs = append(report.Runs, *res)
+		return emit(report, c, tableOut, jsonOut)
+	}
+
+	for i, conc := range steps {
+		opts := bench.Options{
+			Leader:      leader,
+			Followers:   followers,
+			Mix:         mix,
+			Concurrency: conc,
+			Duration:    c.duration,
+			Warmup:      c.warmup,
+			Rate:        c.rate,
+			MaxOps:      c.maxOps,
+			Seed:        c.seed,
+			// Each sweep step evolves the same warehouse; a per-step prefix
+			// keeps one step's generated members from colliding with the
+			// identically-seeded stream of the next.
+			IDPrefix:            fmt.Sprintf("%s-s%d", c.idPrefix, i),
+			FactsPerBatch:       c.factsPerBatch,
+			Surface:             surface,
+			CollectResultDigest: c.resultDigest,
+			Client:              client,
+		}
+		if c.record != "" {
+			tw, err := bench.CreateTrace(c.record, bench.TraceHeader{
+				Seed: c.seed, Mix: mix.String(), Note: report.Workload,
+			})
+			if err != nil {
+				return err
+			}
+			opts.Record = tw
+			report.Trace = c.record
+			res, err := bench.Run(ctx, opts)
+			if cerr := tw.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+			report.Runs = append(report.Runs, *res)
+			break
+		}
+		res, err := bench.Run(ctx, opts)
+		if err != nil {
+			return err
+		}
+		report.Runs = append(report.Runs, *res)
+	}
+	return emit(report, c, tableOut, jsonOut)
+}
+
+// emit writes the human table and, when configured, the JSON report.
+func emit(report *bench.Report, c *config, tableOut, jsonOut io.Writer) error {
+	if err := report.WriteTable(tableOut); err != nil {
+		return err
+	}
+	switch c.jsonPath {
+	case "":
+		return nil
+	case "-":
+		return report.WriteJSON(jsonOut)
+	default:
+		f, err := os.Create(c.jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+}
+
+func main() {
+	c, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	if c.version {
+		fmt.Println("mvolap-bench", buildinfo.Get())
+		return
+	}
+	if err := c.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "mvolap-bench:", err)
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// With -json - the report owns stdout; the table moves to stderr.
+	tableOut := io.Writer(os.Stdout)
+	if c.jsonPath == "-" {
+		tableOut = os.Stderr
+	}
+	if err := run(ctx, c, tableOut, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mvolap-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mvolap/internal/bench"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	c, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.mix != bench.DefaultMix.String() || c.concurrency != 16 || c.inprocess != -1 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	// No target at all is invalid.
+	if err := c.validate(); err == nil {
+		t.Fatal("config without -host or -inprocess validated")
+	}
+}
+
+func TestValidateRejectsBadCombos(t *testing.T) {
+	cases := [][]string{
+		{"-host", "http://x", "-inprocess", "1"},
+		{"-inprocess", "1", "-followers", "http://x"},
+		{"-inprocess", "0", "-record", "a", "-replay", "b"},
+		{"-inprocess", "0", "-record", "a", "-sweep-concurrency", "1,2"},
+		{"-inprocess", "0", "-replay", "a", "-sweep-concurrency", "1,2"},
+		{"-inprocess", "0", "-sweep-concurrency", "1,x"},
+		{"-inprocess", "0", "-mix", "query=0"},
+		{"-inprocess", "0", "-concurrency", "0"},
+		{"-inprocess", "0", "-duration", "0s"},
+	}
+	for _, args := range cases {
+		c, err := parseFlags(args)
+		if err != nil {
+			t.Fatalf("parseFlags(%v): %v", args, err)
+		}
+		if err := c.validate(); err == nil {
+			t.Errorf("validate accepted %v", args)
+		}
+	}
+	c, err := parseFlags([]string{"-inprocess", "2", "-sweep-concurrency", "1,8,64"})
+	if err != nil || c.validate() != nil {
+		t.Fatalf("valid config rejected: %v, %v", err, c.validate())
+	}
+}
+
+// TestRunInprocessSweep is the CLI end to end: an in-process leader +
+// follower, a two-step concurrency sweep, and a parseable JSON report.
+func TestRunInprocessSweep(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "report.json")
+	c, err := parseFlags([]string{
+		"-inprocess", "1",
+		"-sweep-concurrency", "2,4",
+		"-duration", "300ms", "-warmup", "50ms",
+		"-departments", "6", "-years", "2", "-facts-per-year", "2",
+		"-json", jsonPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.validate(); err != nil {
+		t.Fatal(err)
+	}
+	var table bytes.Buffer
+	if err := run(context.Background(), c, &table, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var report bench.Report
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Tool != "mvolap-bench" || len(report.Runs) != 2 {
+		t.Fatalf("report = tool %q, %d runs", report.Tool, len(report.Runs))
+	}
+	if report.Runs[0].Concurrency != 2 || report.Runs[1].Concurrency != 4 {
+		t.Fatalf("sweep steps = %d, %d", report.Runs[0].Concurrency, report.Runs[1].Concurrency)
+	}
+	for _, r := range report.Runs {
+		if r.Total.Count == 0 || r.Total.P99Ms <= 0 {
+			t.Fatalf("empty run in report: %+v", r)
+		}
+		if r.Replication == nil || r.Replication.Followers != 1 {
+			t.Fatalf("no replication lag in report: %+v", r.Replication)
+		}
+	}
+	if !bytes.Contains(table.Bytes(), []byte("concurrency 4")) {
+		t.Fatalf("table missing sweep step:\n%s", table.String())
+	}
+}
+
+// TestRunRecordThenReplay round-trips a capture through the CLI paths.
+func TestRunRecordThenReplay(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "run.mvtr")
+	rec, err := parseFlags([]string{
+		"-inprocess", "0", "-max-ops", "30", "-duration", "0s", "-warmup", "0s",
+		"-concurrency", "2", "-record", trace,
+		"-departments", "6", "-years", "2", "-facts-per-year", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), rec, io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := bench.ReadTrace(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Ops) != 30 {
+		t.Fatalf("trace has %d ops, want 30", len(tr.Ops))
+	}
+
+	rep, err := parseFlags([]string{
+		"-inprocess", "0", "-replay", trace, "-concurrency", "1",
+		"-departments", "6", "-years", "2", "-facts-per-year", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.validate(); err != nil {
+		t.Fatal(err)
+	}
+	var table bytes.Buffer
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := run(ctx, rep, &table, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(table.Bytes(), []byte("result digest:")) {
+		t.Fatalf("serial replay did not report a result digest:\n%s", table.String())
+	}
+}

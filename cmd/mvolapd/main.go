@@ -49,9 +49,11 @@ import (
 	"syscall"
 	"time"
 
+	"mvolap/internal/buildinfo"
 	"mvolap/internal/casestudy"
 	"mvolap/internal/core"
 	"mvolap/internal/evolution"
+	"mvolap/internal/obs"
 	"mvolap/internal/schemaio"
 	"mvolap/internal/server"
 	"mvolap/internal/store"
@@ -63,6 +65,7 @@ type config struct {
 	addr            string
 	schemaPath      string
 	demo            bool
+	version         bool
 	allowEvolve     bool
 	pprof           bool
 	logJSON         bool
@@ -85,6 +88,7 @@ func parseFlags(args []string) (*config, error) {
 	fs.StringVar(&c.addr, "addr", ":8080", "listen address")
 	fs.StringVar(&c.schemaPath, "schema", "", "path to a schema JSON file")
 	fs.BoolVar(&c.demo, "demo", false, "serve the built-in ICDE 2003 case study")
+	fs.BoolVar(&c.version, "version", false, "print the build version and exit")
 	fs.BoolVar(&c.allowEvolve, "allow-evolve", false, "enable POST /evolve")
 	fs.BoolVar(&c.pprof, "pprof", false, "mount /debug/pprof/ handlers")
 	fs.BoolVar(&c.logJSON, "log-json", false, "emit the access log as JSON instead of text")
@@ -175,6 +179,14 @@ func main() {
 	if err != nil {
 		os.Exit(2)
 	}
+	if c.version {
+		fmt.Println("mvolapd", buildinfo.Get())
+		return
+	}
+	// The build-identity gauge joins every other metric of this process
+	// to the binary that produced it (and /metrics exposes it), so a
+	// bench report can name the build it measured.
+	buildinfo.Register(obs.Default())
 	logger := newLogger(c)
 
 	if c.replicateFrom != "" {

@@ -113,3 +113,16 @@ func TestStoreOptionsDriveStore(t *testing.T) {
 		t.Errorf("recovered schema = %q", sch.Name)
 	}
 }
+
+func TestParseFlagsVersion(t *testing.T) {
+	c, err := parseFlags([]string{"-version"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.version {
+		t.Error("-version not parsed")
+	}
+	if c, _ = parseFlags(nil); c.version {
+		t.Error("version defaults on")
+	}
+}

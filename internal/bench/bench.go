@@ -1,0 +1,117 @@
+// Package bench is the distributed load-generation harness behind
+// cmd/mvolap-bench, modeled on minio/warp: it drives a live mvolapd —
+// or a leader with read replicas — with a configurable mix of TQL
+// queries, fact batches and evolution scripts generated from
+// internal/workload's evolving-organization generators, records every
+// latency into HDR-style histograms, and aggregates per-op-type
+// p50/p90/p99/p999 and throughput into a JSON report plus a human
+// table.
+//
+// The moving parts:
+//
+//   - Mix: the query/facts/evolve ratio, e.g. "query=90,facts=8,evolve=2".
+//   - Runner (Run): warmup + measure phases over a pool of concurrent
+//     clients, closed-loop (each client issues as fast as the server
+//     answers) or open-loop (-rate, a fixed arrival rate whose latency
+//     includes queue wait, so a saturated server cannot hide behind
+//     coordinated omission).
+//   - Replication mode: queries fan out round-robin across follower
+//     URLs while mutations go to the leader; a sampler polls each
+//     follower's /readyz during the measure phase and reports
+//     staleness (lag in records and milliseconds) alongside latency.
+//   - Trace record/replay: -record captures the exact op stream into a
+//     CRC-guarded MVTRACE1 file (trace.go); -replay reissues a capture
+//     byte-identically, so two runs over the same trace are comparable.
+//   - Cluster: an in-process leader + N followers over loopback HTTP,
+//     used by `make loadtest`, the determinism tests and -inprocess
+//     runs that need no externally provisioned daemons.
+//
+// A single generator goroutine owns the op stream (and the trace
+// recorder), so a given seed always produces the same sequence of
+// operations regardless of worker scheduling.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Mix is the op-kind ratio of a mixed workload. The weights are
+// relative, not percentages — {9,1,0} and {90,10,0} are the same mix.
+type Mix struct {
+	Query  int
+	Facts  int
+	Evolve int
+}
+
+// DefaultMix mirrors a read-mostly production warehouse: ~90% queries,
+// steady fact ingestion, occasional structural evolution.
+var DefaultMix = Mix{Query: 90, Facts: 8, Evolve: 2}
+
+// ParseMix parses "query=90,facts=8,evolve=2". Omitted kinds weigh
+// zero; at least one weight must be positive.
+func ParseMix(s string) (Mix, error) {
+	var m Mix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Mix{}, fmt.Errorf("bench: mix term %q is not name=weight", part)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || w < 0 {
+			return Mix{}, fmt.Errorf("bench: mix weight %q must be a non-negative integer", val)
+		}
+		switch strings.ToLower(strings.TrimSpace(name)) {
+		case OpQuery:
+			m.Query = w
+		case OpFacts:
+			m.Facts = w
+		case OpEvolve:
+			m.Evolve = w
+		default:
+			return Mix{}, fmt.Errorf("bench: unknown op kind %q in mix (want query, facts, evolve)", name)
+		}
+	}
+	if m.total() == 0 {
+		return Mix{}, fmt.Errorf("bench: mix %q has no positive weight", s)
+	}
+	return m, nil
+}
+
+func (m Mix) total() int { return m.Query + m.Facts + m.Evolve }
+
+// String renders the canonical flag spelling.
+func (m Mix) String() string {
+	return fmt.Sprintf("query=%d,facts=%d,evolve=%d", m.Query, m.Facts, m.Evolve)
+}
+
+// pick draws one op kind with probability proportional to its weight.
+func (m Mix) pick(r *rand.Rand) string {
+	n := r.Intn(m.total())
+	if n < m.Query {
+		return OpQuery
+	}
+	if n < m.Query+m.Facts {
+		return OpFacts
+	}
+	return OpEvolve
+}
+
+// kindsIn returns the kinds present in the stats map in canonical
+// order, for stable report rendering.
+func kindsIn[T any](m map[string]T) []string {
+	order := map[string]int{OpQuery: 0, OpFacts: 1, OpEvolve: 2}
+	kinds := make([]string, 0, len(m))
+	for k := range m {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return order[kinds[i]] < order[kinds[j]] })
+	return kinds
+}

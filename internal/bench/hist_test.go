@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestHistBucketRoundTrip(t *testing.T) {
+	// Every bucket's low value must map back into that bucket, and
+	// bucket lows must be non-decreasing.
+	prev := int64(-1)
+	for i := 0; i < histBuckets; i++ {
+		low := bucketLow(i)
+		if low < prev {
+			t.Fatalf("bucketLow(%d) = %d < bucketLow(%d) = %d", i, low, i-1, prev)
+		}
+		prev = low
+		if got := bucketOf(low); got != i && i < histBuckets-1 {
+			t.Fatalf("bucketOf(bucketLow(%d)=%d) = %d", i, low, got)
+		}
+	}
+}
+
+// TestHistQuantileAccuracy: quantiles over a known distribution come
+// back within the log-linear scheme's ~1.6% relative error.
+func TestHistQuantileAccuracy(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	h := &hist{}
+	var exact []float64
+	for i := 0; i < 200000; i++ {
+		// Log-uniform latencies from ~100µs to ~1s: the shape of a real
+		// mixed query/ingest run.
+		v := math.Exp(math.Log(100) + r.Float64()*math.Log(10000)) // µs
+		exact = append(exact, v)
+		h.record(time.Duration(v) * time.Microsecond)
+	}
+	sort.Float64s(exact)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		want := exact[int(q*float64(len(exact)))]
+		got := float64(h.quantile(q)) / float64(time.Microsecond)
+		if relErr := math.Abs(got-want) / want; relErr > 0.04 {
+			t.Errorf("q%.3f: got %.0fµs want %.0fµs (rel err %.3f)", q, got, want, relErr)
+		}
+	}
+	if h.count != 200000 {
+		t.Fatalf("count = %d", h.count)
+	}
+}
+
+func TestHistMergeMatchesSingle(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	whole, a, b := &hist{}, &hist{}, &hist{}
+	for i := 0; i < 10000; i++ {
+		d := time.Duration(r.Intn(5_000_000)) * time.Microsecond
+		whole.record(d)
+		if i%2 == 0 {
+			a.record(d)
+		} else {
+			b.record(d)
+		}
+	}
+	a.merge(b)
+	if a.count != whole.count || a.sum != whole.sum || a.min != whole.min || a.max != whole.max {
+		t.Fatalf("merge lost observations: %d/%v vs %d/%v", a.count, a.sum, whole.count, whole.sum)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if a.quantile(q) != whole.quantile(q) {
+			t.Errorf("q%.2f differs after merge: %v vs %v", q, a.quantile(q), whole.quantile(q))
+		}
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	h := &hist{}
+	if h.quantile(0.5) != 0 || h.mean() != 0 {
+		t.Fatal("empty histogram must read zero")
+	}
+}

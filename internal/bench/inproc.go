@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"mvolap/internal/core"
+	"mvolap/internal/evolution"
+	"mvolap/internal/server"
+	"mvolap/internal/store"
+	"mvolap/internal/workload"
+)
+
+// ClusterOptions sizes an in-process cluster.
+type ClusterOptions struct {
+	// Workload seeds the leader's warehouse.
+	Workload workload.Config
+	// Followers is the read-replica count.
+	Followers int
+	// Dir is the leader's data directory; empty means a temporary one
+	// removed on Close.
+	Dir string
+	// Logger defaults to a discard logger — a load generator's own
+	// servers should not drown the report.
+	Logger *slog.Logger
+	// ReadyTimeout bounds the wait for every node to answer /readyz;
+	// 0 means 30s.
+	ReadyTimeout time.Duration
+}
+
+// Cluster is an in-process leader (with a real store and WAL) plus N
+// followers replicating it, all served over loopback HTTP — the same
+// wiring as `mvolapd` and `mvolapd -replicate-from`, without needing
+// externally provisioned daemons. `make loadtest`, the determinism
+// tests and `mvolap-bench -inprocess` run against one of these.
+type Cluster struct {
+	Leader    string
+	Followers []string
+	// Workload is the generated organization the leader was seeded
+	// with; its surface drives the op generator.
+	Workload *workload.Workload
+
+	cancel    context.CancelFunc
+	servers   []*server.Server
+	listeners []net.Listener
+	httpSrvs  []*http.Server
+	st        *store.Store
+	tempDir   string
+}
+
+// StartCluster generates the workload, opens the leader and its
+// followers, and blocks until every node reports ready.
+func StartCluster(ctx context.Context, o ClusterOptions) (*Cluster, error) {
+	logger := o.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if o.ReadyTimeout <= 0 {
+		o.ReadyTimeout = 30 * time.Second
+	}
+	w, err := workload.Generate(o.Workload)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{Workload: w}
+	ctx, c.cancel = context.WithCancel(ctx)
+	ok := false
+	defer func() {
+		if !ok {
+			c.Close()
+		}
+	}()
+
+	dir := o.Dir
+	if dir == "" {
+		if dir, err = os.MkdirTemp("", "mvolap-bench-*"); err != nil {
+			return nil, err
+		}
+		c.tempDir = dir
+	}
+	// FsyncOff: the harness measures the serving tier; a fsync per
+	// mutation would benchmark the disk instead. Durability runs use a
+	// real daemon.
+	st, sch, applier, err := store.Open(dir, w.Schema, store.Options{
+		Fsync: store.FsyncOff, Logger: logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.st = st
+	leader := server.New(nil, server.WithLogger(logger), server.WithEvolution())
+	leader.Install(sch, applier, st)
+	leaderURL, err := c.listen(leader)
+	if err != nil {
+		return nil, err
+	}
+	c.Leader = leaderURL
+
+	for i := 0; i < o.Followers; i++ {
+		rep := store.NewReplica(leaderURL, store.ReplicaOptions{
+			Logger:     logger,
+			MinBackoff: 25 * time.Millisecond,
+			MaxBackoff: 500 * time.Millisecond,
+		})
+		f := server.New(nil, server.WithLogger(logger), server.WithReplica(rep))
+		rep.SetPublish(func(sch *core.Schema, applier *evolution.Applier) {
+			f.Install(sch, applier, nil)
+		})
+		go rep.Run(ctx)
+		u, err := c.listen(f)
+		if err != nil {
+			return nil, err
+		}
+		c.Followers = append(c.Followers, u)
+	}
+
+	if err := c.awaitReady(ctx, o.ReadyTimeout); err != nil {
+		return nil, err
+	}
+	ok = true
+	return c, nil
+}
+
+// listen serves s on an ephemeral loopback port.
+func (c *Cluster) listen(s *server.Server) (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	c.servers = append(c.servers, s)
+	c.listeners = append(c.listeners, ln)
+	c.httpSrvs = append(c.httpSrvs, srv)
+	return "http://" + ln.Addr().String(), nil
+}
+
+// awaitReady polls every node's /readyz until it answers 200.
+func (c *Cluster) awaitReady(ctx context.Context, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	client := &http.Client{Timeout: 2 * time.Second}
+	for _, u := range append([]string{c.Leader}, c.Followers...) {
+		for {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			resp, err := client.Get(u + "/readyz")
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("bench: node %s not ready after %s", u, timeout)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// Surface returns the op-generation surface of the seeded workload.
+func (c *Cluster) Surface() workload.Surface {
+	return workload.SurfaceOf(c.Workload.Schema)
+}
+
+// Close stops replication, the HTTP servers and the store, and removes
+// the temporary data directory.
+func (c *Cluster) Close() {
+	c.cancel()
+	for _, s := range c.servers {
+		s.Stop()
+	}
+	for _, srv := range c.httpSrvs {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		srv.Shutdown(ctx)
+		cancel()
+	}
+	if c.st != nil {
+		c.st.Close()
+	}
+	if c.tempDir != "" {
+		os.RemoveAll(c.tempDir)
+	}
+}

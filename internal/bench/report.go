@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"mvolap/internal/buildinfo"
+)
+
+// OpStats aggregates one op kind over the measure phase. Latencies are
+// milliseconds; errors are transport failures plus every >= 400
+// response (a concurrent evolve losing a reclassify race 422s, for
+// example — a load harness reports that rather than hiding it).
+type OpStats struct {
+	Count            int64   `json:"count"`
+	Errors           int64   `json:"errors"`
+	ThroughputOpsSec float64 `json:"throughputOpsSec"`
+	MeanMs           float64 `json:"meanMs"`
+	P50Ms            float64 `json:"p50Ms"`
+	P90Ms            float64 `json:"p90Ms"`
+	P99Ms            float64 `json:"p99Ms"`
+	P999Ms           float64 `json:"p999Ms"`
+	MinMs            float64 `json:"minMs"`
+	MaxMs            float64 `json:"maxMs"`
+}
+
+func opStatsOf(h *hist, errors int64, measured time.Duration) OpStats {
+	s := OpStats{
+		Count:  h.count,
+		Errors: errors,
+		MeanMs: ms(h.mean()),
+		P50Ms:  ms(h.quantile(0.50)),
+		P90Ms:  ms(h.quantile(0.90)),
+		P99Ms:  ms(h.quantile(0.99)),
+		P999Ms: ms(h.quantile(0.999)),
+		MinMs:  ms(h.min),
+		MaxMs:  ms(h.max),
+	}
+	if measured > 0 {
+		s.ThroughputOpsSec = float64(h.count) / seconds(measured)
+	}
+	return s
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// LagStats aggregates the replication staleness observed on the
+// followers while the measured load ran.
+type LagStats struct {
+	Followers      int     `json:"followers"`
+	Samples        int     `json:"samples"`
+	MaxLagRecords  uint64  `json:"maxLagRecords"`
+	MeanLagRecords float64 `json:"meanLagRecords"`
+	MaxLagMs       float64 `json:"maxLagMs"`
+	MeanLagMs      float64 `json:"meanLagMs"`
+	Unreachable    int     `json:"unreachable,omitempty"`
+}
+
+// RunResult is one measured run (one concurrency step of a sweep).
+type RunResult struct {
+	Concurrency  int                `json:"concurrency"`
+	Rate         float64            `json:"rateOpsSec,omitempty"`
+	WarmupSec    float64            `json:"warmupSec"`
+	MeasuredSec  float64            `json:"measuredSec"`
+	OpsIssued    uint64             `json:"opsIssued"`
+	Ops          map[string]OpStats `json:"ops"`
+	Total        OpStats            `json:"total"`
+	Replication  *LagStats          `json:"replication,omitempty"`
+	OpDigest     string             `json:"opDigest,omitempty"`
+	ResultDigest string             `json:"resultDigest,omitempty"`
+}
+
+// Report is the mvolap-bench output: the build that was measured, the
+// run configuration, and one RunResult per concurrency step. It is the
+// JSON shape committed as BENCH_8.json.
+type Report struct {
+	Tool      string         `json:"tool"`
+	Build     buildinfo.Info `json:"build"`
+	Leader    string         `json:"leader"`
+	Followers []string       `json:"followers,omitempty"`
+	Mix       string         `json:"mix"`
+	Seed      int64          `json:"seed"`
+	Workload  string         `json:"workload,omitempty"`
+	Trace     string         `json:"trace,omitempty"`
+	Runs      []RunResult    `json:"runs"`
+}
+
+// NewReport stamps a report with the tool and build identity.
+func NewReport() *Report {
+	return &Report{Tool: "mvolap-bench", Build: buildinfo.Get()}
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteTable renders the warp-style human summary.
+func (r *Report) WriteTable(w io.Writer) error {
+	fmt.Fprintf(w, "mvolap-bench %s — leader %s", r.Build, r.Leader)
+	if n := len(r.Followers); n > 0 {
+		fmt.Fprintf(w, " + %d follower(s)", n)
+	}
+	fmt.Fprintf(w, "\nmix %s, seed %d\n", r.Mix, r.Seed)
+	for _, run := range r.Runs {
+		fmt.Fprintf(w, "\n-- concurrency %d", run.Concurrency)
+		if run.Rate > 0 {
+			fmt.Fprintf(w, ", open loop @ %.0f ops/s", run.Rate)
+		}
+		fmt.Fprintf(w, " (measured %.1fs, %d ops issued) --\n", run.MeasuredSec, run.OpsIssued)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "op\tcount\terrs\tops/s\tmean\tp50\tp90\tp99\tp999\tmax")
+		rows := kindsIn(run.Ops)
+		for _, kind := range rows {
+			writeStatsRow(tw, kind, run.Ops[kind])
+		}
+		writeStatsRow(tw, "total", run.Total)
+		tw.Flush()
+		if rep := run.Replication; rep != nil {
+			fmt.Fprintf(w, "replication: %d follower(s), lag max %d records / %.0fms, mean %.1f records / %.1fms (%d samples)\n",
+				rep.Followers, rep.MaxLagRecords, rep.MaxLagMs, rep.MeanLagRecords, rep.MeanLagMs, rep.Samples)
+		}
+		if run.ResultDigest != "" {
+			fmt.Fprintf(w, "result digest: %s\n", run.ResultDigest)
+		}
+	}
+	return nil
+}
+
+func writeStatsRow(w io.Writer, label string, s OpStats) {
+	fmt.Fprintf(w, "%s\t%d\t%d\t%.1f\t%s\t%s\t%s\t%s\t%s\t%s\n",
+		label, s.Count, s.Errors, s.ThroughputOpsSec,
+		fmtMs(s.MeanMs), fmtMs(s.P50Ms), fmtMs(s.P90Ms), fmtMs(s.P99Ms), fmtMs(s.P999Ms), fmtMs(s.MaxMs))
+}
+
+func fmtMs(v float64) string {
+	switch {
+	case v >= 1000:
+		return fmt.Sprintf("%.1fs", v/1000)
+	case v >= 1:
+		return fmt.Sprintf("%.1fms", v)
+	default:
+		return fmt.Sprintf("%.0fµs", v*1000)
+	}
+}

@@ -1,0 +1,528 @@
+package bench
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mvolap/internal/workload"
+)
+
+// Options configures one measured run.
+type Options struct {
+	// Leader is the base URL all mutations (and, without followers,
+	// all traffic) go to.
+	Leader string
+	// Followers, when set, receive the query traffic round-robin while
+	// mutations stay on the leader, and are sampled for replication lag
+	// during the measure phase.
+	Followers []string
+
+	// Mix is the op-kind ratio; the zero Mix means DefaultMix.
+	Mix Mix
+	// Concurrency is the client pool size; 0 means 1.
+	Concurrency int
+	// Duration and Warmup bound the measured and discarded phases of a
+	// generated run (a replay ignores both and issues the whole trace).
+	Duration time.Duration
+	Warmup   time.Duration
+	// Rate > 0 switches to open-loop pacing: ops arrive at this fixed
+	// rate (per second, across the whole pool) and latency is measured
+	// from scheduled arrival, so queue wait under saturation counts —
+	// the coordinated-omission-resistant mode. 0 is closed-loop.
+	Rate float64
+	// MaxOps, when > 0, stops generation after this many ops no matter
+	// the duration — the deterministic-length mode recordings use.
+	MaxOps uint64
+
+	// Seed, FactsPerBatch and IDPrefix parameterize the generator;
+	// Surface is the schema surface it generates against (required
+	// unless Replay is set).
+	Seed          int64
+	FactsPerBatch int
+	IDPrefix      string
+	Surface       workload.Surface
+
+	// Record, when set, captures every issued op; the caller closes it.
+	Record *TraceWriter
+	// Replay, when set, bypasses the generator and reissues this op
+	// stream in order.
+	Replay []Op
+
+	// CollectResultDigest accumulates a SHA-256 over every response
+	// (seq, status, body) in op-sequence order — the determinism
+	// check's evidence that two replays saw identical results. Serial
+	// runs (Concurrency 1) against a fresh server are reproducible;
+	// concurrent runs generally are not (interleaving changes walSeq
+	// assignment and cache state).
+	CollectResultDigest bool
+
+	// Client overrides the pooled HTTP client (tests).
+	Client *http.Client
+	// LagSampleEvery is the follower /readyz sampling period; 0 means
+	// 250ms.
+	LagSampleEvery time.Duration
+}
+
+// timedOp is an op with its open-loop arrival time.
+type timedOp struct {
+	Op
+	scheduled time.Time
+}
+
+// workerStats is one worker's private recording; merged after the run
+// so the hot path never shares cache lines.
+type workerStats struct {
+	hists  map[string]*hist
+	errors map[string]int64
+}
+
+func newWorkerStats() *workerStats {
+	return &workerStats{hists: map[string]*hist{}, errors: map[string]int64{}}
+}
+
+type opResult struct {
+	seq    uint64
+	status int
+	body   [32]byte
+}
+
+// Run executes one benchmark run and aggregates its results.
+func Run(ctx context.Context, o Options) (*RunResult, error) {
+	if o.Leader == "" {
+		return nil, fmt.Errorf("bench: no leader URL")
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 1
+	}
+	if o.Mix.total() == 0 {
+		o.Mix = DefaultMix
+	}
+	if o.FactsPerBatch <= 0 {
+		o.FactsPerBatch = 32
+	}
+	if o.LagSampleEvery <= 0 {
+		o.LagSampleEvery = 250 * time.Millisecond
+	}
+	replaying := len(o.Replay) > 0
+	if !replaying {
+		if o.Duration <= 0 && o.MaxOps == 0 {
+			return nil, fmt.Errorf("bench: need a duration or a max op count")
+		}
+		if err := o.Surface.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	client := o.Client
+	if client == nil {
+		client = &http.Client{
+			Timeout: 120 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        o.Concurrency * 2,
+				MaxIdleConnsPerHost: o.Concurrency * 2,
+			},
+		}
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// The generator goroutine owns the op stream: ops are handed to
+	// workers over an unbuffered channel (closed loop) so the recorded
+	// trace is exactly the set of issued ops, or through the pacer's
+	// queue (open loop) where queue depth is the point.
+	ops := make(chan timedOp)
+	stopGen := make(chan struct{})
+	var stopOnce sync.Once
+	stopGenFn := func() { stopOnce.Do(func() { close(stopGen) }) }
+	var genErr error
+	go func() {
+		defer close(ops)
+		if replaying {
+			for _, op := range o.Replay {
+				select {
+				case ops <- timedOp{Op: op}:
+				case <-runCtx.Done():
+					return
+				}
+			}
+			return
+		}
+		gen := workload.NewOpGen(o.Seed, o.Surface, o.IDPrefix)
+		var seq uint64
+		for {
+			if o.MaxOps > 0 && seq >= o.MaxOps {
+				return
+			}
+			op, err := nextOp(gen, o, seq+1)
+			if err != nil {
+				genErr = err
+				return
+			}
+			select {
+			case ops <- timedOp{Op: op}:
+				seq++
+				if o.Record != nil {
+					if err := o.Record.Append(op); err != nil {
+						genErr = err
+						return
+					}
+				}
+			case <-stopGen:
+				return
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+
+	// Open-loop pacer: a fixed arrival rate with a queue in front of
+	// the workers. Latency is measured from the scheduled arrival.
+	src := ops
+	if o.Rate > 0 {
+		paced := make(chan timedOp, 4*o.Concurrency)
+		interval := time.Duration(float64(time.Second) / o.Rate)
+		go func() {
+			defer close(paced)
+			ticker := time.NewTicker(interval)
+			defer ticker.Stop()
+			for op := range ops {
+				select {
+				case <-ticker.C:
+				case <-runCtx.Done():
+					return
+				}
+				op.scheduled = time.Now()
+				select {
+				case paced <- op:
+				case <-runCtx.Done():
+					return
+				}
+			}
+		}()
+		src = paced
+	}
+
+	// Phase timers. A replay measures everything it issues; a generated
+	// run discards the warmup, measures for Duration, then stops.
+	var measuring atomic.Bool
+	var measureStart atomic.Int64 // UnixNano
+	start := time.Now()
+	if replaying || o.Warmup <= 0 {
+		measuring.Store(true)
+		measureStart.Store(start.UnixNano())
+	}
+	var timers []*time.Timer
+	if !replaying {
+		if o.Warmup > 0 {
+			timers = append(timers, time.AfterFunc(o.Warmup, func() {
+				measureStart.Store(time.Now().UnixNano())
+				measuring.Store(true)
+			}))
+		}
+		if o.Duration > 0 {
+			timers = append(timers, time.AfterFunc(o.Warmup+o.Duration, stopGenFn))
+		}
+	}
+	defer func() {
+		for _, t := range timers {
+			t.Stop()
+		}
+	}()
+
+	// Replication lag sampler.
+	var lag *lagSampler
+	if len(o.Followers) > 0 {
+		lag = newLagSampler(o.Followers, client, o.LagSampleEvery, &measuring)
+		go lag.run(runCtx)
+	}
+
+	// The worker pool.
+	var (
+		wg        sync.WaitGroup
+		statsMu   sync.Mutex
+		allStats  []*workerStats
+		resultsMu sync.Mutex
+		results   []opResult
+		issued    atomic.Uint64
+		rr        uint64 // round-robin follower cursor
+	)
+	for w := 0; w < o.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stats := newWorkerStats()
+			for op := range src {
+				if runCtx.Err() != nil {
+					break
+				}
+				target := o.Leader
+				if op.Kind == OpQuery && len(o.Followers) > 0 {
+					target = o.Followers[atomic.AddUint64(&rr, 1)%uint64(len(o.Followers))]
+				}
+				from := time.Now()
+				status, body, err := issue(runCtx, client, target, op.Op)
+				lat := time.Since(from)
+				if !op.scheduled.IsZero() {
+					lat = time.Since(op.scheduled)
+				}
+				issued.Add(1)
+				if measuring.Load() {
+					if err != nil || status >= 400 {
+						stats.errors[op.Kind]++
+					} else {
+						h := stats.hists[op.Kind]
+						if h == nil {
+							h = &hist{}
+							stats.hists[op.Kind] = h
+						}
+						h.record(lat)
+					}
+				}
+				if o.CollectResultDigest {
+					resultsMu.Lock()
+					results = append(results, opResult{seq: op.Seq, status: status, body: sha256.Sum256(body)})
+					resultsMu.Unlock()
+				}
+			}
+			statsMu.Lock()
+			allStats = append(allStats, stats)
+			statsMu.Unlock()
+		}()
+	}
+	wg.Wait()
+	end := time.Now()
+	stopGenFn()
+	cancel()
+	if genErr != nil {
+		return nil, genErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Aggregate.
+	mStart := time.Unix(0, measureStart.Load())
+	if measureStart.Load() == 0 {
+		mStart = start // never reached the measure phase
+	}
+	measured := end.Sub(mStart)
+	if measured < 0 {
+		measured = 0
+	}
+	res := &RunResult{
+		Concurrency: o.Concurrency,
+		Rate:        o.Rate,
+		WarmupSec:   seconds(o.Warmup),
+		MeasuredSec: seconds(measured),
+		OpsIssued:   issued.Load(),
+		Ops:         map[string]OpStats{},
+	}
+	merged := map[string]*hist{}
+	errs := map[string]int64{}
+	for _, ws := range allStats {
+		for k, h := range ws.hists {
+			if merged[k] == nil {
+				merged[k] = &hist{}
+			}
+			merged[k].merge(h)
+		}
+		for k, n := range ws.errors {
+			errs[k] += n
+		}
+	}
+	total := &hist{}
+	var totalErrs int64
+	for k, h := range merged {
+		res.Ops[k] = opStatsOf(h, errs[k], measured)
+		total.merge(h)
+	}
+	for k, n := range errs {
+		totalErrs += n
+		if _, ok := res.Ops[k]; !ok {
+			res.Ops[k] = opStatsOf(&hist{}, n, measured)
+		}
+	}
+	res.Total = opStatsOf(total, totalErrs, measured)
+	if lag != nil {
+		res.Replication = lag.stats()
+	}
+	// The op digest identifies the stream this run issued: a recording
+	// reports what it captured, a replay reports the stream it reissued
+	// — equal digests mean provably identical workloads.
+	if o.Record != nil {
+		res.OpDigest = o.Record.Digest()
+	} else if replaying {
+		res.OpDigest = opStreamDigest(o.Replay)
+	}
+	if o.CollectResultDigest {
+		res.ResultDigest = digestResults(results)
+	}
+	return res, nil
+}
+
+// nextOp draws one op from the generator per the mix.
+func nextOp(gen *workload.OpGen, o Options, seq uint64) (Op, error) {
+	kind := o.Mix.pick(gen.Rand())
+	op := Op{Seq: seq, Kind: kind}
+	switch kind {
+	case OpQuery:
+		op.Body = gen.Query()
+	case OpFacts:
+		batch, err := json.Marshal(gen.FactBatch(o.FactsPerBatch))
+		if err != nil {
+			return Op{}, err
+		}
+		op.Body = string(batch)
+	case OpEvolve:
+		op.Body = gen.EvolveScript()
+	}
+	return op, nil
+}
+
+// issue performs one op against the target and drains the response.
+func issue(ctx context.Context, client *http.Client, target string, op Op) (int, []byte, error) {
+	var req *http.Request
+	var err error
+	switch op.Kind {
+	case OpQuery:
+		req, err = http.NewRequestWithContext(ctx, http.MethodGet,
+			target+"/query?q="+url.QueryEscape(op.Body), nil)
+	case OpFacts:
+		req, err = http.NewRequestWithContext(ctx, http.MethodPost,
+			target+"/facts", strings.NewReader(op.Body))
+	case OpEvolve:
+		req, err = http.NewRequestWithContext(ctx, http.MethodPost,
+			target+"/evolve", strings.NewReader(op.Body))
+	default:
+		return 0, nil, fmt.Errorf("bench: unknown op kind %q", op.Kind)
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, body, nil
+}
+
+// digestResults chains a SHA-256 over (seq, status, body hash) in op
+// order — byte-identical responses in byte-identical order hash equal.
+func digestResults(results []opResult) string {
+	sort.Slice(results, func(i, j int) bool { return results[i].seq < results[j].seq })
+	h := sha256.New()
+	for _, r := range results {
+		fmt.Fprintf(h, "%d %d %x\n", r.seq, r.status, r.body)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// lagSampler polls follower /readyz endpoints during the measure phase
+// and aggregates the reported replication lag.
+type lagSampler struct {
+	followers []string
+	client    *http.Client
+	every     time.Duration
+	measuring *atomic.Bool
+
+	mu             sync.Mutex
+	samples        int
+	sumLagRecords  float64
+	maxLagRecords  uint64
+	sumLagMs       float64
+	maxLagMs       float64
+	unreachable    int
+	appliedAtStart uint64
+}
+
+func newLagSampler(followers []string, client *http.Client, every time.Duration, measuring *atomic.Bool) *lagSampler {
+	return &lagSampler{followers: followers, client: client, every: every, measuring: measuring}
+}
+
+func (l *lagSampler) run(ctx context.Context) {
+	ticker := time.NewTicker(l.every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		if !l.measuring.Load() {
+			continue
+		}
+		for _, f := range l.followers {
+			l.sample(ctx, f)
+		}
+	}
+}
+
+func (l *lagSampler) sample(ctx context.Context, follower string) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, follower+"/readyz", nil)
+	if err != nil {
+		return
+	}
+	resp, err := l.client.Do(req)
+	if err != nil {
+		l.mu.Lock()
+		l.unreachable++
+		l.mu.Unlock()
+		return
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Replication struct {
+			LagRecords uint64  `json:"lagRecords"`
+			LagMs      float64 `json:"lagMs"`
+		} `json:"replication"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return
+	}
+	l.mu.Lock()
+	l.samples++
+	l.sumLagRecords += float64(body.Replication.LagRecords)
+	if body.Replication.LagRecords > l.maxLagRecords {
+		l.maxLagRecords = body.Replication.LagRecords
+	}
+	l.sumLagMs += body.Replication.LagMs
+	if body.Replication.LagMs > l.maxLagMs {
+		l.maxLagMs = body.Replication.LagMs
+	}
+	l.mu.Unlock()
+}
+
+func (l *lagSampler) stats() *LagStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := &LagStats{
+		Followers:     len(l.followers),
+		Samples:       l.samples,
+		MaxLagRecords: l.maxLagRecords,
+		MaxLagMs:      l.maxLagMs,
+		Unreachable:   l.unreachable,
+	}
+	if l.samples > 0 {
+		s.MeanLagRecords = l.sumLagRecords / float64(l.samples)
+		s.MeanLagMs = l.sumLagMs / float64(l.samples)
+	}
+	return s
+}
+
+func seconds(d time.Duration) float64 { return float64(d) / float64(time.Second) }

@@ -1,0 +1,264 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"mvolap/internal/workload"
+)
+
+// benchWorkloadConfig is the fixed small organization every runner test
+// (and the committed seed trace) is generated against. Changing it
+// invalidates testdata/seed.mvtr — regenerate with
+// MVOLAP_REWRITE_TESTDATA=1.
+func benchWorkloadConfig() workload.Config {
+	return workload.Config{
+		Seed:              11,
+		Divisions:         2,
+		Departments:       6,
+		Years:             3,
+		EvolutionsPerYear: 2,
+		FactsPerYear:      2,
+		Measures:          2,
+	}
+}
+
+func benchCluster(t *testing.T, followers int) *Cluster {
+	t.Helper()
+	c, err := StartCluster(context.Background(), ClusterOptions{
+		Workload:  benchWorkloadConfig(),
+		Followers: followers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestRunMixedLoadWithFollower drives a leader + follower pair with a
+// short closed-loop mixed load and checks the aggregation end to end:
+// per-op stats, totals, and replication lag sampling.
+func TestRunMixedLoadWithFollower(t *testing.T) {
+	c := benchCluster(t, 1)
+	res, err := Run(context.Background(), Options{
+		Leader:         c.Leader,
+		Followers:      c.Followers,
+		Mix:            Mix{Query: 70, Facts: 20, Evolve: 10},
+		Concurrency:    4,
+		Duration:       900 * time.Millisecond,
+		Warmup:         150 * time.Millisecond,
+		Seed:           3,
+		FactsPerBatch:  4,
+		Surface:        c.Surface(),
+		LagSampleEvery: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OpsIssued == 0 {
+		t.Fatal("no ops issued")
+	}
+	q := res.Ops[OpQuery]
+	if q.Count == 0 || q.P50Ms <= 0 || q.P99Ms < q.P50Ms {
+		t.Fatalf("query stats look wrong: %+v", q)
+	}
+	if res.Ops[OpFacts].Count == 0 {
+		t.Fatalf("no fact batches measured: %+v", res.Ops)
+	}
+	var sum int64
+	for _, s := range res.Ops {
+		sum += s.Count
+	}
+	if res.Total.Count != sum {
+		t.Fatalf("total count %d != sum of per-op counts %d", res.Total.Count, sum)
+	}
+	if res.Total.ThroughputOpsSec <= 0 {
+		t.Fatalf("no throughput: %+v", res.Total)
+	}
+	if res.MeasuredSec < 0.5 {
+		t.Fatalf("measured window too short: %v", res.MeasuredSec)
+	}
+	rep := res.Replication
+	if rep == nil || rep.Followers != 1 || rep.Samples == 0 {
+		t.Fatalf("replication lag not sampled: %+v", rep)
+	}
+}
+
+// TestRunOpenLoopRate: with -rate set, arrivals are paced; a closed
+// loop on loopback would issue thousands of ops in the same window.
+func TestRunOpenLoopRate(t *testing.T) {
+	c := benchCluster(t, 0)
+	res, err := Run(context.Background(), Options{
+		Leader:      c.Leader,
+		Mix:         Mix{Query: 1},
+		Concurrency: 2,
+		Duration:    600 * time.Millisecond,
+		Rate:        300,
+		Seed:        4,
+		Surface:     c.Surface(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OpsIssued == 0 {
+		t.Fatal("no ops issued")
+	}
+	if res.OpsIssued > 400 {
+		t.Fatalf("open loop at 300 ops/s issued %d ops in 0.6s: pacing is not limiting", res.OpsIssued)
+	}
+	if res.Rate != 300 {
+		t.Fatalf("rate not reported: %+v", res)
+	}
+}
+
+func recordRun(t *testing.T, path string, concurrency int) *RunResult {
+	t.Helper()
+	c := benchCluster(t, 0)
+	mix := Mix{Query: 60, Facts: 25, Evolve: 15}
+	tw, err := CreateTrace(path, TraceHeader{Seed: 5, Mix: mix.String(), Note: "runner test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), Options{
+		Leader:        c.Leader,
+		Mix:           mix,
+		Concurrency:   concurrency,
+		MaxOps:        48,
+		Seed:          5,
+		FactsPerBatch: 3,
+		IDPrefix:      "seed",
+		Surface:       c.Surface(),
+		Record:        tw,
+	})
+	if cerr := tw.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func replayRun(t *testing.T, ops []Op) *RunResult {
+	t.Helper()
+	c := benchCluster(t, 0)
+	res, err := Run(context.Background(), Options{
+		Leader:              c.Leader,
+		Replay:              ops,
+		Concurrency:         1,
+		CollectResultDigest: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestRecordReplayDeterminism is the harness's core guarantee: the
+// same seed records byte-identical traces regardless of concurrency,
+// and replaying a trace serially against fresh identical clusters
+// reproduces the exact op stream (by digest) and the exact responses
+// (by result digest).
+func TestRecordReplayDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.mvtr")
+	p2 := filepath.Join(dir, "b.mvtr")
+	r1 := recordRun(t, p1, 3)
+	recordRun(t, p2, 1)
+	b1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("same seed recorded different traces at different concurrencies")
+	}
+
+	tr, err := ReadTrace(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(tr.Ops)) != r1.OpsIssued {
+		t.Fatalf("trace has %d ops, run issued %d", len(tr.Ops), r1.OpsIssued)
+	}
+	if r1.OpDigest != tr.Digest {
+		t.Fatalf("recording reported digest %s, trace carries %s", r1.OpDigest, tr.Digest)
+	}
+
+	rep1 := replayRun(t, tr.Ops)
+	rep2 := replayRun(t, tr.Ops)
+	if rep1.OpDigest != tr.Digest {
+		t.Fatalf("replay digest %s != trace digest %s", rep1.OpDigest, tr.Digest)
+	}
+	if rep1.ResultDigest == "" || rep1.ResultDigest != rep2.ResultDigest {
+		t.Fatalf("replays diverged: %s vs %s", rep1.ResultDigest, rep2.ResultDigest)
+	}
+	if rep1.Total.Errors != 0 {
+		t.Fatalf("replay against a fresh cluster had %d errors", rep1.Total.Errors)
+	}
+}
+
+// TestSeedTrace pins the committed golden trace: the current generator
+// must still record it byte-identically, and replaying it against the
+// fixed workload must succeed without errors. Regenerate with
+// MVOLAP_REWRITE_TESTDATA=1 after an intentional generator change.
+func TestSeedTrace(t *testing.T) {
+	golden := filepath.Join("testdata", "seed.mvtr")
+	if os.Getenv("MVOLAP_REWRITE_TESTDATA") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		recordRun(t, golden, 1)
+		t.Logf("rewrote %s", golden)
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (generate it with MVOLAP_REWRITE_TESTDATA=1 go test ./internal/bench/ -run TestSeedTrace)", err)
+	}
+
+	fresh := filepath.Join(t.TempDir(), "seed.mvtr")
+	recordRun(t, fresh, 1)
+	got, err := os.ReadFile(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("generator no longer reproduces testdata/seed.mvtr; if the change is intentional, rewrite with MVOLAP_REWRITE_TESTDATA=1")
+	}
+
+	tr, err := ReadTrace(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := replayRun(t, tr.Ops)
+	if res.OpDigest != tr.Digest {
+		t.Fatalf("replay digest %s != golden digest %s", res.OpDigest, tr.Digest)
+	}
+	if res.Total.Errors != 0 {
+		t.Fatalf("golden replay had %d errors", res.Total.Errors)
+	}
+}
+
+// TestDiscoverSurfaceMatchesSchema: the surface discovered over
+// /schema must equal the one derived from the schema in process, so
+// -host runs generate the same workload as -inprocess runs.
+func TestDiscoverSurfaceMatchesSchema(t *testing.T) {
+	c := benchCluster(t, 0)
+	got, err := DiscoverSurface(http.DefaultClient, c.Leader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := c.Surface(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("discovered surface differs from in-process surface:\n got: %+v\nwant: %+v", got, want)
+	}
+}

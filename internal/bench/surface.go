@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+
+	"mvolap/internal/temporal"
+	"mvolap/internal/workload"
+)
+
+// DiscoverSurface builds the op-generation surface of an externally
+// provisioned server from its /schema endpoint, so mvolap-bench can
+// drive any live mvolapd — the demo case study, a snapshot-recovered
+// warehouse, a replication leader — without knowing how it was seeded.
+func DiscoverSurface(client *http.Client, baseURL string) (workload.Surface, error) {
+	resp, err := client.Get(baseURL + "/schema")
+	if err != nil {
+		return workload.Surface{}, fmt.Errorf("bench: discover surface: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return workload.Surface{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return workload.Surface{}, fmt.Errorf("bench: %s/schema answered %d: %s", baseURL, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var schema struct {
+		Measures []struct {
+			Name string `json:"name"`
+		} `json:"measures"`
+		Dimensions []struct {
+			ID       string `json:"id"`
+			Versions []struct {
+				ID     string `json:"id"`
+				Level  string `json:"level"`
+				Valid  string `json:"valid"`
+				IsLeaf bool   `json:"isLeaf"`
+			} `json:"versions"`
+		} `json:"dimensions"`
+	}
+	if err := json.Unmarshal(body, &schema); err != nil {
+		return workload.Surface{}, fmt.Errorf("bench: decoding /schema: %w", err)
+	}
+	sf := workload.Surface{FirstYear: -1}
+	for _, m := range schema.Measures {
+		sf.Measures = append(sf.Measures, m.Name)
+	}
+	levels := map[string]bool{}
+	for di, d := range schema.Dimensions {
+		if di == 0 {
+			sf.Dim = d.ID
+		}
+		var leaves []workload.Leaf
+		for _, v := range d.Versions {
+			iv, err := parseInterval(v.Valid)
+			if err != nil {
+				return workload.Surface{}, fmt.Errorf("bench: version %s: %w", v.ID, err)
+			}
+			if iv.End != temporal.Now {
+				continue
+			}
+			if v.IsLeaf {
+				leaves = append(leaves, workload.Leaf{ID: v.ID, Since: iv.Start})
+				if di == 0 && sf.LeafLevel == "" && v.Level != "" {
+					sf.LeafLevel = v.Level
+				}
+			} else if di == 0 {
+				sf.Parents = append(sf.Parents, v.ID)
+			}
+			if di == 0 && v.Level != "" {
+				levels[v.Level] = true
+			}
+			if iv.Start != temporal.Origin {
+				if y := iv.Start.YearOf(); sf.FirstYear < 0 || y < sf.FirstYear {
+					sf.FirstYear = y
+				}
+				if y := iv.Start.YearOf(); y > sf.LastYear {
+					sf.LastYear = y
+				}
+			}
+		}
+		sort.Slice(leaves, func(i, j int) bool { return leaves[i].ID < leaves[j].ID })
+		sf.DimLeaves = append(sf.DimLeaves, leaves)
+	}
+	for l := range levels {
+		sf.GroupLevels = append(sf.GroupLevels, l)
+	}
+	// /schema serves versions and levels in stable order, but sort for
+	// determinism anyway: the surface feeds a seeded generator.
+	sort.Strings(sf.GroupLevels)
+	sort.Strings(sf.Parents)
+	if sf.FirstYear < 0 {
+		sf.FirstYear = workload.StartYear
+	}
+	if sf.LastYear < sf.FirstYear {
+		sf.LastYear = sf.FirstYear
+	}
+	if err := sf.Validate(); err != nil {
+		return workload.Surface{}, err
+	}
+	return sf, nil
+}
+
+// parseInterval parses the "[01/2000 ; Now]" form of
+// temporal.Interval.String.
+func parseInterval(s string) (temporal.Interval, error) {
+	trimmed := strings.TrimSpace(s)
+	if !strings.HasPrefix(trimmed, "[") || !strings.HasSuffix(trimmed, "]") {
+		return temporal.Interval{}, fmt.Errorf("malformed interval %q", s)
+	}
+	parts := strings.Split(trimmed[1:len(trimmed)-1], ";")
+	if len(parts) != 2 {
+		return temporal.Interval{}, fmt.Errorf("malformed interval %q", s)
+	}
+	start, err := temporal.ParseInstant(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return temporal.Interval{}, err
+	}
+	end, err := temporal.ParseInstant(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return temporal.Interval{}, err
+	}
+	return temporal.Between(start, end), nil
+}

@@ -1,0 +1,271 @@
+package bench
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// A trace file captures the exact operation stream of a benchmark run
+// so it can be reissued byte-identically (-record / -replay). The
+// framing mirrors the store's WAL: length-prefixed, CRC-checksummed
+// records after an 8-byte magic, so a torn or corrupted capture is
+// detected rather than silently replayed differently:
+//
+//	file   := magic frame*
+//	magic  := "MVTRACE1"
+//	frame  := payloadLen:u32le  crc32(payload):u32le  payload
+//
+// The payload is a JSON traceFrame. The first frame is the header
+// (seed, mix, workload note); then one frame per op with strictly
+// increasing sequence numbers; the final frame is an end marker
+// carrying the op count and a SHA-256 digest chained over every op
+// payload, so two traces are comparable — and a replayed stream
+// provably identical — by digest alone.
+
+const (
+	traceMagic = "MVTRACE1"
+	// maxTraceFrame bounds one frame (a single op body) like the WAL
+	// bounds its records, so a corrupt length prefix cannot drive a
+	// huge allocation during replay.
+	maxTraceFrame = 64 << 20
+
+	frameHeaderSize = 8
+)
+
+// Frame types.
+const (
+	frameHeader = "hdr"
+	frameOp     = "op"
+	frameEnd    = "end"
+)
+
+// Op kinds — also the per-op-type keys of the aggregated report.
+const (
+	OpQuery  = "query"
+	OpFacts  = "facts"
+	OpEvolve = "evolve"
+)
+
+// Op is one benchmark operation: a TQL query string, a JSON fact
+// batch, or an evolution script, exactly as sent to the server.
+type Op struct {
+	Seq  uint64 `json:"seq"`
+	Kind string `json:"kind"`
+	Body string `json:"body"`
+}
+
+// TraceHeader describes how a trace was generated.
+type TraceHeader struct {
+	// Seed and Mix reproduce the generator configuration.
+	Seed int64  `json:"seed"`
+	Mix  string `json:"mix"`
+	// Note is free-form provenance (workload sizing, tool version).
+	Note string `json:"note,omitempty"`
+}
+
+type traceFrame struct {
+	Type string       `json:"type"`
+	Hdr  *TraceHeader `json:"hdr,omitempty"`
+	Op   *Op          `json:"op,omitempty"`
+	// End-frame fields.
+	Ops    uint64 `json:"ops,omitempty"`
+	Digest string `json:"digest,omitempty"`
+}
+
+// TraceWriter records an op stream to a file.
+type TraceWriter struct {
+	f      *os.File
+	w      *bufio.Writer
+	digest hash.Hash
+	ops    uint64
+	err    error
+}
+
+// CreateTrace starts a trace file, overwriting any existing one, and
+// writes the header frame.
+func CreateTrace(path string, hdr TraceHeader) (*TraceWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: create trace: %w", err)
+	}
+	tw := &TraceWriter{f: f, w: bufio.NewWriter(f), digest: sha256.New()}
+	if _, err := tw.w.WriteString(traceMagic); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := tw.writeFrame(traceFrame{Type: frameHeader, Hdr: &hdr}, false); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return tw, nil
+}
+
+// Append records one op. Ops must arrive with strictly increasing
+// sequence numbers; the writer is single-goroutine like the generator
+// that feeds it.
+func (tw *TraceWriter) Append(op Op) error {
+	tw.ops++
+	return tw.writeFrame(traceFrame{Type: frameOp, Op: &op}, true)
+}
+
+func (tw *TraceWriter) writeFrame(fr traceFrame, inDigest bool) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	payload, err := json.Marshal(fr)
+	if err != nil {
+		tw.err = err
+		return err
+	}
+	var head [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(head[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(head[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := tw.w.Write(head[:]); err != nil {
+		tw.err = err
+		return err
+	}
+	if _, err := tw.w.Write(payload); err != nil {
+		tw.err = err
+		return err
+	}
+	if inDigest {
+		tw.digest.Write(payload)
+	}
+	return nil
+}
+
+// Digest returns the hex SHA-256 over the op frames appended so far.
+func (tw *TraceWriter) Digest() string {
+	return hex.EncodeToString(tw.digest.Sum(nil))
+}
+
+// Close seals the trace with the end frame (op count + digest) and
+// flushes it to disk. The trace is only valid for replay after a clean
+// Close.
+func (tw *TraceWriter) Close() error {
+	err := tw.writeFrame(traceFrame{Type: frameEnd, Ops: tw.ops, Digest: tw.Digest()}, false)
+	if ferr := tw.w.Flush(); err == nil {
+		err = ferr
+	}
+	if cerr := tw.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// opStreamDigest computes the trace digest of an op stream without
+// writing a file — the digest a recording of exactly these ops would
+// carry, so a replay can report the digest of what it reissued.
+func opStreamDigest(ops []Op) string {
+	h := sha256.New()
+	for i := range ops {
+		payload, err := json.Marshal(traceFrame{Type: frameOp, Op: &ops[i]})
+		if err != nil {
+			return ""
+		}
+		h.Write(payload)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Trace is a fully read and verified capture.
+type Trace struct {
+	Header TraceHeader
+	Ops    []Op
+	// Digest is the hex SHA-256 over the op frames, verified against
+	// the end frame on read.
+	Digest string
+}
+
+// ReadTrace reads and verifies a trace file: magic, per-frame CRCs,
+// strictly increasing op sequences, and the end frame's count and
+// digest. Any mismatch is an error — a damaged capture must not
+// silently replay as a different workload.
+func ReadTrace(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: open trace: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != traceMagic {
+		return nil, fmt.Errorf("bench: %s: not a trace file (bad magic)", path)
+	}
+	tr := &Trace{}
+	digest := sha256.New()
+	sealed := false
+	var head [frameHeaderSize]byte
+	for i := 0; ; i++ {
+		if _, err := io.ReadFull(r, head[:]); err != nil {
+			if err == io.EOF && sealed {
+				break
+			}
+			return nil, fmt.Errorf("bench: %s: truncated at frame %d (missing end frame?)", path, i)
+		}
+		if sealed {
+			return nil, fmt.Errorf("bench: %s: data after the end frame", path)
+		}
+		payloadLen := binary.LittleEndian.Uint32(head[0:4])
+		wantCRC := binary.LittleEndian.Uint32(head[4:8])
+		if payloadLen == 0 || payloadLen > maxTraceFrame {
+			return nil, fmt.Errorf("bench: %s: frame %d has corrupt length %d", path, i, payloadLen)
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, fmt.Errorf("bench: %s: frame %d torn", path, i)
+		}
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			return nil, fmt.Errorf("bench: %s: frame %d fails its checksum", path, i)
+		}
+		var fr traceFrame
+		if err := json.Unmarshal(payload, &fr); err != nil {
+			return nil, fmt.Errorf("bench: %s: frame %d: %w", path, i, err)
+		}
+		switch fr.Type {
+		case frameHeader:
+			if i != 0 || fr.Hdr == nil {
+				return nil, fmt.Errorf("bench: %s: misplaced or empty header frame at position %d", path, i)
+			}
+			tr.Header = *fr.Hdr
+		case frameOp:
+			if i == 0 {
+				return nil, fmt.Errorf("bench: %s: missing header frame", path)
+			}
+			if fr.Op == nil {
+				return nil, fmt.Errorf("bench: %s: empty op frame at position %d", path, i)
+			}
+			if want := uint64(len(tr.Ops) + 1); fr.Op.Seq != want {
+				return nil, fmt.Errorf("bench: %s: op sequence jumped %d → %d", path, want-1, fr.Op.Seq)
+			}
+			switch fr.Op.Kind {
+			case OpQuery, OpFacts, OpEvolve:
+			default:
+				return nil, fmt.Errorf("bench: %s: op %d has unknown kind %q", path, fr.Op.Seq, fr.Op.Kind)
+			}
+			tr.Ops = append(tr.Ops, *fr.Op)
+			digest.Write(payload)
+		case frameEnd:
+			got := hex.EncodeToString(digest.Sum(nil))
+			if fr.Ops != uint64(len(tr.Ops)) {
+				return nil, fmt.Errorf("bench: %s: end frame counts %d ops, file has %d", path, fr.Ops, len(tr.Ops))
+			}
+			if fr.Digest != got {
+				return nil, fmt.Errorf("bench: %s: op digest mismatch: end frame %s, stream %s", path, fr.Digest, got)
+			}
+			tr.Digest = got
+			sealed = true
+		default:
+			return nil, fmt.Errorf("bench: %s: frame %d has unknown type %q", path, i, fr.Type)
+		}
+	}
+	return tr, nil
+}

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTestTrace(t *testing.T, path string, ops []Op) string {
+	t.Helper()
+	tw, err := CreateTrace(path, TraceHeader{Seed: 7, Mix: DefaultMix.String(), Note: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		if err := tw.Append(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	digest := tw.Digest()
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return digest
+}
+
+func testOps() []Op {
+	return []Op{
+		{Seq: 1, Kind: OpQuery, Body: "SELECT * BY Org.Division, TIME.YEAR MODE tcm"},
+		{Seq: 2, Kind: OpFacts, Body: `[{"coords":["dept-1"],"time":"01/2003","values":[42]}]`},
+		{Seq: 3, Kind: OpEvolve, Body: "INSERT Org x x LEVEL Department AT 01/2005 PARENTS div-0"},
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.mvtr")
+	digest := writeTestTrace(t, path, testOps())
+	tr, err := ReadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Digest != digest {
+		t.Fatalf("digest mismatch: wrote %s read %s", digest, tr.Digest)
+	}
+	if tr.Header.Seed != 7 || tr.Header.Mix != DefaultMix.String() {
+		t.Fatalf("header = %+v", tr.Header)
+	}
+	if len(tr.Ops) != 3 {
+		t.Fatalf("ops = %d", len(tr.Ops))
+	}
+	for i, op := range tr.Ops {
+		if op != testOps()[i] {
+			t.Fatalf("op %d = %+v, want %+v", i, op, testOps()[i])
+		}
+	}
+}
+
+// TestTraceWriteDeterministic: the same ops yield byte-identical
+// trace files — the property that makes recorded runs regenerable.
+func TestTraceWriteDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	p1, p2 := filepath.Join(dir, "a.mvtr"), filepath.Join(dir, "b.mvtr")
+	writeTestTrace(t, p1, testOps())
+	writeTestTrace(t, p2, testOps())
+	b1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("identical op streams produced different trace bytes")
+	}
+}
+
+func TestTraceRejectsDamage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.mvtr")
+	writeTestTrace(t, path, testOps())
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		// A flipped byte inside a frame payload must fail its CRC.
+		"corrupt": append(append([]byte{}, good[:40]...), append([]byte{good[40] ^ 0xff}, good[41:]...)...),
+		// A truncated file is missing its end frame.
+		"truncated": good[:len(good)-10],
+		// Trailing garbage after the end frame.
+		"trailing": append(append([]byte{}, good...), 1, 2, 3, 4, 5, 6, 7, 8),
+		// Wrong magic is not a trace at all.
+		"magic": append([]byte("NOTTRACE"), good[8:]...),
+	}
+	for name, data := range cases {
+		p := filepath.Join(t.TempDir(), name+".mvtr")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadTrace(p); err == nil {
+			t.Errorf("%s trace was accepted", name)
+		}
+	}
+}
+
+func TestTraceRejectsSequenceJump(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.mvtr")
+	ops := testOps()
+	ops[2].Seq = 5
+	writeTestTrace(t, path, ops)
+	_, err := ReadTrace(path)
+	if err == nil || !strings.Contains(err.Error(), "sequence jumped") {
+		t.Fatalf("err = %v, want sequence jump", err)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("query=90,facts=8,evolve=2")
+	if err != nil || m != (Mix{90, 8, 2}) {
+		t.Fatalf("m = %+v, err = %v", m, err)
+	}
+	if m.String() != "query=90,facts=8,evolve=2" {
+		t.Fatalf("String = %q", m.String())
+	}
+	if m, err = ParseMix("query=1"); err != nil || m != (Mix{1, 0, 0}) {
+		t.Fatalf("m = %+v, err = %v", m, err)
+	}
+	for _, bad := range []string{"", "query=0", "query", "nope=3", "query=-1", "query=x"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Package buildinfo identifies the running build — module version, VCS
+// commit, and Go toolchain — from the information the linker embeds
+// (debug.ReadBuildInfo). The daemon exposes it as the
+// mvolap_build_info metric and a -version flag, and mvolap-bench
+// stamps it into every benchmark report, so a JSON result can always
+// be traced back to the build that produced it.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+
+	"mvolap/internal/obs"
+)
+
+// Info identifies a build.
+type Info struct {
+	// Version is the main module's version ("(devel)" for a plain
+	// source build).
+	Version string `json:"version"`
+	// Commit is the VCS revision the binary was built from, shortened
+	// to 12 characters, with a "+dirty" suffix when the working tree
+	// had local modifications; "unknown" outside a VCS checkout.
+	Commit string `json:"commit"`
+	// Go is the toolchain that compiled the binary.
+	Go string `json:"go"`
+}
+
+// Get reads the linker-embedded build information. It never fails:
+// fields the toolchain did not record come back as "unknown" or
+// "(devel)".
+func Get() Info {
+	info := Info{Version: "(devel)", Commit: "unknown", Go: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	var revision string
+	var dirty bool
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if revision != "" {
+		if len(revision) > 12 {
+			revision = revision[:12]
+		}
+		if dirty {
+			revision += "+dirty"
+		}
+		info.Commit = revision
+	}
+	return info
+}
+
+// String renders "version (commit, go)" for -version flags.
+func (i Info) String() string {
+	return fmt.Sprintf("%s (%s, %s)", i.Version, i.Commit, i.Go)
+}
+
+// Register publishes the build as a constant mvolap_build_info gauge
+// (value 1, identity in the labels — the Prometheus convention for
+// build metadata, joinable against every other series of the process).
+func Register(r *obs.Registry) Info {
+	info := Get()
+	r.GaugeVec("mvolap_build_info",
+		"Build identity of the running process (constant 1; see labels).",
+		"version", "commit", "go").
+		With(info.Version, info.Commit, info.Go).Set(1)
+	return info
+}

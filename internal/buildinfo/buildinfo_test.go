@@ -1,0 +1,43 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+
+	"mvolap/internal/obs"
+)
+
+func TestGet(t *testing.T) {
+	info := Get()
+	if info.Version == "" || info.Commit == "" || info.Go == "" {
+		t.Fatalf("incomplete build info: %+v", info)
+	}
+	if !strings.HasPrefix(info.Go, "go") {
+		t.Fatalf("go version = %q", info.Go)
+	}
+	s := info.String()
+	if !strings.Contains(s, info.Commit) || !strings.Contains(s, info.Go) {
+		t.Fatalf("String() = %q does not carry the identity", s)
+	}
+}
+
+func TestRegister(t *testing.T) {
+	r := obs.NewRegistry()
+	info := Register(r)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "mvolap_build_info{") {
+		t.Fatalf("metric missing from exposition:\n%s", out)
+	}
+	for _, label := range []string{`version="` + info.Version + `"`, `go="` + info.Go + `"`} {
+		if !strings.Contains(out, label) {
+			t.Fatalf("exposition missing label %s:\n%s", label, out)
+		}
+	}
+	if !strings.Contains(out, "} 1") {
+		t.Fatalf("build info gauge is not 1:\n%s", out)
+	}
+}

@@ -36,6 +36,29 @@ type Config struct {
 	Measures int
 }
 
+// Validate rejects impossible configurations. Zero values are legal
+// (withDefaults fills them); negative sizes used to flow through
+// withDefaults unchanged and panic deep inside the generators, so they
+// are refused up front with a named-field error instead.
+func (c Config) Validate() error {
+	for _, f := range []struct {
+		name  string
+		value int
+	}{
+		{"Divisions", c.Divisions},
+		{"Departments", c.Departments},
+		{"Years", c.Years},
+		{"EvolutionsPerYear", c.EvolutionsPerYear},
+		{"FactsPerYear", c.FactsPerYear},
+		{"Measures", c.Measures},
+	} {
+		if f.value < 0 {
+			return fmt.Errorf("workload: Config.%s is negative (%d)", f.name, f.value)
+		}
+	}
+	return nil
+}
+
 // Default fills unset fields with a small but non-trivial workload.
 func (c Config) withDefaults() Config {
 	if c.Divisions == 0 {
@@ -80,6 +103,9 @@ const StartYear = 2000
 // cheap ones, like real organizations), and FactsPerYear facts per
 // active department per year.
 func Generate(cfg Config) (*Workload, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	r := rand.New(rand.NewSource(cfg.Seed))
 	measures := make([]core.Measure, cfg.Measures)
