@@ -5,6 +5,18 @@ GO ?= go
 # commits.
 BENCH ?= BENCH_7.json
 
+# Load-bench record: the committed mvolap-bench saturation sweep the
+# delta target diffs fresh runs against.
+BENCH_LOAD ?= BENCH_9.json
+
+# Build identity injected into the binaries. `go run` and package-path
+# builds never stamp VCS info, so without this every bench report says
+# "(devel)/unknown"; with it, a committed BENCH_*.json names the commit
+# that was measured.
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo '(devel)')
+COMMIT ?= $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
+LDFLAGS = -ldflags "-X mvolap/internal/buildinfo.version=$(VERSION) -X mvolap/internal/buildinfo.commit=$(COMMIT)"
+
 # Tier-1 verification: build + vet + full tests + race on the
 # concurrency-bearing core package.
 .PHONY: verify
@@ -12,7 +24,7 @@ verify: build vet test race
 
 .PHONY: build
 build:
-	$(GO) build ./...
+	$(GO) build $(LDFLAGS) ./...
 
 .PHONY: vet
 vet:
@@ -82,30 +94,34 @@ bench-smoke:
 LOADJSON ?= loadtest.json
 .PHONY: loadtest
 loadtest: build
-	$(GO) run ./cmd/mvolap-bench -inprocess 1 -duration 4s -warmup 1s -concurrency 8 \
+	$(GO) run $(LDFLAGS) ./cmd/mvolap-bench -inprocess 1 -duration 4s -warmup 1s -concurrency 8 \
 		-record loadtest.mvtr -json $(LOADJSON)
-	$(GO) run ./cmd/mvolap-bench -inprocess 0 -replay loadtest.mvtr -concurrency 1
+	$(GO) run $(LDFLAGS) ./cmd/mvolap-bench -inprocess 0 -replay loadtest.mvtr -concurrency 1
 	$(GO) test -run 'TestRecordReplayDeterminism|TestSeedTrace' -count=1 ./internal/bench/
 	@rm -f loadtest.mvtr
 
-# bench-load regenerates BENCH_8.json: a saturation sweep against an
+# bench-load regenerates $(BENCH_LOAD): a saturation sweep against an
 # in-process leader + 2 followers, queries fanned across the
-# followers, replication lag sampled from their /readyz.
+# followers, replication lag sampled from their /readyz. The ldflags
+# stamp the measured commit into the report's build identity.
 .PHONY: bench-load
 bench-load: build
-	$(GO) run ./cmd/mvolap-bench -inprocess 2 -sweep-concurrency 1,8,64 \
-		-duration 4s -warmup 1s -json BENCH_8.json
+	$(GO) run $(LDFLAGS) ./cmd/mvolap-bench -inprocess 2 -sweep-concurrency 1,8,64 \
+		-duration 4s -warmup 1s -json $(BENCH_LOAD)
 
-# bench-delta compares the sharded-swap/scan benchmarks on this
-# checkout against a benchstat-style baseline committed as $(BENCH).
-# The comparison is advisory: only a build failure fails the target
-# (bench runs and deltas are best-effort, prefixed with `-`), so noisy
-# CI runners never block a merge while the numbers still land in the
-# uploaded artifact.
+# bench-delta runs a fresh abbreviated sweep and diffs it against the
+# committed $(BENCH_LOAD) record with `mvolap-bench -compare`: per-op
+# throughput/p50/p99 deltas as a markdown table (bench-delta.md, which
+# CI appends to the job summary). Advisory by design — deltas inform,
+# they do not gate — so only a build failure fails the target and
+# noisy CI runners never block a merge.
 .PHONY: bench-delta
 bench-delta: build
-	-$(GO) test -bench='ShardedSwap|ShardedScan' -benchmem -benchtime=3x -count=3 -run='^$$' . | tee bench-delta.txt
-	-@if [ -f $(BENCH) ]; then \
-		echo "--- delta vs $(BENCH) (committed baseline) ---"; \
-		grep -h '"Output"' $(BENCH) 2>/dev/null | grep -o 'Benchmark[^\\"]*' | grep -E 'ShardedSwap|ShardedScan' || true; \
+	-$(GO) run $(LDFLAGS) ./cmd/mvolap-bench -inprocess 2 -sweep-concurrency 1,8 \
+		-duration 2s -warmup 500ms -json bench-fresh.json
+	-@if [ -f $(BENCH_LOAD) ] && [ -f bench-fresh.json ]; then \
+		$(GO) run ./cmd/mvolap-bench -compare $(BENCH_LOAD),bench-fresh.json | tee bench-delta.md; \
+	else \
+		echo "bench-delta: missing $(BENCH_LOAD) or bench-fresh.json; nothing to compare" | tee bench-delta.md; \
 	fi
+	-@rm -f bench-fresh.json

@@ -34,6 +34,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -66,8 +67,10 @@ type config struct {
 	replay       string
 	resultDigest bool
 
-	jsonPath string
-	version  bool
+	jsonPath   string
+	cpuProfile string
+	version    bool
+	compare    string
 
 	// In-process workload sizing.
 	divisions    int
@@ -99,7 +102,9 @@ func parseFlags(args []string) (*config, error) {
 	fs.StringVar(&c.replay, "replay", "", "replay this trace file instead of generating ops")
 	fs.BoolVar(&c.resultDigest, "result-digest", false, "accumulate a SHA-256 over all responses (reproducible only serially against a fresh server)")
 	fs.StringVar(&c.jsonPath, "json", "", "write the JSON report here ('-' for stdout)")
+	fs.StringVar(&c.cpuProfile, "cpuprofile", "", "write a CPU profile of the whole run here (in-process mode profiles the servers too)")
 	fs.BoolVar(&c.version, "version", false, "print the build version and exit")
+	fs.StringVar(&c.compare, "compare", "", "compare two report JSONs as 'old.json,new.json': print a markdown delta table and exit (no load is run)")
 	fs.IntVar(&c.divisions, "divisions", 3, "in-process workload: division count")
 	fs.IntVar(&c.departments, "departments", 24, "in-process workload: department count")
 	fs.IntVar(&c.years, "years", 4, "in-process workload: years of history")
@@ -116,6 +121,13 @@ func parseFlags(args []string) (*config, error) {
 // validate rejects flag combinations with no sensible meaning.
 func (c *config) validate() error {
 	if c.version {
+		return nil
+	}
+	if c.compare != "" {
+		parts := strings.Split(c.compare, ",")
+		if len(parts) != 2 || strings.TrimSpace(parts[0]) == "" || strings.TrimSpace(parts[1]) == "" {
+			return fmt.Errorf("-compare wants exactly 'old.json,new.json'")
+		}
 		return nil
 	}
 	if (c.host == "") == (c.inprocess < 0) {
@@ -189,6 +201,21 @@ func run(ctx context.Context, c *config, tableOut, jsonOut io.Writer) error {
 	}
 	if len(steps) == 0 {
 		steps = []int{c.concurrency}
+	}
+
+	if c.cpuProfile != "" {
+		f, err := os.Create(c.cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 
 	report := bench.NewReport()
@@ -325,6 +352,22 @@ func emit(report *bench.Report, c *config, tableOut, jsonOut io.Writer) error {
 	}
 }
 
+// runCompare loads the 'old.json,new.json' pair and writes the
+// markdown delta table. Deltas are advisory: a regression shows up in
+// the table (and the CI job summary), it does not fail the build.
+func runCompare(spec string, w io.Writer) error {
+	parts := strings.Split(spec, ",")
+	oldR, err := bench.LoadReport(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return err
+	}
+	newR, err := bench.LoadReport(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return err
+	}
+	return bench.WriteCompare(w, oldR, newR)
+}
+
 func main() {
 	c, err := parseFlags(os.Args[1:])
 	if err != nil {
@@ -337,6 +380,13 @@ func main() {
 	if err := c.validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "mvolap-bench:", err)
 		os.Exit(2)
+	}
+	if c.compare != "" {
+		if err := runCompare(c.compare, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "mvolap-bench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

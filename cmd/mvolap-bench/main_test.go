@@ -54,6 +54,55 @@ func TestValidateRejectsBadCombos(t *testing.T) {
 	}
 }
 
+// TestCompareMode exercises the -compare short circuit: validation of
+// the spec, and a delta table from two report files without any load.
+func TestCompareMode(t *testing.T) {
+	for _, bad := range []string{"one.json", "a.json,b.json,c.json", ",b.json"} {
+		c, err := parseFlags([]string{"-compare", bad})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.validate(); err == nil {
+			t.Errorf("validate accepted -compare %q", bad)
+		}
+	}
+	// -compare needs no -host/-inprocess.
+	c, err := parseFlags([]string{"-compare", "a.json,b.json"})
+	if err != nil || c.validate() != nil {
+		t.Fatalf("compare config rejected: %v, %v", err, c.validate())
+	}
+
+	dir := t.TempDir()
+	write := func(name string, r *bench.Report) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := r.WriteJSON(f); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldR := bench.NewReport()
+	oldR.Runs = []bench.RunResult{{Concurrency: 8, Total: bench.OpStats{Count: 10, ThroughputOpsSec: 100, P50Ms: 10, P99Ms: 20}}}
+	newR := bench.NewReport()
+	newR.Runs = []bench.RunResult{{Concurrency: 8, Total: bench.OpStats{Count: 10, ThroughputOpsSec: 200, P50Ms: 5, P99Ms: 10}}}
+	var out bytes.Buffer
+	if err := runCompare(write("old.json", oldR)+","+write("new.json", newR), &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"## mvolap-bench delta", "### concurrency 8", "+100.0%"} {
+		if !bytes.Contains(out.Bytes(), []byte(want)) {
+			t.Fatalf("compare output missing %q:\n%s", want, out.String())
+		}
+	}
+	if err := runCompare("missing.json,"+write("n2.json", newR), io.Discard); err == nil {
+		t.Fatal("missing old report did not error")
+	}
+}
+
 // TestRunInprocessSweep is the CLI end to end: an in-process leader +
 // follower, a two-step concurrency sweep, and a parseable JSON report.
 func TestRunInprocessSweep(t *testing.T) {

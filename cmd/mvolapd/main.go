@@ -232,8 +232,8 @@ func main() {
 		// the server; /readyz answers 503 until the first publish.
 		rep := store.NewReplica(c.replicateFrom, store.ReplicaOptions{Logger: logger})
 		s = server.New(nil, append(serverOptions(c, logger), server.WithReplica(rep))...)
-		rep.SetPublish(func(sch *core.Schema, applier *evolution.Applier) {
-			s.Install(sch, applier, nil)
+		rep.SetPublish(func(sch *core.Schema, applier *evolution.Applier, delta core.Delta) {
+			s.InstallDelta(sch, applier, delta)
 		})
 		go rep.Run(ctx)
 		logger.Info("mvolapd following", "leader", c.replicateFrom, "addr", c.addr,

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// LoadReport reads a Report from a JSON file written by -json (or a
+// committed BENCH_*.json record).
+func LoadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r Report
+	if err := json.NewDecoder(f).Decode(&r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Tool != "" && r.Tool != "mvolap-bench" {
+		return nil, fmt.Errorf("%s: not an mvolap-bench report (tool %q)", path, r.Tool)
+	}
+	return &r, nil
+}
+
+// WriteCompare renders a markdown delta table between two reports:
+// per-op throughput, p50 and p99 for every concurrency step the two
+// reports share, old -> new with relative change. The output is
+// advisory — it names regressions, it does not judge them — so the
+// caller (make bench-delta, the CI job summary) always exits 0 on a
+// successful comparison.
+func WriteCompare(w io.Writer, oldR, newR *Report) error {
+	fmt.Fprintf(w, "## mvolap-bench delta\n\n")
+	fmt.Fprintf(w, "| | build | mix | seed |\n|---|---|---|---|\n")
+	fmt.Fprintf(w, "| old | %s | %s | %d |\n", oldR.Build, oldR.Mix, oldR.Seed)
+	fmt.Fprintf(w, "| new | %s | %s | %d |\n", newR.Build, newR.Mix, newR.Seed)
+	if oldR.Mix != newR.Mix || oldR.Seed != newR.Seed {
+		fmt.Fprintf(w, "\n> **Note:** mix/seed differ between the reports; deltas compare different workloads.\n")
+	}
+
+	oldRuns := make(map[int]*RunResult, len(oldR.Runs))
+	for i := range oldR.Runs {
+		oldRuns[oldR.Runs[i].Concurrency] = &oldR.Runs[i]
+	}
+	matched := false
+	for i := range newR.Runs {
+		nr := &newR.Runs[i]
+		or, ok := oldRuns[nr.Concurrency]
+		if !ok {
+			fmt.Fprintf(w, "\n### concurrency %d\n\n_new only — no matching step in the old report._\n", nr.Concurrency)
+			continue
+		}
+		matched = true
+		fmt.Fprintf(w, "\n### concurrency %d\n\n", nr.Concurrency)
+		fmt.Fprintf(w, "| op | ops/s old | ops/s new | Δ | p50 old | p50 new | Δ | p99 old | p99 new | Δ |\n")
+		fmt.Fprintf(w, "|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+		for _, op := range append(sharedOps(or.Ops, nr.Ops), "total") {
+			os, ns := or.Total, nr.Total
+			if op != "total" {
+				os, ns = or.Ops[op], nr.Ops[op]
+			}
+			if os.Count == 0 && ns.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "| %s | %.1f | %.1f | %s | %.2fms | %.2fms | %s | %.2fms | %.2fms | %s |\n",
+				op,
+				os.ThroughputOpsSec, ns.ThroughputOpsSec, deltaPct(os.ThroughputOpsSec, ns.ThroughputOpsSec, true),
+				os.P50Ms, ns.P50Ms, deltaPct(os.P50Ms, ns.P50Ms, false),
+				os.P99Ms, ns.P99Ms, deltaPct(os.P99Ms, ns.P99Ms, false))
+		}
+		if len(nr.ServerCounters) > 0 {
+			fmt.Fprintf(w, "\n<sub>server counters (new):")
+			for _, k := range sortedKeys(nr.ServerCounters) {
+				fmt.Fprintf(w, " %s=%.0f", k, nr.ServerCounters[k])
+			}
+			fmt.Fprintf(w, "</sub>\n")
+		}
+	}
+	for c := range oldRuns {
+		found := false
+		for i := range newR.Runs {
+			if newR.Runs[i].Concurrency == c {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(w, "\n### concurrency %d\n\n_old only — no matching step in the new report._\n", c)
+		}
+	}
+	if !matched {
+		fmt.Fprintf(w, "\n_No concurrency steps in common; nothing to compare._\n")
+	}
+	return nil
+}
+
+// sharedOps returns the union of op kinds across two runs, sorted.
+func sharedOps(a, b map[string]OpStats) []string {
+	set := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		set[k] = true
+	}
+	for k := range b {
+		set[k] = true
+	}
+	return sortedBoolKeys(set)
+}
+
+func sortedBoolKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// deltaPct renders a signed relative change. higherIsBetter flips
+// which direction gets the improvement marker so throughput gains and
+// latency drops both read as wins at a glance.
+func deltaPct(oldV, newV float64, higherIsBetter bool) string {
+	if oldV == 0 || math.IsNaN(oldV) || math.IsNaN(newV) {
+		return "n/a"
+	}
+	pct := (newV - oldV) / oldV * 100
+	marker := ""
+	switch {
+	case math.Abs(pct) < 2:
+		// Within noise; no marker.
+	case (pct > 0) == higherIsBetter:
+		marker = " ✓"
+	default:
+		marker = " ✗"
+	}
+	return fmt.Sprintf("%+.1f%%%s", pct, marker)
+}

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mvolap/internal/buildinfo"
+)
+
+func compareFixtures() (*Report, *Report) {
+	oldR := &Report{
+		Tool:  "mvolap-bench",
+		Build: buildinfo.Info{Version: "(devel)", Commit: "aaaaaaaaaaaa", Go: "go1.24.0"},
+		Mix:   "query=80,facts=15,evolve=5",
+		Seed:  1,
+		Runs: []RunResult{
+			{
+				Concurrency: 8,
+				Ops: map[string]OpStats{
+					"query": {Count: 1000, ThroughputOpsSec: 450.0, P50Ms: 14.14, P99Ms: 40.0},
+					"facts": {Count: 200, ThroughputOpsSec: 90.0, P50Ms: 2.0, P99Ms: 8.0},
+				},
+				Total: OpStats{Count: 1200, ThroughputOpsSec: 540.0, P50Ms: 12.0, P99Ms: 38.0},
+			},
+			{Concurrency: 64, Total: OpStats{Count: 10, ThroughputOpsSec: 600.0, P50Ms: 90.0, P99Ms: 200.0}},
+		},
+	}
+	newR := &Report{
+		Tool:  "mvolap-bench",
+		Build: buildinfo.Info{Version: "(devel)", Commit: "bbbbbbbbbbbb", Go: "go1.24.0"},
+		Mix:   "query=80,facts=15,evolve=5",
+		Seed:  1,
+		Runs: []RunResult{
+			{
+				Concurrency: 8,
+				Ops: map[string]OpStats{
+					"query": {Count: 2200, ThroughputOpsSec: 1003.6, P50Ms: 5.7, P99Ms: 21.0},
+					"facts": {Count: 210, ThroughputOpsSec: 91.0, P50Ms: 2.1, P99Ms: 8.2},
+				},
+				Total:          OpStats{Count: 2410, ThroughputOpsSec: 1094.6, P50Ms: 5.2, P99Ms: 20.0},
+				ServerCounters: map[string]float64{"mvolap_query_cache_hits_total": 193, "mvolap_shards_pruned_total": 8411},
+			},
+			{Concurrency: 16, Total: OpStats{Count: 10, ThroughputOpsSec: 900.0, P50Ms: 17.0, P99Ms: 60.0}},
+		},
+	}
+	return oldR, newR
+}
+
+func TestWriteCompare(t *testing.T) {
+	oldR, newR := compareFixtures()
+	var b strings.Builder
+	if err := WriteCompare(&b, oldR, newR); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"## mvolap-bench delta",
+		"aaaaaaaaaaaa", "bbbbbbbbbbbb",
+		"### concurrency 8",
+		"| query | 450.0 | 1003.6 | +123.0% ✓ |",
+		"5.70ms | -59.7% ✓",
+		"| total |",
+		"mvolap_query_cache_hits_total=193",
+		"mvolap_shards_pruned_total=8411",
+		"### concurrency 16",
+		"_new only — no matching step in the old report._",
+		"### concurrency 64",
+		"_old only — no matching step in the new report._",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("compare output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCompareRegressionMarker(t *testing.T) {
+	oldR, newR := compareFixtures()
+	// Swap the direction: the new report is slower.
+	oldR, newR = newR, oldR
+	var b strings.Builder
+	if err := WriteCompare(&b, oldR, newR); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "-55.2% ✗") { // throughput drop flagged
+		t.Fatalf("regression not marked:\n%s", b.String())
+	}
+}
+
+func TestWriteCompareMixMismatchNote(t *testing.T) {
+	oldR, newR := compareFixtures()
+	newR.Mix = "query=100"
+	var b strings.Builder
+	if err := WriteCompare(&b, oldR, newR); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "mix/seed differ") {
+		t.Fatalf("mix mismatch note missing:\n%s", b.String())
+	}
+}
+
+func TestLoadReportRoundTrip(t *testing.T) {
+	oldR, _ := compareFixtures()
+	path := filepath.Join(t.TempDir(), "r.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := oldR.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Build.Commit != "aaaaaaaaaaaa" || len(got.Runs) != 2 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if _, err := LoadReport(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file did not error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"tool":"other"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReport(bad); err == nil {
+		t.Fatal("foreign tool report accepted")
+	}
+}

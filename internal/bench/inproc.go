@@ -109,8 +109,8 @@ func StartCluster(ctx context.Context, o ClusterOptions) (*Cluster, error) {
 			MaxBackoff: 500 * time.Millisecond,
 		})
 		f := server.New(nil, server.WithLogger(logger), server.WithReplica(rep))
-		rep.SetPublish(func(sch *core.Schema, applier *evolution.Applier) {
-			f.Install(sch, applier, nil)
+		rep.SetPublish(func(sch *core.Schema, applier *evolution.Applier, delta core.Delta) {
+			f.InstallDelta(sch, applier, delta)
 		})
 		go rep.Run(ctx)
 		u, err := c.listen(f)

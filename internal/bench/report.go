@@ -61,16 +61,20 @@ type LagStats struct {
 
 // RunResult is one measured run (one concurrency step of a sweep).
 type RunResult struct {
-	Concurrency  int                `json:"concurrency"`
-	Rate         float64            `json:"rateOpsSec,omitempty"`
-	WarmupSec    float64            `json:"warmupSec"`
-	MeasuredSec  float64            `json:"measuredSec"`
-	OpsIssued    uint64             `json:"opsIssued"`
-	Ops          map[string]OpStats `json:"ops"`
-	Total        OpStats            `json:"total"`
-	Replication  *LagStats          `json:"replication,omitempty"`
-	OpDigest     string             `json:"opDigest,omitempty"`
-	ResultDigest string             `json:"resultDigest,omitempty"`
+	Concurrency int                `json:"concurrency"`
+	Rate        float64            `json:"rateOpsSec,omitempty"`
+	WarmupSec   float64            `json:"warmupSec"`
+	MeasuredSec float64            `json:"measuredSec"`
+	OpsIssued   uint64             `json:"opsIssued"`
+	Ops         map[string]OpStats `json:"ops"`
+	Total       OpStats            `json:"total"`
+	Replication *LagStats          `json:"replication,omitempty"`
+	// ServerCounters are the query-path counter deltas observed on the
+	// leader's /debug/vars across the measured window: result-cache
+	// hits/misses and zone-map pruning effectiveness.
+	ServerCounters map[string]float64 `json:"serverCounters,omitempty"`
+	OpDigest       string             `json:"opDigest,omitempty"`
+	ResultDigest   string             `json:"resultDigest,omitempty"`
 }
 
 // Report is the mvolap-bench output: the build that was measured, the
@@ -124,6 +128,20 @@ func (r *Report) WriteTable(w io.Writer) error {
 		if rep := run.Replication; rep != nil {
 			fmt.Fprintf(w, "replication: %d follower(s), lag max %d records / %.0fms, mean %.1f records / %.1fms (%d samples)\n",
 				rep.Followers, rep.MaxLagRecords, rep.MaxLagMs, rep.MeanLagRecords, rep.MeanLagMs, rep.Samples)
+		}
+		if sc := run.ServerCounters; len(sc) > 0 {
+			hits, misses := sc["mvolap_query_cache_hits_total"], sc["mvolap_query_cache_misses_total"]
+			if hits+misses > 0 {
+				fmt.Fprintf(w, "query cache: %.0f hits / %.0f misses (%.1f%% hit rate), %.0f invalidations, %.0f retained, %.0f evictions\n",
+					hits, misses, 100*hits/(hits+misses),
+					sc["mvolap_query_cache_invalidations_total"],
+					sc["mvolap_query_cache_retained_total"], sc["mvolap_query_cache_evictions_total"])
+			}
+			pruned, scanned := sc["mvolap_query_facts_pruned_total"], sc["mvolap_query_facts_scanned_total"]
+			if pruned+scanned > 0 {
+				fmt.Fprintf(w, "zone maps: %.0f shards pruned, %.0f facts pruned of %.0f considered (%.1f%%)\n",
+					sc["mvolap_query_shards_pruned_total"], pruned, pruned+scanned, 100*pruned/(pruned+scanned))
+			}
 		}
 		if run.ResultDigest != "" {
 			fmt.Fprintf(w, "result digest: %s\n", run.ResultDigest)

@@ -217,8 +217,17 @@ func Run(ctx context.Context, o Options) (*RunResult, error) {
 	// run discards the warmup, measures for Duration, then stops.
 	var measuring atomic.Bool
 	var measureStart atomic.Int64 // UnixNano
+	// countersBefore holds the leader's query-path counters at the start
+	// of the measured window, so the run can report deltas.
+	var countersBefore atomic.Pointer[map[string]float64]
+	sampleCounters := func() {
+		if c := fetchServerCounters(runCtx, client, o.Leader); c != nil {
+			countersBefore.Store(&c)
+		}
+	}
 	start := time.Now()
 	if replaying || o.Warmup <= 0 {
+		sampleCounters()
 		measuring.Store(true)
 		measureStart.Store(start.UnixNano())
 	}
@@ -226,6 +235,7 @@ func Run(ctx context.Context, o Options) (*RunResult, error) {
 	if !replaying {
 		if o.Warmup > 0 {
 			timers = append(timers, time.AfterFunc(o.Warmup, func() {
+				sampleCounters()
 				measureStart.Store(time.Now().UnixNano())
 				measuring.Store(true)
 			}))
@@ -357,6 +367,11 @@ func Run(ctx context.Context, o Options) (*RunResult, error) {
 	if lag != nil {
 		res.Replication = lag.stats()
 	}
+	if before := countersBefore.Load(); before != nil {
+		if after := fetchServerCounters(ctx, client, o.Leader); after != nil {
+			res.ServerCounters = deltaCounters(*before, after)
+		}
+	}
 	// The op digest identifies the stream this run issued: a recording
 	// reports what it captured, a replay reports the stream it reissued
 	// — equal digests mean provably identical workloads.
@@ -420,6 +435,70 @@ func issue(ctx context.Context, client *http.Client, target string, op Op) (int,
 		return resp.StatusCode, nil, err
 	}
 	return resp.StatusCode, body, nil
+}
+
+// serverCounterFamilies are the query-path counter families the bench
+// reports as deltas over the measured window. In in-process mode the
+// obs registry is process-global, so the leader's /debug/vars covers
+// the followers too.
+var serverCounterFamilies = []string{
+	"mvolap_query_cache_hits_total",
+	"mvolap_query_cache_misses_total",
+	"mvolap_query_cache_evictions_total",
+	"mvolap_query_cache_invalidations_total",
+	"mvolap_query_cache_retained_total",
+	"mvolap_query_shards_pruned_total",
+	"mvolap_query_facts_pruned_total",
+	"mvolap_query_facts_scanned_total",
+}
+
+// fetchServerCounters reads the leader's /debug/vars and sums each
+// reported counter family across its label sets. A nil return means
+// the endpoint was unreachable (external servers may not expose it);
+// the run then simply omits server counters.
+func fetchServerCounters(ctx context.Context, client *http.Client, leader string) map[string]float64 {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, leader+"/debug/vars", nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	var snap map[string]map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil
+	}
+	out := make(map[string]float64, len(serverCounterFamilies))
+	for _, fam := range serverCounterFamilies {
+		sum := 0.0
+		for _, v := range snap[fam] {
+			if f, ok := v.(float64); ok {
+				sum += f
+			}
+		}
+		out[fam] = sum
+	}
+	return out
+}
+
+// deltaCounters subtracts before from after, clamping at zero (a
+// counter family appearing mid-run reads as its absolute value).
+func deltaCounters(before, after map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(after))
+	for k, v := range after {
+		d := v - before[k]
+		if d < 0 {
+			d = 0
+		}
+		out[k] = d
+	}
+	return out
 }
 
 // digestResults chains a SHA-256 over (seq, status, body hash) in op

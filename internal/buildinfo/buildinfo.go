@@ -27,36 +27,53 @@ type Info struct {
 	Go string `json:"go"`
 }
 
-// Get reads the linker-embedded build information. It never fails:
-// fields the toolchain did not record come back as "unknown" or
-// "(devel)".
+// version and commit are injected by the Makefile's -ldflags -X at
+// build time. `go build`/`go run` on a plain package path does not
+// stamp VCS information (buildvcs applies to the main module only when
+// building from its directory, and `go run` never stamps), so bench
+// reports and the build metric were showing "(devel)"/"unknown"; the
+// linker injection names the measured commit regardless of how the
+// binary was produced. When unset, the debug.ReadBuildInfo fields are
+// used as before.
+var (
+	version string
+	commit  string
+)
+
+// Get reads the linker-injected identity when present, falling back to
+// the toolchain-embedded build information. It never fails: fields
+// nobody recorded come back as "unknown" or "(devel)".
 func Get() Info {
 	info := Info{Version: "(devel)", Commit: "unknown", Go: runtime.Version()}
-	bi, ok := debug.ReadBuildInfo()
-	if !ok {
-		return info
-	}
-	if bi.Main.Version != "" {
-		info.Version = bi.Main.Version
-	}
-	var revision string
-	var dirty bool
-	for _, s := range bi.Settings {
-		switch s.Key {
-		case "vcs.revision":
-			revision = s.Value
-		case "vcs.modified":
-			dirty = s.Value == "true"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			info.Version = bi.Main.Version
+		}
+		var revision string
+		var dirty bool
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				revision = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if revision != "" {
+			if len(revision) > 12 {
+				revision = revision[:12]
+			}
+			if dirty {
+				revision += "+dirty"
+			}
+			info.Commit = revision
 		}
 	}
-	if revision != "" {
-		if len(revision) > 12 {
-			revision = revision[:12]
-		}
-		if dirty {
-			revision += "+dirty"
-		}
-		info.Commit = revision
+	if version != "" {
+		info.Version = version
+	}
+	if commit != "" {
+		info.Commit = commit
 	}
 	return info
 }

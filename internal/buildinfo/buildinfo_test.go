@@ -21,6 +21,21 @@ func TestGet(t *testing.T) {
 	}
 }
 
+// TestLdflagsOverride pins the precedence: identity injected by the
+// Makefile's -ldflags -X wins over whatever the toolchain embedded.
+func TestLdflagsOverride(t *testing.T) {
+	defer func(v, c string) { version, commit = v, c }(version, commit)
+	version, commit = "v9.9.9", "abcdef123456"
+	info := Get()
+	if info.Version != "v9.9.9" || info.Commit != "abcdef123456" {
+		t.Fatalf("ldflags identity not honored: %+v", info)
+	}
+	version, commit = "", ""
+	if info := Get(); info.Version == "v9.9.9" || info.Commit == "abcdef123456" {
+		t.Fatalf("fallback still carries the override: %+v", info)
+	}
+}
+
 func TestRegister(t *testing.T) {
 	r := obs.NewRegistry()
 	info := Register(r)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"mvolap/internal/temporal"
 )
@@ -33,6 +34,26 @@ type Dimension struct {
 	// a stale MultiVersion Fact Table behind (the old footgun where
 	// in-place mutation required a manual Invalidate call).
 	onMutate func()
+
+	// derived caches rollup structures (level assignments, ancestor
+	// sets) shared by every query over this dimension value. Clone
+	// shares the pointer — a clone's structure is content-identical to
+	// its base until mutated, and every mutation routes through
+	// notifyMutate, which detaches the mutated dimension onto a fresh
+	// cache. Readers of still-shared generations (the base, and any
+	// fact-append clones) keep filling one warm cache; cached
+	// *MemberVersion ancestors may belong to an earlier generation's
+	// member copies, which is sound because rollup consumes only their
+	// content (ID, display name), never their identity.
+	derived *dimDerived
+}
+
+// dimDerived is the detachable derived-rollup cache of one dimension
+// structure value; see the Dimension.derived field doc.
+type dimDerived struct {
+	mu     sync.RWMutex
+	levels map[temporal.Instant]map[MVID]string
+	ancs   map[ancKey][]*MemberVersion
 }
 
 // NewDimension creates an empty temporal dimension.
@@ -43,6 +64,7 @@ func NewDimension(id DimID, name string) *Dimension {
 		members:    make(map[MVID]*MemberVersion),
 		parentRels: make(map[MVID][]int),
 		childRels:  make(map[MVID][]int),
+		derived:    &dimDerived{},
 	}
 }
 
@@ -67,8 +89,14 @@ func (d *Dimension) AddVersion(mv *MemberVersion) error {
 	return nil
 }
 
-// notifyMutate reports a structural change to the owning schema.
+// notifyMutate reports a structural change to the owning schema and
+// detaches this dimension from the (possibly shared) derived rollup
+// cache onto a fresh one. Detaching rather than clearing keeps the
+// warm cache intact for every generation that still shares the old
+// structure value; mutation only ever happens on an unpublished clone
+// (copy-on-write), so no concurrent reader observes the swap.
 func (d *Dimension) notifyMutate() {
+	d.derived = &dimDerived{}
 	if d.onMutate != nil {
 		d.onMutate()
 	}
@@ -401,6 +429,99 @@ func (d *Dimension) LevelsAt(t temporal.Instant) []Level {
 	return out
 }
 
+// levelNamesAt returns the level name of every member version valid at
+// t, keyed by version ID: the rollup form of LevelsAt, skipping the
+// root-first level ordering that rollup never consults — which for
+// explicitly-levelled dimensions means skipping the depth computation
+// entirely. The map is cached on the dimension and shared by
+// concurrent queries; callers must treat it as frozen.
+func (d *Dimension) levelNamesAt(t temporal.Instant) map[MVID]string {
+	der := d.derived
+	der.mu.RLock()
+	m, ok := der.levels[t]
+	der.mu.RUnlock()
+	if ok {
+		return m
+	}
+	m = make(map[MVID]string)
+	if d.HasExplicitLevels() {
+		for _, id := range d.order {
+			if mv := d.members[id]; mv.ValidAt(t) {
+				m[id] = mv.Level
+			}
+		}
+	} else {
+		// One shared depth memo across the members: each walk reuses the
+		// ancestors already resolved by earlier ones.
+		memo := make(map[MVID]int)
+		for _, id := range d.order {
+			if !d.members[id].ValidAt(t) {
+				continue
+			}
+			if dep, ok := d.depthAt(id, t, memo); ok {
+				m[id] = fmt.Sprintf("depth-%d", dep)
+			}
+		}
+	}
+	der.mu.Lock()
+	if der.levels == nil {
+		der.levels = make(map[temporal.Instant]map[MVID]string)
+	}
+	if prev, ok := der.levels[t]; ok {
+		m = prev // keep the first writer's map so readers share one value
+	} else {
+		der.levels[t] = m
+	}
+	der.mu.Unlock()
+	return m
+}
+
+// ancestorsAtLevel returns the member versions at the named level
+// reachable upward from id in D(at), including id itself when it sits
+// at the level. Results are cached on the dimension; callers must
+// treat the returned slice as frozen.
+func (d *Dimension) ancestorsAtLevel(id MVID, level string, at temporal.Instant) []*MemberVersion {
+	key := ancKey{id: id, level: level, at: at}
+	der := d.derived
+	der.mu.RLock()
+	v, ok := der.ancs[key]
+	der.mu.RUnlock()
+	if ok {
+		return v
+	}
+	lm := d.levelNamesAt(at)
+	var out []*MemberVersion
+	seen := make(map[MVID]bool)
+	var walk func(cur MVID)
+	walk = func(cur MVID) {
+		if seen[cur] {
+			return
+		}
+		seen[cur] = true
+		if lm[cur] == level {
+			if mv := d.members[cur]; mv != nil {
+				out = append(out, mv)
+			}
+			return
+		}
+		for _, p := range d.ParentsAt(cur, at) {
+			walk(p.ID)
+		}
+	}
+	walk(id)
+	der.mu.Lock()
+	if der.ancs == nil {
+		der.ancs = make(map[ancKey][]*MemberVersion)
+	}
+	if prev, ok := der.ancs[key]; ok {
+		out = prev
+	} else {
+		der.ancs[key] = out
+	}
+	der.mu.Unlock()
+	return out
+}
+
 // LevelOf returns the level name of the member version at t, using the
 // same strategy as LevelsAt.
 func (d *Dimension) LevelOf(id MVID, t temporal.Instant) string {
@@ -528,6 +649,10 @@ func (d *Dimension) Clone() *Dimension {
 		out.parentRels[r.From] = append(out.parentRels[r.From], i)
 		out.childRels[r.To] = append(out.childRels[r.To], i)
 	}
+	// The clone's structure value is identical until mutated, so it
+	// shares the warm derived-rollup cache; the first mutation detaches
+	// it (notifyMutate).
+	out.derived = d.derived
 	return out
 }
 

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+
+	"mvolap/internal/temporal"
 )
 
 // Delta describes what one accepted mutation batch changed between a
@@ -23,6 +25,22 @@ type Delta struct {
 	// tuples already folded the old value, so every cached mode is
 	// evicted.
 	FactsReplaced bool
+	// FactsWindow, when FactsWindowKnown, is the hull of the instants
+	// of every fact the batch inserted or replaced. Whether a tuple was
+	// appended or overwritten, only its own instant's value changed, so
+	// a query result computed over a time range disjoint from this
+	// window is byte-identical before and after the batch — the TQL
+	// result cache revalidates such entries instead of dropping them.
+	FactsWindow      temporal.Interval
+	FactsWindowKnown bool
+	// StructureAdditive reports that every structural mutation in the
+	// batch only created fresh member versions with relationships up to
+	// their parents — nothing pre-existing was modified, ended, or
+	// given a new child-to-parent edge. No already-stored fact can roll
+	// up through a freshly created member (its coordinates predate it,
+	// and upward paths from them were not extended), so query results
+	// computed before the batch are byte-identical after it.
+	StructureAdditive bool
 	// StructureChanged reports that any dimension was mutated in place
 	// (evolution operators). Version modes then retain their tables
 	// only when their structure version provably survived unchanged.

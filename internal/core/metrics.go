@@ -21,7 +21,13 @@ var (
 		"Source facts dropped during materialization because no mapping chain reaches the target structure version.")
 	metFactsScanned = obs.Default().Counter(
 		"mvolap_query_facts_scanned_total",
-		"Mapped facts scanned by query aggregation.")
+		"Mapped facts scanned by query aggregation (zone-pruned shards excluded).")
+	metShardsPruned = obs.Default().Counter(
+		"mvolap_query_shards_pruned_total",
+		"MappedTable shards skipped by zone-map pruning during query scans.")
+	metFactsPruned = obs.Default().Counter(
+		"mvolap_query_facts_pruned_total",
+		"Mapped facts inside zone-pruned shards (work avoided by the scan).")
 	metQueryRows = obs.Default().Counter(
 		"mvolap_query_rows_total",
 		"Result rows emitted by query aggregation.")

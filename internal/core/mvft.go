@@ -70,6 +70,11 @@ type factShard struct {
 	cfs     []Confidence
 	sources []int32
 	avgN    []int32
+	// zone caches the shard's zone map (min/max time, per-dimension
+	// coordinate summaries). Sealed when the shard fills, invalidated
+	// by appends, carried across privatize (the copy has identical
+	// coords/times), rebuilt lazily by the query scan otherwise.
+	zone atomic.Pointer[shardZone]
 }
 
 // MappedTable is the restriction of the MultiVersion Fact Table to one
@@ -250,6 +255,9 @@ func (mt *MappedTable) privatize(si int) *factShard {
 	if src.avgN != nil {
 		cp.avgN = append([]int32(nil), src.avgN...)
 	}
+	// The copy has identical coords/times columns, so the zone map
+	// carries over; the first append into the copy clears it.
+	cp.zone.Store(src.zone.Load())
 	mt.shards[si] = cp
 	metShardsPrivatized.Inc()
 	return cp
@@ -308,6 +316,14 @@ func (mt *MappedTable) add(coords Coords, t temporal.Instant, values []float64, 
 		}
 	}
 	sh.n++
+	// Appends change the coords/times columns the zone map summarizes:
+	// drop a stale zone, and seal a freshly filled shard with its final
+	// zone (full shards never change again under this table's epoch).
+	if sh.n == MappedShardSize {
+		sh.zone.Store(buildZone(sh, mt.nd))
+	} else if sh.zone.Load() != nil {
+		sh.zone.Store(nil)
+	}
 	mt.index[string(mt.keyBuf)] = mt.n
 	mt.n++
 }

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"strings"
 	"sync"
 
 	"mvolap/internal/obs"
@@ -56,6 +55,14 @@ func bucketOf(g TimeGrain, t temporal.Instant) (key string, order int64) {
 	default:
 		return "all", 0
 	}
+}
+
+// bucketRef is a memoized bucketOf result. Fact instants repeat heavily
+// (a month of data is one instant), so the per-tuple rendering cost of
+// bucketOf collapses to a map probe.
+type bucketRef struct {
+	key   string
+	order int64
 }
 
 // GroupBy names a grouping axis: a dimension and one of its levels
@@ -210,6 +217,12 @@ func (s *Schema) executeOn(ctx context.Context, mt *MappedTable, q Query) (*Resu
 	type dice struct {
 		dimPos int
 		names  map[string]bool
+		// static marks a dice whose rollup instant does not depend on
+		// the fact time: a version mode with the dimension restricted
+		// into the structure version. Only static dices may consult a
+		// shard zone's distinct-coordinate set for pruning (a
+		// time-dependent verdict cannot disqualify a whole shard).
+		static bool
 	}
 	dices := make([]dice, 0, len(q.Filters))
 	for _, f := range q.Filters {
@@ -221,128 +234,232 @@ func (s *Schema) executeOn(ctx context.Context, mt *MappedTable, q Query) (*Resu
 		for _, n := range f.Members {
 			names[n] = true
 		}
-		dices = append(dices, dice{dimPos: pos, names: names})
+		static := q.Mode.Kind == VersionKind && q.Mode.Version != nil &&
+			q.Mode.Version.Dimension(s.dims[pos].ID) != nil
+		dices = append(dices, dice{dimPos: pos, names: names, static: static})
+	}
+
+	// skipShard consults the shard's zone map: a shard is skipped when
+	// no tuple instant can fall in the queried range, or when a static
+	// dice has an exact distinct-coordinate set none of whose members
+	// passes. Both checks are conservative — a skipped shard provably
+	// emits nothing — so pruning is invisible in the result bits.
+	skipShard := func(sh *factShard, lookup *rollupCache) bool {
+		if debugDisableZonePruning {
+			return false
+		}
+		z := sh.zoneMap(mt.nd)
+		if !z.overlapsTime(rng) {
+			return true
+		}
+		for di := range dices {
+			dc := &dices[di]
+			if !dc.static || !z.hasDistinct(dc.dimPos) {
+				continue
+			}
+			any := false
+			for _, id := range z.dims[dc.dimPos].distinct {
+				// The instant is irrelevant for a static dice.
+				if lookup.diceContains(di, dc.dimPos, id, dc.names, rng.Start) {
+					any = true
+					break
+				}
+			}
+			if !any {
+				return true
+			}
+		}
+		return false
 	}
 
 	// The scan splits into two phases. Classification — range and dice
 	// filters, rollup to the grouping levels, building each (tuple,
 	// combination) cell key — is the expensive part and carries no
-	// cross-tuple state, so it fans out across contiguous tuple ranges
-	// of the columnar shards, one rollup cache per worker. The fold —
-	// Accumulator.Add and ⊗cf per emission — is cheap but
-	// order-dependent (float Sum is not associative), so it replays the
-	// emissions sequentially in global tuple order: the exact add
-	// sequence of a sequential scan, bit-identical for any worker count.
-	type cellEmit struct {
-		tuple     int
+	// cross-tuple state, so it fans out across contiguous shard ranges
+	// of the columnar table, one rollup cache per worker, skipping
+	// whole shards their zone maps disqualify. The fold below replays
+	// the emissions partitioned by cell, preserving global tuple order
+	// within every cell.
+	// cellInfo is the per-worker interned identity of one result cell:
+	// built on the worker's first sight of the key, shared by every
+	// later emission of the same cell, so an emission is two words. The
+	// globally first emission of a cell (the one the fold creates the
+	// row from) carries the groups resolved at that first sight.
+	type cellInfo struct {
+		hash      uint32
 		timeKey   string
 		timeOrder int64
 		key       string
 		groups    []string
 		groupIDs  []MVID
 	}
-	classify := func(ctx context.Context, lo, hi int, lookup *rollupCache) ([]cellEmit, error) {
+	type cellEmit struct {
+		tuple int
+		cell  *cellInfo
+	}
+	type scanStats struct {
+		shardsPruned int
+		factsPruned  int
+		scanned      int
+	}
+	classify := func(ctx context.Context, shardLo, shardHi int, lookup *rollupCache) ([]cellEmit, scanStats, error) {
 		var out []cellEmit
+		var stats scanStats
 		perAxis := make([][]*MemberVersion, len(axes))
 		combo := make([]int, len(axes))
 		nd := mt.nd
-		for fi := lo; fi < hi; fi++ {
-			if (fi-lo)%cancelCheckStride == 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, fmt.Errorf("core: query cancelled: %w", err)
-				}
-			}
-			sh, j := mt.shardAt(fi)
-			t := sh.times[j]
-			if !rng.Contains(t) {
+		buckets := make(map[temporal.Instant]bucketRef, 64)
+		interned := make(map[string]*cellInfo, 64)
+		var keyBuf []byte
+		steps := 0
+		for si := shardLo; si < shardHi; si++ {
+			sh := mt.shards[si]
+			if sh.n == 0 {
 				continue
 			}
-			coords := sh.coords[j*nd : (j+1)*nd]
-			timeKey, timeOrder := bucketOf(q.Grain, t)
-			pass := true
-			for _, dc := range dices {
-				if !lookup.underAnyNamed(dc.dimPos, coords[dc.dimPos], dc.names, t) {
-					pass = false
-					break
-				}
-			}
-			if !pass {
+			if skipShard(sh, lookup) {
+				stats.shardsPruned++
+				stats.factsPruned += sh.n
 				continue
 			}
-			// Each axis may roll the fact up to several members (multiple
-			// hierarchies); a fact contributes to every combination.
-			skip := false
-			for ai, ax := range axes {
-				ups := lookup.ancestorsAtLevel(ax.dimPos, coords[ax.dimPos], ax.level, t)
-				if len(ups) == 0 {
-					skip = true // non-covering hierarchy: no ancestor at the level
-					break
+			base := si << shardShift
+			stats.scanned += sh.n
+			// One grow per shard at most: emissions are ~1 per passing
+			// tuple, so reserving the shard's tuple count keeps the
+			// append loop below out of growslice.
+			if need := len(out) + sh.n; need > cap(out) {
+				grown := make([]cellEmit, len(out), need)
+				copy(grown, out)
+				out = grown
+			}
+			for j := 0; j < sh.n; j++ {
+				if steps%cancelCheckStride == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, stats, fmt.Errorf("core: query cancelled: %w", err)
+					}
 				}
-				perAxis[ai] = ups
-			}
-			if skip {
-				continue
-			}
-			for i := range combo {
-				combo[i] = 0
-			}
-			for {
-				groups := make([]string, len(axes))
-				groupIDs := make([]MVID, len(axes))
-				for ai := range axes {
-					mv := perAxis[ai][combo[ai]]
-					groups[ai] = mv.DisplayName()
-					groupIDs[ai] = mv.ID
+				steps++
+				t := sh.times[j]
+				if !rng.Contains(t) {
+					continue
 				}
-				out = append(out, cellEmit{
-					tuple:     fi,
-					timeKey:   timeKey,
-					timeOrder: timeOrder,
-					key:       timeKey + "\x1e" + strings.Join(groups, "\x1f"),
-					groups:    groups,
-					groupIDs:  groupIDs,
-				})
-				// Advance the combination counter.
-				i := 0
-				for ; i < len(combo); i++ {
-					combo[i]++
-					if combo[i] < len(perAxis[i]) {
+				coords := sh.coords[j*nd : (j+1)*nd]
+				pass := true
+				for di := range dices {
+					dc := &dices[di]
+					if !lookup.diceContains(di, dc.dimPos, coords[dc.dimPos], dc.names, t) {
+						pass = false
 						break
 					}
+				}
+				if !pass {
+					continue
+				}
+				// Each axis may roll the fact up to several members
+				// (multiple hierarchies); a fact contributes to every
+				// combination.
+				skip := false
+				for ai, ax := range axes {
+					ups := lookup.ancestorsAtLevel(ax.dimPos, coords[ax.dimPos], ax.level, t)
+					if len(ups) == 0 {
+						skip = true // non-covering hierarchy: no ancestor at the level
+						break
+					}
+					perAxis[ai] = ups
+				}
+				if skip {
+					continue
+				}
+				br, ok := buckets[t]
+				if !ok {
+					br.key, br.order = bucketOf(q.Grain, t)
+					buckets[t] = br
+				}
+				for i := range combo {
 					combo[i] = 0
 				}
-				if i == len(combo) {
-					break
+				for {
+					keyBuf = append(keyBuf[:0], br.key...)
+					keyBuf = append(keyBuf, '\x1e')
+					for ai := range axes {
+						if ai > 0 {
+							keyBuf = append(keyBuf, '\x1f')
+						}
+						keyBuf = append(keyBuf, perAxis[ai][combo[ai]].DisplayName()...)
+					}
+					ci, ok := interned[string(keyBuf)] // no-alloc probe
+					if !ok {
+						key := string(keyBuf)
+						groups := make([]string, len(axes))
+						groupIDs := make([]MVID, len(axes))
+						for ai := range axes {
+							mv := perAxis[ai][combo[ai]]
+							groups[ai] = mv.DisplayName()
+							groupIDs[ai] = mv.ID
+						}
+						ci = &cellInfo{
+							hash:      fnv32(key),
+							timeKey:   br.key,
+							timeOrder: br.order,
+							key:       key,
+							groups:    groups,
+							groupIDs:  groupIDs,
+						}
+						interned[key] = ci
+					}
+					out = append(out, cellEmit{tuple: base + j, cell: ci})
+					// Advance the combination counter.
+					i := 0
+					for ; i < len(combo); i++ {
+						combo[i]++
+						if combo[i] < len(perAxis[i]) {
+							break
+						}
+						combo[i] = 0
+					}
+					if i == len(combo) {
+						break
+					}
 				}
 			}
 		}
-		return out, nil
+		return out, stats, nil
 	}
 
+	numShards := len(mt.shards)
 	workers := s.materializeWorkers(mt.Len())
+	if workers > numShards {
+		workers = numShards
+	}
+	if workers < 1 {
+		workers = 1
+	}
 	var emitChunks [][]cellEmit
+	var total scanStats
 	if workers <= 1 {
-		emits, err := classify(ctx, 0, mt.Len(), lookup)
+		emits, st, err := classify(ctx, 0, numShards, lookup)
 		if err != nil {
 			metQueryCancelled.Inc()
 			return nil, err
 		}
+		total = st
 		emitChunks = [][]cellEmit{emits}
 	} else {
 		emitChunks = make([][]cellEmit, workers)
+		statsBy := make([]scanStats, workers)
 		errs := make([]error, workers)
-		chunk := (mt.Len() + workers - 1) / workers
+		chunk := (numShards + workers - 1) / workers
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			lo := w * chunk
-			hi := min(lo+chunk, mt.Len())
+			hi := min(lo+chunk, numShards)
 			if lo >= hi {
 				break
 			}
 			wg.Add(1)
 			go func(w, lo, hi int) {
 				defer wg.Done()
-				emitChunks[w], errs[w] = classify(ctx, lo, hi, newRollupCache(s, q.Mode))
+				emitChunks[w], statsBy[w], errs[w] = classify(ctx, lo, hi, newRollupCache(s, q.Mode))
 			}(w, lo, hi)
 		}
 		wg.Wait()
@@ -352,61 +469,102 @@ func (s *Schema) executeOn(ctx context.Context, mt *MappedTable, q Query) (*Resu
 				return nil, err
 			}
 		}
+		for _, st := range statsBy {
+			total.shardsPruned += st.shardsPruned
+			total.factsPruned += st.factsPruned
+			total.scanned += st.scanned
+		}
 	}
+	metShardsPruned.Add(int64(total.shardsPruned))
+	metFactsPruned.Add(int64(total.factsPruned))
+	metFactsScanned.Add(int64(total.scanned))
 
+	// The fold — Accumulator.Add and ⊗cf per emission — is
+	// order-dependent (float Sum is not associative): bit-identity
+	// requires every cell to fold its emissions in global tuple order.
+	// Order only matters *within* a cell, so the fold partitions by
+	// cell — hash of the cell key modulo the fold worker count — and
+	// each fold worker replays all chunks in chunk order, processing
+	// only its own cells: the exact per-cell add sequence of a
+	// sequential fold, bit-identical at any worker count. The final
+	// sort is a total order over cells (equal sort keys imply the same
+	// cell), so row order is independent of the partitioning too.
 	type cellState struct {
 		row  *Row
 		accs []*Accumulator
 		seen []bool
 	}
-	cells := make(map[string]*cellState)
-	var order []string
 	nm := mt.nm
-	for _, emits := range emitChunks {
-		for i := range emits {
-			e := &emits[i]
-			st, ok := cells[e.key]
-			if !ok {
-				st = &cellState{
-					row: &Row{
-						TimeKey:   e.timeKey,
-						Groups:    e.groups,
-						GroupIDs:  e.groupIDs,
-						CFs:       make([]Confidence, len(mIdx)),
-						timeOrder: e.timeOrder,
-					},
-					accs: make([]*Accumulator, len(mIdx)),
-					seen: make([]bool, len(mIdx)),
+	foldPartition := func(part, nparts int) []*Row {
+		cells := make(map[string]*cellState, 64)
+		order := make([]*cellState, 0, 64)
+		for _, emits := range emitChunks {
+			for i := range emits {
+				e := &emits[i]
+				ci := e.cell
+				if nparts > 1 && ci.hash%uint32(nparts) != uint32(part) {
+					continue
 				}
+				st, ok := cells[ci.key]
+				if !ok {
+					st = &cellState{
+						row: &Row{
+							TimeKey:   ci.timeKey,
+							Groups:    ci.groups,
+							GroupIDs:  ci.groupIDs,
+							CFs:       make([]Confidence, len(mIdx)),
+							timeOrder: ci.timeOrder,
+						},
+						accs: make([]*Accumulator, len(mIdx)),
+						seen: make([]bool, len(mIdx)),
+					}
+					for k, mi := range mIdx {
+						st.accs[k] = NewAccumulator(s.measures[mi].Agg)
+					}
+					cells[ci.key] = st
+					order = append(order, st)
+				}
+				sh, j := mt.shardAt(e.tuple)
 				for k, mi := range mIdx {
-					st.accs[k] = NewAccumulator(s.measures[mi].Agg)
+					st.accs[k].Add(sh.values[j*nm+mi])
+					if !st.seen[k] {
+						st.row.CFs[k] = sh.cfs[j*nm+mi]
+						st.seen[k] = true
+					} else {
+						st.row.CFs[k] = s.alg.Combine(st.row.CFs[k], sh.cfs[j*nm+mi])
+					}
 				}
-				cells[e.key] = st
-				order = append(order, e.key)
+				st.row.N++
 			}
-			sh, j := mt.shardAt(e.tuple)
-			for k, mi := range mIdx {
-				st.accs[k].Add(sh.values[j*nm+mi])
-				if !st.seen[k] {
-					st.row.CFs[k] = sh.cfs[j*nm+mi]
-					st.seen[k] = true
-				} else {
-					st.row.CFs[k] = s.alg.Combine(st.row.CFs[k], sh.cfs[j*nm+mi])
-				}
-			}
-			st.row.N++
 		}
+		rows := make([]*Row, len(order))
+		for i, st := range order {
+			st.row.Values = make([]float64, len(mIdx))
+			for k := range mIdx {
+				st.row.Values[k] = st.accs[k].Value()
+			}
+			rows[i] = st.row
+		}
+		return rows
 	}
 
-	metFactsScanned.Add(int64(mt.Len()))
 	res := &Result{MeasureNames: mNames, GroupNames: gNames, Mode: q.Mode, Dropped: mt.Dropped}
-	for _, key := range order {
-		st := cells[key]
-		st.row.Values = make([]float64, len(mIdx))
-		for k := range mIdx {
-			st.row.Values[k] = st.accs[k].Value()
+	if workers <= 1 {
+		res.Rows = foldPartition(0, 1)
+	} else {
+		parts := make([][]*Row, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				parts[w] = foldPartition(w, workers)
+			}(w)
 		}
-		res.Rows = append(res.Rows, st.row)
+		wg.Wait()
+		for _, p := range parts {
+			res.Rows = append(res.Rows, p...)
+		}
 	}
 	sort.SliceStable(res.Rows, func(i, j int) bool {
 		a, b := res.Rows[i], res.Rows[j]
@@ -424,29 +582,72 @@ func (s *Schema) executeOn(ctx context.Context, mt *MappedTable, q Query) (*Resu
 	return res, nil
 }
 
+// fnv32 is FNV-1a over the cell key, used to partition cells across
+// fold workers deterministically.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// debugDisableZonePruning turns zone-map shard skipping off. Test-only:
+// the equivalence suites compute their reference results with pruning
+// disabled. Must not be flipped while queries are in flight.
+var debugDisableZonePruning bool
+
+// ancKey memoizes ancestorsAtLevel per (member, level, resolved
+// instant) without rendering a string key per probe.
+type ancKey struct {
+	id    MVID
+	level string
+	at    temporal.Instant
+}
+
+// diceKey memoizes a dice verdict per (member, resolved instant).
+type diceKey struct {
+	id MVID
+	at temporal.Instant
+}
+
 // rollupCache resolves "ancestors of a leaf at a level" questions for a
 // mode, caching per-instant level assignments.
 type rollupCache struct {
 	schema *Schema
 	mode   Mode
-	// levels[dimPos][instant] maps member version -> level name.
-	levels []map[temporal.Instant]map[MVID]string
-	// memo[dimPos][key] caches ancestor sets.
-	memo []map[string][]*MemberVersion
+	// diceMemo[diceIdx] caches pass/fail verdicts of one query filter:
+	// whether a coordinate lies under any of the filter's named
+	// members in the structure resolved at the given instant.
+	diceMemo []map[diceKey]bool
 }
 
 func newRollupCache(s *Schema, m Mode) *rollupCache {
-	rc := &rollupCache{
-		schema: s,
-		mode:   m,
-		levels: make([]map[temporal.Instant]map[MVID]string, len(s.dims)),
-		memo:   make([]map[string][]*MemberVersion, len(s.dims)),
+	return &rollupCache{schema: s, mode: m}
+}
+
+// diceContains is underAnyNamed memoized per query filter: the walk
+// verdict for a coordinate depends only on the resolved (dimension,
+// instant) pair, which repeats for every tuple of a month (tcm) or the
+// whole table (version modes).
+func (rc *rollupCache) diceContains(diceIdx, dimPos int, id MVID, names map[string]bool, t temporal.Instant) bool {
+	d, at := rc.dimAndInstant(dimPos, t)
+	for len(rc.diceMemo) <= diceIdx {
+		rc.diceMemo = append(rc.diceMemo, nil)
 	}
-	for i := range rc.levels {
-		rc.levels[i] = make(map[temporal.Instant]map[MVID]string)
-		rc.memo[i] = make(map[string][]*MemberVersion)
+	m := rc.diceMemo[diceIdx]
+	if m == nil {
+		m = make(map[diceKey]bool)
+		rc.diceMemo[diceIdx] = m
 	}
-	return rc
+	k := diceKey{id: id, at: at}
+	if v, ok := m[k]; ok {
+		return v
+	}
+	v := underAnyNamedIn(d, at, id, names)
+	m[k] = v
+	return v
 }
 
 // dimAndInstant picks the graph to roll up in: the structure version's
@@ -462,57 +663,26 @@ func (rc *rollupCache) dimAndInstant(dimPos int, t temporal.Instant) (*Dimension
 	return d, t
 }
 
-func (rc *rollupCache) levelMap(dimPos int, d *Dimension, t temporal.Instant) map[MVID]string {
-	if m, ok := rc.levels[dimPos][t]; ok {
-		return m
-	}
-	m := make(map[MVID]string)
-	for _, l := range d.LevelsAt(t) {
-		for _, mv := range l.Members {
-			m[mv.ID] = l.Name
-		}
-	}
-	rc.levels[dimPos][t] = m
-	return m
-}
-
 // ancestorsAtLevel returns the member versions at the named level that
 // are reachable upward from id (including id itself when it sits at the
-// level).
+// level). It delegates straight to the dimension's shared derived
+// cache — which survives clone swaps — so repeated queries over the
+// same dimension value pay the rollup walk only once process-wide.
 func (rc *rollupCache) ancestorsAtLevel(dimPos int, id MVID, level string, t temporal.Instant) []*MemberVersion {
 	d, at := rc.dimAndInstant(dimPos, t)
-	key := fmt.Sprintf("%s\x1f%s\x1f%d", id, level, int64(at))
-	if v, ok := rc.memo[dimPos][key]; ok {
-		return v
-	}
-	lm := rc.levelMap(dimPos, d, at)
-	var out []*MemberVersion
-	seen := make(map[MVID]bool)
-	var walk func(cur MVID)
-	walk = func(cur MVID) {
-		if seen[cur] {
-			return
-		}
-		seen[cur] = true
-		if lm[cur] == level {
-			if mv := d.Version(cur); mv != nil {
-				out = append(out, mv)
-			}
-			return
-		}
-		for _, p := range d.ParentsAt(cur, at) {
-			walk(p.ID)
-		}
-	}
-	walk(id)
-	rc.memo[dimPos][key] = out
-	return out
+	return d.ancestorsAtLevel(id, level, at)
 }
 
 // underAnyNamed reports whether id or any of its ancestors in the
 // mode's structure carries one of the display names.
 func (rc *rollupCache) underAnyNamed(dimPos int, id MVID, names map[string]bool, t temporal.Instant) bool {
 	d, at := rc.dimAndInstant(dimPos, t)
+	return underAnyNamedIn(d, at, id, names)
+}
+
+// underAnyNamedIn walks upward from id in the given dimension structure
+// at the given instant, looking for any of the display names.
+func underAnyNamedIn(d *Dimension, at temporal.Instant, id MVID, names map[string]bool) bool {
 	seen := make(map[MVID]bool)
 	var walk func(cur MVID) bool
 	walk = func(cur MVID) bool {

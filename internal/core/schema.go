@@ -31,11 +31,32 @@ type Schema struct {
 	mu sync.Mutex
 	// cached structure versions; invalidated on mutation.
 	svCache []*StructureVersion
+	// svPrev holds the structure versions of the last generation whose
+	// cache was invalidated: the next StructureVersions recompute reuses
+	// any version whose interval and structural signature are unchanged
+	// — together with its restricted dimensions and their warm derived
+	// rollup caches — instead of re-restricting every dimension.
+	svPrev []*StructureVersion
 	// cached MultiVersion Fact Table; invalidated on mutation.
 	mvftCache *MultiVersionFactTable
 	// matWorkers pins the MVFT materialization worker count; 0 = auto.
 	matWorkers atomic.Int32
+	// swapID is a process-unique identity for this schema value,
+	// assigned at construction and on every Clone. The serving tier
+	// mutates by clone-then-swap, so the swapID distinguishes the
+	// pre- and post-mutation states of a served schema: result caches
+	// key on it and are implicitly invalidated by every swap.
+	swapID uint64
 }
+
+// schemaSwapCounter issues process-unique schema identities.
+var schemaSwapCounter atomic.Uint64
+
+// SwapID returns the process-unique identity of this schema value.
+// Clones (the serving tier's copy-on-write mutation unit) get a fresh
+// identity, so a SwapID seen twice refers to the same immutable-while-
+// served state.
+func (s *Schema) SwapID() uint64 { return s.swapID }
 
 // SetMaterializeWorkers pins the number of workers used to materialize
 // the MultiVersion Fact Table. 0 (the default) sizes the pool to
@@ -54,6 +75,7 @@ func NewSchema(name string, measures ...Measure) *Schema {
 		measures: append([]Measure(nil), measures...),
 		alg:      PaperAlgebra(),
 		facts:    NewFactTable(len(measures)),
+		swapID:   schemaSwapCounter.Add(1),
 	}
 }
 
@@ -215,6 +237,7 @@ func (s *Schema) Clone() *Schema {
 		mappings: append([]MappingRelationship(nil), s.mappings...),
 		alg:      s.alg,
 		facts:    s.facts.Clone(),
+		swapID:   schemaSwapCounter.Add(1),
 	}
 	for _, d := range s.dims {
 		cp := d.Clone()
@@ -228,6 +251,13 @@ func (s *Schema) Clone() *Schema {
 	// cloned dimension clears the copy through its onMutate hook.
 	s.mu.Lock()
 	out.svCache = s.svCache
+	// Carry the reuse candidates too: if the clone is about to be
+	// mutated, its recompute can still salvage unchanged versions.
+	if s.svCache != nil {
+		out.svPrev = s.svCache
+	} else {
+		out.svPrev = s.svPrev
+	}
 	s.mu.Unlock()
 	out.matWorkers.Store(s.matWorkers.Load())
 	return out
@@ -240,6 +270,9 @@ func (s *Schema) Clone() *Schema {
 // MultiVersion() after the mutation see the new state.
 func (s *Schema) invalidate() {
 	s.mu.Lock()
+	if s.svCache != nil {
+		s.svPrev = s.svCache
+	}
 	s.svCache = nil
 	s.mvftCache = nil
 	s.mu.Unlock()
@@ -271,6 +304,11 @@ type StructureVersion struct {
 	// re-encoding the structure.
 	sig string
 }
+
+// Signature returns the canonical structural signature of the version
+// (empty on composed versions). Result caches mix it into their keys so
+// entries are bound to the exact structure they were computed in.
+func (v *StructureVersion) Signature() string { return v.sig }
 
 // Dimension returns this version's restriction of the dimension.
 func (v *StructureVersion) Dimension(id DimID) *Dimension {
@@ -336,10 +374,48 @@ func (s *Schema) StructureVersions() []*StructureVersion {
 		}
 		merged = append(merged, c)
 	}
+	// Versions from the invalidated generation are reused when their
+	// interval and structural signature are unchanged: the signature
+	// canonically encodes the member-version and relationship sets valid
+	// over the interval, and evolution never rewrites a member version's
+	// content in place (content changes are modelled as new versions),
+	// so an equal signature over an equal interval means the restricted
+	// dimensions — frozen snapshots sharing nothing mutable — are
+	// identical, warm derived rollup caches included. Only versions the
+	// mutation actually split or reshaped pay the restriction again.
+	prev := make(map[string]*StructureVersion, len(s.svPrev))
+	for _, sv := range s.svPrev {
+		if len(sv.dims) != len(s.dims) {
+			continue
+		}
+		ok := true
+		for j, d := range s.dims {
+			if sv.dims[j].ID != d.ID {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			prev[sv.Valid.String()+"\x00"+sv.sig] = sv
+		}
+	}
 	out := make([]*StructureVersion, 0, len(merged))
 	for i, c := range merged {
+		id := fmt.Sprintf("V%d", i+1)
+		if old, ok := prev[c.valid.String()+"\x00"+c.sig]; ok {
+			// A fresh wrapper (the positional ID may differ) over the
+			// shared read-only restrictions.
+			out = append(out, &StructureVersion{
+				ID:       id,
+				Valid:    c.valid,
+				dims:     old.dims,
+				dimIndex: old.dimIndex,
+				sig:      c.sig,
+			})
+			continue
+		}
 		sv := &StructureVersion{
-			ID:       fmt.Sprintf("V%d", i+1),
+			ID:       id,
 			Valid:    c.valid,
 			dimIndex: make(map[DimID]int),
 			sig:      c.sig,
@@ -351,6 +427,7 @@ func (s *Schema) StructureVersions() []*StructureVersion {
 		out = append(out, sv)
 	}
 	s.svCache = out
+	s.svPrev = nil
 	return out
 }
 

@@ -237,6 +237,10 @@ func (s *Schema) ImportWarmMode(exp *MappedTableExport) error {
 		if hasAvg {
 			sh.avgN = se.AvgN
 		}
+		// Adopted shards are frozen, so their zone maps are final: seal
+		// them now rather than lazily on first query, carrying the
+		// fast-path metadata through the MVMT codec round trip.
+		sh.zone.Store(buildZone(sh, nd))
 		// Tuples are already folded, so they install directly (no add()
 		// merging); a duplicate key means the export is corrupt.
 		for j := 0; j < se.N; j++ {

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"sort"
+
+	"mvolap/internal/temporal"
+)
+
+// zoneDistinctCap bounds the per-dimension distinct-coordinate set kept
+// in a shard zone map. Shards touching more distinct members than this
+// keep only the min/max bounds; dice pruning then falls back to
+// scanning the shard.
+const zoneDistinctCap = 32
+
+// zoneDim summarizes one coordinate column of a shard: lexicographic
+// min/max member version IDs plus, when small enough, the exact
+// distinct set (sorted).
+type zoneDim struct {
+	min, max MVID
+	// distinct is the sorted distinct coordinate set, nil once the
+	// shard exceeds zoneDistinctCap distinct members in this dimension.
+	distinct []MVID
+}
+
+// shardZone is the zone map of one factShard: the min/max fact instant
+// and per-dimension coordinate summaries. A zone describes the shard's
+// coords and times columns only — merge folds (which rewrite values,
+// confidences and source counts, never coordinates or times) keep it
+// valid; appends invalidate it (factShard.add clears the pointer and
+// re-seals a full shard).
+//
+// The query scan consults zones to skip shards that cannot contain a
+// tuple passing the query's time window or its prunable dice filters.
+type shardZone struct {
+	minTime, maxTime temporal.Instant
+	dims             []zoneDim
+}
+
+// buildZone computes the zone map over the first n tuples of the shard
+// columns. nd is the coordinate width.
+func buildZone(sh *factShard, nd int) *shardZone {
+	if sh.n == 0 {
+		return &shardZone{minTime: temporal.Now, maxTime: temporal.Origin}
+	}
+	z := &shardZone{
+		minTime: sh.times[0],
+		maxTime: sh.times[0],
+		dims:    make([]zoneDim, nd),
+	}
+	for _, t := range sh.times[:sh.n] {
+		if t < z.minTime {
+			z.minTime = t
+		}
+		if t > z.maxTime {
+			z.maxTime = t
+		}
+	}
+	for d := 0; d < nd; d++ {
+		set := make(map[MVID]struct{}, zoneDistinctCap+1)
+		zd := &z.dims[d]
+		zd.min = sh.coords[d]
+		zd.max = sh.coords[d]
+		for i := 0; i < sh.n; i++ {
+			id := sh.coords[i*nd+d]
+			if id < zd.min {
+				zd.min = id
+			}
+			if id > zd.max {
+				zd.max = id
+			}
+			if set != nil {
+				set[id] = struct{}{}
+				if len(set) > zoneDistinctCap {
+					set = nil
+				}
+			}
+		}
+		if set != nil {
+			zd.distinct = make([]MVID, 0, len(set))
+			for id := range set {
+				zd.distinct = append(zd.distinct, id)
+			}
+			sort.Slice(zd.distinct, func(i, j int) bool { return zd.distinct[i] < zd.distinct[j] })
+		}
+	}
+	return z
+}
+
+// zoneMap returns the shard's zone, building and caching it when
+// absent. Safe on published (read-only) shards: a concurrent duplicate
+// build stores an identical zone. Shards still receiving appends carry
+// a nil cached zone (cleared by add); callers on such tables rebuild
+// per call, which only the single-writer materialization path does.
+func (sh *factShard) zoneMap(nd int) *shardZone {
+	if z := sh.zone.Load(); z != nil {
+		return z
+	}
+	z := buildZone(sh, nd)
+	sh.zone.Store(z)
+	return z
+}
+
+// overlapsTime reports whether any tuple instant in the zone can lie in
+// the query range.
+func (z *shardZone) overlapsTime(rng temporal.Interval) bool {
+	return z.minTime <= rng.End && rng.Start <= z.maxTime
+}
+
+// hasDistinct reports whether the zone tracks the exact distinct set
+// for dimension d.
+func (z *shardZone) hasDistinct(d int) bool {
+	return d < len(z.dims) && z.dims[d].distinct != nil
+}

@@ -118,6 +118,15 @@ func (op Insert) Describe() string {
 // Touches reports the inserted version.
 func (op Insert) Touches() []core.MVID { return []core.MVID{op.ID} }
 
+// Additive reports whether the operator only creates: a fresh member
+// version plus edges from it up to its parents. Linking existing
+// children under the new member extends upward paths from pre-existing
+// coordinates, so an Insert with children is not additive. An insert
+// without an explicit level is not additive either: it can flip an
+// all-explicitly-levelled dimension to derived depth levels, renaming
+// every member's level.
+func (op Insert) Additive() bool { return len(op.Children) == 0 && op.Level != "" }
+
 // TouchedDims reports the mutated dimension.
 func (op Insert) TouchedDims() []core.DimID { return []core.DimID{op.Dim} }
 

@@ -24,6 +24,16 @@ type MappingToucher interface {
 	TouchesMappings() bool
 }
 
+// AdditiveToucher is an optional Op refinement: operators whose
+// structural footprint is purely creative — a fresh member version and
+// edges from it to its parents, nothing pre-existing modified — report
+// it, because results computed before such an operator are
+// byte-identical after it (no stored fact can roll up through a member
+// that did not exist when the fact's coordinates were written).
+type AdditiveToucher interface {
+	Additive() bool
+}
+
 // TouchSet accumulates the structural footprint of an applied operator
 // batch. An operator implementing neither refinement is folded in
 // conservatively, as if it had touched every dimension and the mapping
@@ -33,6 +43,7 @@ type TouchSet struct {
 	dims         map[core.DimID]bool
 	mappings     bool
 	conservative bool
+	nonAdditive  bool
 }
 
 // observe folds one operator's footprint into the set.
@@ -40,11 +51,17 @@ func (ts *TouchSet) observe(op Op) {
 	known := false
 	if st, ok := op.(StructureToucher); ok {
 		known = true
-		for _, d := range st.TouchedDims() {
+		touched := st.TouchedDims()
+		for _, d := range touched {
 			if ts.dims == nil {
 				ts.dims = make(map[core.DimID]bool)
 			}
 			ts.dims[d] = true
+		}
+		if len(touched) > 0 {
+			if at, ok := op.(AdditiveToucher); !ok || !at.Additive() {
+				ts.nonAdditive = true
+			}
 		}
 	}
 	if mt, ok := op.(MappingToucher); ok {
@@ -78,12 +95,20 @@ func (ts TouchSet) MappingsChanged() bool {
 	return ts.mappings || ts.conservative
 }
 
+// StructureAdditive reports that every structural change in the batch
+// was purely creative (see AdditiveToucher); false whenever nothing
+// structural changed at all.
+func (ts TouchSet) StructureAdditive() bool {
+	return len(ts.dims) > 0 && !ts.nonAdditive && !ts.conservative
+}
+
 // Delta renders the touch-set as a core.Delta for Schema.WarmFrom; the
 // caller fills in the fact-side fields (NewFacts, FactsReplaced).
 func (ts TouchSet) Delta() core.Delta {
 	return core.Delta{
-		StructureChanged: ts.StructureChanged(),
-		MappingsChanged:  ts.MappingsChanged(),
-		DimsTouched:      ts.Dims(),
+		StructureChanged:  ts.StructureChanged(),
+		MappingsChanged:   ts.MappingsChanged(),
+		StructureAdditive: ts.StructureAdditive(),
+		DimsTouched:       ts.Dims(),
 	}
 }

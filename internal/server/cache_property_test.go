@@ -1,0 +1,173 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mvolap/internal/store"
+	"mvolap/internal/workload"
+)
+
+// The serving-tier equivalence property behind the whole query fast
+// path: with zone-map pruning, the result cache (facts-window
+// retargeting and additive-evolve retention included) and the parallel
+// fold all active, every /query response must be byte-identical to a
+// server answering the same state with the cache disabled — whose
+// every answer is a fresh scan. The test drives a seeded workload of
+// queries, fact appends and evolution scripts (additive inserts and
+// reclassifies, the generator's mix) through a store-backed leader,
+// replicated to a cached and an uncached follower, and compares all
+// three at a replication barrier after every step.
+
+// propertyQuery fetches one query from all three servers at the given
+// replication barrier and requires byte-identical bodies.
+func propertyQuery(t *testing.T, stmt string, seq uint64, leader, cached, uncached *httptest.Server) {
+	t.Helper()
+	path := "/query?q=" + urlEncode(stmt)
+	if seq > 0 {
+		path += "&minWalSeq=" + strconv.FormatUint(seq, 10)
+	}
+	codeL, bodyL := get(t, leader, path)
+	codeC, bodyC := get(t, cached, path)
+	codeU, bodyU := get(t, uncached, path)
+	if codeL != codeC || codeL != codeU {
+		t.Fatalf("status diverges for %q: leader=%d cached=%d uncached=%d", stmt, codeL, codeC, codeU)
+	}
+	if codeL != http.StatusOK {
+		return // all three rejected the statement identically
+	}
+	if string(bodyL) != string(bodyU) {
+		t.Fatalf("leader (cached) diverges from uncached follower for %q:\n%s\nvs\n%s", stmt, bodyL, bodyU)
+	}
+	if string(bodyC) != string(bodyU) {
+		t.Fatalf("cached follower diverges from uncached follower for %q:\n%s\nvs\n%s", stmt, bodyC, bodyU)
+	}
+}
+
+// counterValue reads one plain counter from a server's /metrics
+// exposition (the process-global registry: all in-process servers
+// share it).
+func counterValue(t *testing.T, srv *httptest.Server, name string) float64 {
+	t.Helper()
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics = %d", code)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("parse %s: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metrics exposition missing %q", name)
+	return 0
+}
+
+func TestPropertyCachedServingByteIdentical(t *testing.T) {
+	leaderTS, leaderSrv, _ := startLeader(t, t.TempDir())
+	cachedTS, cachedRep, _ := startFollower(t, leaderTS.URL, store.ReplicaOptions{})
+	uncachedTS, uncachedRep, _ := startFollower(t, leaderTS.URL, store.ReplicaOptions{}, WithQueryCache(0))
+
+	surface := workload.SurfaceOf(leaderSrv.snapshot())
+	if err := surface.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewOpGen(11, surface, "prop")
+
+	var seq uint64
+	barrier := func() {
+		if seq == 0 {
+			return
+		}
+		waitApplied(t, cachedRep, seq)
+		waitApplied(t, uncachedRep, seq)
+	}
+	postLeader := func(path, body string) (int, []byte) {
+		code, resp := post(t, leaderTS, path, body)
+		if code == http.StatusOK {
+			var r struct {
+				WALSeq uint64 `json:"walSeq"`
+			}
+			if err := json.Unmarshal(resp, &r); err != nil {
+				t.Fatalf("%s response %q: %v", path, resp, err)
+			}
+			seq = r.WALSeq
+		}
+		return code, resp
+	}
+
+	// Seeded random interleaving. Statements repeat (the generator's
+	// keyspace is small), so the cached servers serve a mix of fresh
+	// scans, LRU hits, and entries revalidated across mutations.
+	var stmts []string
+	for i := 0; i < 60; i++ {
+		switch r := gen.Rand().Intn(10); {
+		case r < 6:
+			stmt := gen.Query()
+			stmts = append(stmts, stmt)
+			barrier()
+			propertyQuery(t, stmt, seq, leaderTS, cachedTS, uncachedTS)
+			// Replay an earlier statement too: the repeat is the one
+			// that can hit or revalidate a cache entry.
+			replay := stmts[gen.Rand().Intn(len(stmts))]
+			propertyQuery(t, replay, seq, leaderTS, cachedTS, uncachedTS)
+		case r < 8:
+			batch, err := json.Marshal(gen.FactBatch(1 + gen.Rand().Intn(3)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if code, resp := postLeader("/facts", string(batch)); code != http.StatusOK {
+				t.Fatalf("facts = %d: %s", code, resp)
+			}
+		default:
+			// Evolution scripts are additive inserts or reclassifies;
+			// a script the evolved structure no longer accepts leaves
+			// the state unchanged on every server, which is fine for
+			// the identity property.
+			postLeader("/evolve", gen.EvolveScript())
+		}
+	}
+
+	// Directed retarget coverage: cache a bounded-range query, append
+	// facts at a disjoint later instant, and require (a) byte-identity
+	// against the uncached follower and (b) that entries were
+	// revalidated rather than dropped — the facts-window path, not a
+	// wholesale flush.
+	oldRange := "SELECT Amount BY Org.Division, TIME.YEAR WHERE TIME BETWEEN 2001 AND 2002 MODE tcm"
+	barrier()
+	propertyQuery(t, oldRange, seq, leaderTS, cachedTS, uncachedTS)
+	retainedBefore := counterValue(t, leaderTS, "mvolap_query_cache_retained_total")
+	if code, resp := postLeader("/facts",
+		`[{"coords":["Dpt.Smith_id"],"time":"2015","values":[5]}]`); code != http.StatusOK {
+		t.Fatalf("facts = %d: %s", code, resp)
+	}
+	barrier()
+	propertyQuery(t, oldRange, seq, leaderTS, cachedTS, uncachedTS)
+	if after := counterValue(t, leaderTS, "mvolap_query_cache_retained_total"); after <= retainedBefore {
+		t.Fatalf("facts append at a disjoint instant retained no cache entries (%v -> %v)", retainedBefore, after)
+	}
+
+	// Directed additive-retention coverage: a fresh member with only an
+	// upward edge must retain every entry.
+	propertyQuery(t, oldRange, seq, leaderTS, cachedTS, uncachedTS)
+	retainedBefore = counterValue(t, leaderTS, "mvolap_query_cache_retained_total")
+	if code, resp := postLeader("/evolve",
+		"INSERT Org Dpt.PropNew_id Dpt.PropNew LEVEL Department AT 01/2015 PARENTS Sales_id\n"); code != http.StatusOK {
+		t.Fatalf("evolve = %d: %s", code, resp)
+	}
+	barrier()
+	propertyQuery(t, oldRange, seq, leaderTS, cachedTS, uncachedTS)
+	if after := counterValue(t, leaderTS, "mvolap_query_cache_retained_total"); after <= retainedBefore {
+		t.Fatalf("additive evolve retained no cache entries (%v -> %v)", retainedBefore, after)
+	}
+	for _, stmt := range stmts[:min(len(stmts), 10)] {
+		propertyQuery(t, stmt, seq, leaderTS, cachedTS, uncachedTS)
+	}
+}

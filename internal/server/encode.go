@@ -1,0 +1,215 @@
+package server
+
+import (
+	"math"
+	"strconv"
+	"unicode/utf8"
+)
+
+// encodeQueryResponse renders resp exactly as encodeJSON would — the
+// wire form is contractual — but writes the two-space indentation
+// directly while walking the known struct shape, instead of encoding
+// compact JSON with reflection and re-indenting it in a second pass.
+// It covers the SELECT response shape (measures, groups, rows, mode,
+// quality, dropped); responses carrying ranking, modes, lineage or a
+// trace — and any non-finite float, which encoding/json rejects —
+// fall back to encodeJSON. Byte-identity is enforced by the
+// differential tests in encode_test.go.
+func encodeQueryResponse(resp queryResponse) []byte {
+	if resp.Ranking != nil || resp.Modes != nil || resp.Lineage != "" || resp.Trace != nil {
+		return encodeJSON(resp)
+	}
+	if math.IsNaN(resp.Quality) || math.IsInf(resp.Quality, 0) {
+		return encodeJSON(resp)
+	}
+	for i := range resp.Rows {
+		for _, v := range resp.Rows[i].Values {
+			if v != nil && (math.IsNaN(*v) || math.IsInf(*v, 0)) {
+				return encodeJSON(resp)
+			}
+		}
+	}
+
+	b := make([]byte, 0, 128+160*len(resp.Rows))
+	b = append(b, '{')
+	if len(resp.Measures) > 0 {
+		b = append(b, "\n  \"measures\": "...)
+		b = appendStringArray(b, resp.Measures, 1)
+		b = append(b, ',')
+	}
+	if len(resp.Groups) > 0 {
+		b = append(b, "\n  \"groups\": "...)
+		b = appendStringArray(b, resp.Groups, 1)
+		b = append(b, ',')
+	}
+	b = append(b, "\n  \"rows\": "...)
+	switch {
+	case resp.Rows == nil:
+		b = append(b, "null"...)
+	case len(resp.Rows) == 0:
+		b = append(b, '[', ']')
+	default:
+		b = append(b, '[')
+		for i := range resp.Rows {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, "\n    "...)
+			b = appendQueryRow(b, &resp.Rows[i])
+		}
+		b = append(b, "\n  ]"...)
+	}
+	if resp.Mode != "" {
+		b = append(b, ",\n  \"mode\": "...)
+		b = appendJSONString(b, resp.Mode)
+	}
+	b = append(b, ",\n  \"quality\": "...)
+	b = appendJSONFloat(b, resp.Quality)
+	if resp.Dropped != 0 {
+		b = append(b, ",\n  \"dropped\": "...)
+		b = strconv.AppendInt(b, int64(resp.Dropped), 10)
+	}
+	b = append(b, "\n}\n"...)
+	return b
+}
+
+// appendQueryRow writes one row object at element depth 2 (its fields
+// indent to depth 3).
+func appendQueryRow(b []byte, qr *queryRow) []byte {
+	b = append(b, "{\n      \"time\": "...)
+	b = appendJSONString(b, qr.Time)
+	b = append(b, ",\n      \"groups\": "...)
+	b = appendStringArray(b, qr.Groups, 3)
+	b = append(b, ",\n      \"values\": "...)
+	switch {
+	case qr.Values == nil:
+		b = append(b, "null"...)
+	case len(qr.Values) == 0:
+		b = append(b, '[', ']')
+	default:
+		b = append(b, '[')
+		for i, v := range qr.Values {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, "\n        "...)
+			if v == nil {
+				b = append(b, "null"...)
+			} else {
+				b = appendJSONFloat(b, *v)
+			}
+		}
+		b = append(b, "\n      ]"...)
+	}
+	b = append(b, ",\n      \"cfs\": "...)
+	b = appendStringArray(b, qr.CFs, 3)
+	b = append(b, ",\n      \"colors\": "...)
+	b = appendStringArray(b, qr.Colors, 3)
+	b = append(b, "\n    }"...)
+	return b
+}
+
+// appendStringArray writes a string array whose opening bracket sits at
+// indent depth `depth` (elements indent one deeper). A nil slice is
+// null, an empty one a compact [] — matching encoding/json.
+func appendStringArray(b []byte, a []string, depth int) []byte {
+	if a == nil {
+		return append(b, "null"...)
+	}
+	if len(a) == 0 {
+		return append(b, '[', ']')
+	}
+	b = append(b, '[')
+	for i, s := range a {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendNewlineIndent(b, depth+1)
+		b = appendJSONString(b, s)
+	}
+	b = appendNewlineIndent(b, depth)
+	return append(b, ']')
+}
+
+func appendNewlineIndent(b []byte, depth int) []byte {
+	b = append(b, '\n')
+	for i := 0; i < depth; i++ {
+		b = append(b, ' ', ' ')
+	}
+	return b
+}
+
+// appendJSONFloat mirrors encoding/json's float64 encoding: shortest
+// representation, %f unless the exponent forces %e, with the exponent's
+// leading zero trimmed. The caller has excluded NaN and ±Inf.
+func appendJSONFloat(b []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		n := len(b)
+		if n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString mirrors encoding/json's string encoding with HTML
+// escaping on (the package default, and what encodeJSON emits): quotes,
+// backslashes, <, >, &, control bytes, U+2028/U+2029 and invalid UTF-8
+// are escaped exactly as encoding/json escapes them.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+				i++
+				continue
+			}
+			b = append(b, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				b = append(b, '\\', c)
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				// Control bytes other than \n, \r, \t, and the
+				// HTML-sensitive <, >, &.
+				b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			b = append(b, s[start:i]...)
+			b = append(b, "\\ufffd"...)
+			i++
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}

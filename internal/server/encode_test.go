@@ -1,0 +1,173 @@
+package server
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func fp(v float64) *float64 { return &v }
+
+// TestEncodeQueryResponseMatchesStdlib pins the hand-rolled encoder to
+// encoding/json byte for byte across the shapes and edge cases the
+// serving tier can produce.
+func TestEncodeQueryResponseMatchesStdlib(t *testing.T) {
+	cases := []struct {
+		name string
+		resp queryResponse
+	}{
+		{"empty", queryResponse{Rows: []queryRow{}}},
+		{"nil rows", queryResponse{}},
+		{"quality only", queryResponse{Rows: []queryRow{}, Quality: 0.6180339887498949}},
+		{"dropped", queryResponse{Rows: []queryRow{}, Quality: 1, Dropped: 42}},
+		{"full", queryResponse{
+			Measures: []string{"amount", "count"},
+			Groups:   []string{"Org.Division", "TIME.YEAR"},
+			Mode:     "tcm",
+			Quality:  0.875,
+			Rows: []queryRow{
+				{
+					Time:   "1999",
+					Groups: []string{"East", "1999"},
+					Values: []*float64{fp(12.5), nil},
+					CFs:    []string{"EM", "NM"},
+					Colors: []string{"green", "red"},
+				},
+				{
+					Time:   "2000-Q1",
+					Groups: []string{"West <&> \"quoted\"\nnewline\ttab"},
+					Values: []*float64{fp(0), fp(-0.0)},
+					CFs:    []string{"AM(0.50)"},
+					Colors: []string{"orange"},
+				},
+			},
+		}},
+		{"empty inner arrays", queryResponse{
+			Rows: []queryRow{{Time: "1999", Groups: []string{}, Values: []*float64{}, CFs: []string{}, Colors: []string{}}},
+		}},
+		{"nil inner arrays", queryResponse{
+			Rows: []queryRow{{Time: "1999"}},
+		}},
+		{"float extremes", queryResponse{
+			Quality: 1e-7,
+			Rows: []queryRow{{
+				Time:   "x",
+				Groups: []string{},
+				Values: []*float64{
+					fp(1e21), fp(1e20), fp(-1e21), fp(1e-6), fp(9.999999e-7),
+					fp(math.MaxFloat64), fp(math.SmallestNonzeroFloat64),
+					fp(123456789.123456789), fp(0.1), fp(-2.5),
+				},
+				CFs:    []string{},
+				Colors: []string{},
+			}},
+		}},
+		{"string edge cases", queryResponse{
+			Mode: "version at 1999",
+			Rows: []queryRow{{
+				Time: "\x00\x01\x1f\x7f",
+				Groups: []string{
+					"héllo wörld", "\u2028line\u2029sep", "日本語",
+					string([]byte{0xff, 0xfe, 'a'}), "<script>&amp;</script>",
+					"back\\slash \"quote\"",
+				},
+				Values: []*float64{},
+				CFs:    []string{},
+				Colors: []string{},
+			}},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := encodeQueryResponse(tc.resp)
+			want := encodeJSON(tc.resp)
+			if string(got) != string(want) {
+				t.Errorf("encoder diverges from encoding/json\n got: %q\nwant: %q", got, want)
+			}
+		})
+	}
+}
+
+// TestEncodeQueryResponseRandomized cross-checks the encoder against
+// encoding/json on seeded random responses: random row counts, random
+// strings over a byte alphabet rich in escapes, random floats spanning
+// the format-switch boundaries, and random nil values.
+func TestEncodeQueryResponseRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	alphabet := []byte("ab \"\\<>&\n\r\t\x00\x1fé\xff日")
+	randStr := func() string {
+		n := rng.Intn(12)
+		b := make([]byte, 0, n)
+		for i := 0; i < n; i++ {
+			b = append(b, alphabet[rng.Intn(len(alphabet))])
+		}
+		return string(b)
+	}
+	randStrs := func() []string {
+		switch rng.Intn(4) {
+		case 0:
+			return nil
+		case 1:
+			return []string{}
+		}
+		out := make([]string, rng.Intn(3)+1)
+		for i := range out {
+			out[i] = randStr()
+		}
+		return out
+	}
+	randFloat := func() float64 {
+		switch rng.Intn(5) {
+		case 0:
+			return 0
+		case 1:
+			return rng.Float64() * 1e-6 * 2 // straddles the 'e' switch
+		case 2:
+			return rng.Float64() * 2e21
+		case 3:
+			return -rng.NormFloat64() * 1e3
+		default:
+			return float64(rng.Intn(10000)) / 16
+		}
+	}
+	for trial := 0; trial < 500; trial++ {
+		resp := queryResponse{
+			Measures: randStrs(),
+			Groups:   randStrs(),
+			Mode:     randStr(),
+			Quality:  randFloat(),
+			Dropped:  rng.Intn(3),
+		}
+		if rng.Intn(8) > 0 {
+			resp.Rows = []queryRow{}
+			for i := rng.Intn(4); i > 0; i-- {
+				qr := queryRow{
+					Time:   randStr(),
+					Groups: randStrs(),
+					CFs:    randStrs(),
+					Colors: randStrs(),
+				}
+				switch rng.Intn(4) {
+				case 0:
+					qr.Values = nil
+				case 1:
+					qr.Values = []*float64{}
+				default:
+					for j := rng.Intn(4); j >= 0; j-- {
+						if rng.Intn(4) == 0 {
+							qr.Values = append(qr.Values, nil)
+						} else {
+							qr.Values = append(qr.Values, fp(randFloat()))
+						}
+					}
+				}
+				resp.Rows = append(resp.Rows, qr)
+			}
+		}
+		got := encodeQueryResponse(resp)
+		want := encodeJSON(resp)
+		if string(got) != string(want) {
+			t.Fatalf("trial %d: encoder diverges\nresp: %+v\n got: %q\nwant: %q", trial, resp, got, want)
+		}
+	}
+}

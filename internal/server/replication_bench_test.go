@@ -68,8 +68,8 @@ func benchFollower(b *testing.B, leaderURL string, seq uint64) *httptest.Server 
 	b.Helper()
 	rep := store.NewReplica(leaderURL, store.ReplicaOptions{Logger: quietLogger()})
 	s := New(nil, WithLogger(quietLogger()), WithReplica(rep))
-	rep.SetPublish(func(sch *core.Schema, applier *evolution.Applier) {
-		s.Install(sch, applier, nil)
+	rep.SetPublish(func(sch *core.Schema, applier *evolution.Applier, delta core.Delta) {
+		s.InstallDelta(sch, applier, delta)
 	})
 	ctx, cancel := context.WithCancel(context.Background())
 	go rep.Run(ctx)

@@ -63,8 +63,8 @@ func startFollower(t *testing.T, leaderURL string, opts store.ReplicaOptions, se
 	}
 	rep := store.NewReplica(leaderURL, opts)
 	s := New(nil, append([]Option{WithLogger(quietLogger()), WithReplica(rep)}, serverOpts...)...)
-	rep.SetPublish(func(sch *core.Schema, applier *evolution.Applier) {
-		s.Install(sch, applier, nil)
+	rep.SetPublish(func(sch *core.Schema, applier *evolution.Applier, delta core.Delta) {
+		s.InstallDelta(sch, applier, delta)
 	})
 	ctx, cancel := context.WithCancel(context.Background())
 	go rep.Run(ctx)

@@ -91,6 +91,15 @@ type Server struct {
 	slowQuery    time.Duration
 	enablePprof  bool
 
+	// queryCache serves repeated SELECTs with zero scan. Entries are
+	// keyed on (among others) the served schema's swap identity, so
+	// the clone-swap mutation path — /facts, /evolve, and Install,
+	// which the replica apply loop and crash recovery publish through
+	// — invalidates by construction; the swap handlers also reclaim
+	// stale entries eagerly. nil when disabled.
+	queryCache     *tql.ResultCache
+	queryCacheSize int
+
 	// closing is closed by Stop to end long-lived replication streams
 	// ahead of a graceful shutdown (Shutdown waits for handlers).
 	closing   chan struct{}
@@ -130,6 +139,16 @@ func WithPprof() Option {
 	return func(s *Server) { s.enablePprof = true }
 }
 
+// DefaultQueryCacheSize bounds the TQL result cache when WithQueryCache
+// is not given.
+const DefaultQueryCacheSize = 4096
+
+// WithQueryCache bounds the TQL result cache to n entries; n <= 0
+// disables result caching entirely.
+func WithQueryCache(n int) Option {
+	return func(s *Server) { s.queryCacheSize = n }
+}
+
 // New creates a server over the schema. A nil schema creates a server
 // that is not yet ready: /healthz answers but /readyz and every
 // warehouse endpoint return 503 until Install publishes a recovered
@@ -137,14 +156,18 @@ func WithPprof() Option {
 // recovery replays the write-ahead log.
 func New(sch *core.Schema, opts ...Option) *Server {
 	s := &Server{
-		schema:    sch,
-		applier:   evolution.NewApplier(sch),
-		logger:    slog.Default(),
-		slowQuery: 500 * time.Millisecond,
-		closing:   make(chan struct{}),
+		schema:         sch,
+		applier:        evolution.NewApplier(sch),
+		logger:         slog.Default(),
+		slowQuery:      500 * time.Millisecond,
+		queryCacheSize: DefaultQueryCacheSize,
+		closing:        make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	if s.queryCacheSize > 0 {
+		s.queryCache = tql.NewResultCache(s.queryCacheSize)
 	}
 	return s
 }
@@ -171,6 +194,35 @@ func (s *Server) Install(sch *core.Schema, applier *evolution.Applier, st *store
 	s.store = st
 	if st != nil {
 		s.warmRestored = st.RecoveryStats().WarmModes
+	}
+	// Install is the publish path of crash recovery: reclaim every
+	// result-cache entry computed against a previous schema state
+	// (their entry-held swapIDs can no longer validate either way).
+	if sch != nil {
+		s.queryCache.InvalidateExcept(sch.SwapID())
+	}
+}
+
+// InstallDelta is the replica's publish path: Install, but carrying
+// the delta the applied WAL record produced, so the result cache can
+// revalidate entries an insert-only facts append provably cannot
+// affect instead of dropping everything. Followers serve the read
+// fan-out, so this is where repeated queries keep hitting across the
+// leader's append stream.
+func (s *Server) InstallDelta(sch *core.Schema, applier *evolution.Applier, delta core.Delta) {
+	if applier == nil {
+		applier = evolution.NewApplier(sch)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var prevID uint64
+	if s.schema != nil {
+		prevID = s.schema.SwapID()
+	}
+	s.schema = sch
+	s.applier = applier
+	if sch != nil {
+		s.queryCache.Invalidate(prevID, sch.SwapID(), delta)
 	}
 }
 
@@ -308,9 +360,17 @@ func jsonError(w http.ResponseWriter, status int, err error) {
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
+	w.Write(encodeJSON(v))
+}
+
+// encodeJSON renders v in the server's wire form (two-space indent,
+// trailing newline — exactly what json.Encoder.SetIndent produced).
+func encodeJSON(v any) []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
 	enc.Encode(v)
+	return buf.Bytes()
 }
 
 // queryResponse is the JSON shape of a query result. Rows is always
@@ -385,17 +445,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("trace") == "1" {
 		ctx, root = obs.NewTrace(ctx, "query")
 	}
-	out, err := tql.RunContext(ctx, s.snapshot(), stmt)
+	out, err := tql.RunCachedContext(ctx, s.snapshot(), stmt, quality.DefaultWeights(), s.queryCache)
 	if err != nil {
 		jsonError(w, queryStatus(err), err)
 		return
 	}
 	setQuality(r.Context(), out.Quality)
-	resp := toResponse(out)
-	if root != nil {
-		root.End()
-		resp.Trace = root.Node()
+	if root == nil {
+		// The response body is a pure function of the output, so the
+		// encoded bytes ride along with the result-cache entry: a cache
+		// hit writes them straight out, skipping rendering and JSON
+		// encoding as well as the scan.
+		body := out.RenderOnce(func() []byte { return encodeQueryResponse(toResponse(out)) })
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+		return
 	}
+	resp := toResponse(out)
+	root.End()
+	resp.Trace = root.Node()
 	writeJSON(w, resp)
 }
 
@@ -640,8 +708,10 @@ func (s *Server) handleEvolve(w http.ResponseWriter, r *http.Request) {
 		snapshotDue = due
 	}
 	s.warmCaches(r, clone, touched.Delta(), "evolve", resp)
+	prevID := s.schema.SwapID()
 	s.schema = clone
 	s.applier = applier
+	resp["queryCacheInvalidated"] = s.queryCache.Invalidate(prevID, clone.SwapID(), touched.Delta())
 	s.logger.Info("evolution applied", "ops", len(ops), "modes", len(clone.Modes()),
 		"modesRetained", resp["retainedModes"], "modesEvicted", resp["evictedModes"])
 	if snapshotDue {
@@ -716,9 +786,14 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 	} else {
 		delta.FactsReplaced = true
 	}
+	delta.FactsWindow, delta.FactsWindowKnown = store.BatchWindow(batch)
 	s.warmCaches(r, clone, delta, "facts", resp)
+	prevID := s.schema.SwapID()
 	s.schema = clone
 	s.applier = s.applier.Rebind(clone)
+	// Cached SELECTs whose time range cannot see the batch's window are
+	// revalidated rather than dropped; everything overlapping drops.
+	resp["queryCacheInvalidated"] = s.queryCache.Invalidate(prevID, clone.SwapID(), delta)
 	s.logger.Info("facts appended", "facts", len(batch), "total", clone.Facts().Len(),
 		"modesRetained", resp["retainedModes"], "modesEvicted", resp["evictedModes"])
 	if snapshotDue {

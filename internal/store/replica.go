@@ -83,7 +83,7 @@ type Replica struct {
 	client  *http.Client
 	logger  *slog.Logger
 	opts    ReplicaOptions
-	publish func(*core.Schema, *evolution.Applier)
+	publish func(*core.Schema, *evolution.Applier, core.Delta)
 
 	mu         sync.Mutex
 	sch        *core.Schema
@@ -122,14 +122,17 @@ func NewReplica(leader string, opts ReplicaOptions) *Replica {
 		client:    opts.Client,
 		logger:    opts.Logger,
 		opts:      opts,
-		publish:   func(*core.Schema, *evolution.Applier) {},
+		publish:   func(*core.Schema, *evolution.Applier, core.Delta) {},
 		appliedCh: make(chan struct{}),
 	}
 }
 
 // SetPublish installs the callback that swaps each applied clone into
-// service (typically server.Install). It must be set before Run.
-func (r *Replica) SetPublish(fn func(*core.Schema, *evolution.Applier)) {
+// service (typically server.InstallDelta). The delta describes what
+// the applied record changed — a bootstrap publishes a conservative
+// everything-changed delta — so the publisher can retain caches the
+// change provably cannot affect. It must be set before Run.
+func (r *Replica) SetPublish(fn func(*core.Schema, *evolution.Applier, core.Delta)) {
 	if fn != nil {
 		r.publish = fn
 	}
@@ -262,7 +265,7 @@ func (r *Replica) bootstrap(ctx context.Context) error {
 	restored := restoreWarmModes(sch, warm, r.logger)
 	ap := evolution.NewApplierWithLog(sch, log)
 
-	r.publish(sch, ap)
+	r.publish(sch, ap, core.Delta{FactsReplaced: true, StructureChanged: true, MappingsChanged: true})
 	r.mu.Lock()
 	r.sch, r.ap = sch, ap
 	r.applied = seq
@@ -385,11 +388,11 @@ func (r *Replica) apply(rec walRecord) error {
 	if rec.Seq != applied+1 {
 		return fmt.Errorf("replica: wal gap: applied %d, received %d", applied, rec.Seq)
 	}
-	clone, ap2, err := applyRecord(sch, ap, rec)
+	clone, ap2, delta, err := applyRecord(sch, ap, rec)
 	if err != nil {
 		return fmt.Errorf("replica: applying record %d: %w", rec.Seq, err)
 	}
-	r.publish(clone, ap2)
+	r.publish(clone, ap2, delta)
 	r.mu.Lock()
 	r.sch, r.ap = clone, ap2
 	r.applied = rec.Seq

@@ -327,7 +327,7 @@ func (st *Store) replayWAL(sch *core.Schema, applier *evolution.Applier, span *o
 			if rec.Seq != expected {
 				return nil, nil, fmt.Errorf("store: %s: missing WAL records %d..%d", path, expected, rec.Seq-1)
 			}
-			sch, applier, err = applyRecord(sch, applier, rec)
+			sch, applier, _, err = applyRecord(sch, applier, rec)
 			if err != nil {
 				return nil, nil, fmt.Errorf("store: replaying record %d: %w", rec.Seq, err)
 			}
@@ -396,13 +396,38 @@ func ApplyFact(s *core.Schema, fr FactRecord) error {
 	return s.InsertFact(coords, at, fr.Values...)
 }
 
+// BatchWindow returns the hull of the batch's fact instants — the time
+// window a replace-or-append batch could have touched — and whether
+// the batch was non-empty with every instant parseable. Shared by the
+// WAL apply path and POST /facts so leaders and followers hand the
+// same window to their result caches.
+func BatchWindow(batch []FactRecord) (temporal.Interval, bool) {
+	known := false
+	var window temporal.Interval
+	for _, fr := range batch {
+		at, err := temporal.ParseInstant(fr.Time)
+		if err != nil {
+			return temporal.Interval{}, false
+		}
+		iv := temporal.Between(at, at)
+		if !known {
+			window, known = iv, true
+		} else {
+			window = window.Hull(iv)
+		}
+	}
+	return window, known
+}
+
 // applyRecord applies one WAL record to a clone of sch (copy-on-write,
 // exactly like the serving path) and returns the evolved clone with
-// its rebound applier. Like the serving path, the clone is warmed from
-// the base before it takes over: warm-restored (or earlier-replayed)
-// tables survive the replay where the retention rules allow, with each
-// fact batch delta-folded in. WarmFrom is a no-op on a cold base.
-func applyRecord(sch *core.Schema, ap *evolution.Applier, rec walRecord) (*core.Schema, *evolution.Applier, error) {
+// its rebound applier and the delta describing what the record changed
+// (consumers use it to retain caches the change provably cannot
+// affect). Like the serving path, the clone is warmed from the base
+// before it takes over: warm-restored (or earlier-replayed) tables
+// survive the replay where the retention rules allow, with each fact
+// batch delta-folded in. WarmFrom is a no-op on a cold base.
+func applyRecord(sch *core.Schema, ap *evolution.Applier, rec walRecord) (*core.Schema, *evolution.Applier, core.Delta, error) {
 	clone := sch.Clone()
 	ap2 := ap.Rebind(clone)
 	var delta core.Delta
@@ -410,26 +435,26 @@ func applyRecord(sch *core.Schema, ap *evolution.Applier, rec walRecord) (*core.
 	case RecordEvolve:
 		var script string
 		if err := json.Unmarshal(rec.Data, &script); err != nil {
-			return nil, nil, fmt.Errorf("bad evolve payload: %w", err)
+			return nil, nil, delta, fmt.Errorf("bad evolve payload: %w", err)
 		}
 		ops, err := evolution.ParseScript(strings.NewReader(script), len(clone.Measures()))
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, delta, err
 		}
 		touched, err := ap2.ApplyTouched(ops...)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, delta, err
 		}
 		delta = touched.Delta()
 	case RecordFacts:
 		batch, err := ParseFactBatch(rec.Data)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, delta, err
 		}
 		oldLen := clone.Facts().Len()
 		for i, fr := range batch {
 			if err := ApplyFact(clone, fr); err != nil {
-				return nil, nil, fmt.Errorf("fact %d: %w", i, err)
+				return nil, nil, delta, fmt.Errorf("fact %d: %w", i, err)
 			}
 		}
 		if clone.Facts().Len() == oldLen+len(batch) {
@@ -437,11 +462,12 @@ func applyRecord(sch *core.Schema, ap *evolution.Applier, rec walRecord) (*core.
 		} else {
 			delta.FactsReplaced = true // some insert overwrote a coordinate
 		}
+		delta.FactsWindow, delta.FactsWindowKnown = BatchWindow(batch)
 	default:
-		return nil, nil, fmt.Errorf("unknown record type %q", rec.Type)
+		return nil, nil, delta, fmt.Errorf("unknown record type %q", rec.Type)
 	}
 	clone.WarmFrom(context.Background(), sch, delta)
-	return clone, ap2, nil
+	return clone, ap2, delta, nil
 }
 
 // AppendEvolve logs one accepted evolution script (the raw /evolve

@@ -1,0 +1,164 @@
+package tql
+
+import (
+	"sort"
+	"strings"
+
+	"mvolap/internal/temporal"
+)
+
+// Canonical renders the statement back to TQL text in a canonical form:
+// parsing the canonical text yields an equivalent statement whose
+// Canonical() is the same string (a parse→canonical→parse fixpoint).
+//
+// Normalizations applied:
+//   - names are quoted exactly when the lexer could not re-read them as
+//     one token (empty, or containing whitespace, ',', '.', '*');
+//   - instants are rendered as MM/YYYY regardless of how they were
+//     written (bare years, month syntax);
+//   - the MODE clause is always explicit, with the default and the
+//     explicit tcm mode both rendered as "MODE TCM";
+//   - filter member lists are sorted and deduplicated (IN is a set
+//     test) and filters are ordered by dimension, then member list —
+//     conjunction order is irrelevant;
+//   - the time-range condition, when present, always comes first in
+//     WHERE.
+//
+// Equivalent queries therefore collapse onto one canonical string,
+// which the result cache uses as the structural part of its key.
+func (st *Statement) Canonical() string {
+	var b strings.Builder
+	switch st.Kind {
+	case KindModes:
+		return "MODES"
+	case KindExplain:
+		b.WriteString("EXPLAIN ")
+		for i, id := range st.ExplainCoords {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(quoteName(string(id)))
+		}
+		b.WriteString(" AT ")
+		b.WriteString(canonicalInstant(st.ExplainAt))
+		writeCanonicalMode(&b, st)
+		return b.String()
+	case KindQuality:
+		b.WriteString("QUALITY ")
+	}
+	b.WriteString("SELECT ")
+	if len(st.Measures) == 0 {
+		b.WriteString("*")
+	} else {
+		for i, m := range st.Measures {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(quoteName(m))
+		}
+	}
+	b.WriteString(" BY ")
+	for i, ax := range st.Axes {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if ax.Time {
+			b.WriteString("TIME.")
+			b.WriteString(ax.Level)
+		} else {
+			b.WriteString(quoteName(string(ax.Dim)))
+			b.WriteString(".")
+			b.WriteString(quoteName(ax.Level))
+		}
+	}
+	if st.HasRange || len(st.Filters) > 0 {
+		b.WriteString(" WHERE ")
+		first := true
+		if st.HasRange {
+			b.WriteString("TIME BETWEEN ")
+			b.WriteString(canonicalInstant(st.Range.Start))
+			b.WriteString(" AND ")
+			b.WriteString(canonicalInstant(st.Range.End))
+			first = false
+		}
+		for _, f := range canonicalFilters(st.Filters) {
+			if !first {
+				b.WriteString(" AND ")
+			}
+			first = false
+			b.WriteString(quoteName(string(f.Dim)))
+			b.WriteString(" IN ")
+			for i, m := range f.Members {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(quoteName(m))
+			}
+		}
+	}
+	writeCanonicalMode(&b, st)
+	return b.String()
+}
+
+// writeCanonicalMode appends the always-explicit MODE clause.
+func writeCanonicalMode(b *strings.Builder, st *Statement) {
+	switch {
+	case st.HasModeID:
+		b.WriteString(" MODE ")
+		b.WriteString(quoteName(st.ModeID))
+	case st.HasModeAt:
+		b.WriteString(" MODE VERSION AT ")
+		b.WriteString(canonicalInstant(st.ModeAt))
+	default: // explicit tcm or the default mode
+		b.WriteString(" MODE TCM")
+	}
+}
+
+// canonicalFilters returns the filters with members sorted and
+// deduplicated, ordered by dimension then member list. The input is
+// not mutated.
+func canonicalFilters(fs []Filter) []Filter {
+	if len(fs) == 0 {
+		return nil
+	}
+	out := make([]Filter, len(fs))
+	for i, f := range fs {
+		ms := append([]string(nil), f.Members...)
+		sort.Strings(ms)
+		j := 0
+		for k, m := range ms {
+			if k == 0 || m != ms[j-1] {
+				ms[j] = m
+				j++
+			}
+		}
+		out[i] = Filter{Dim: f.Dim, Members: ms[:j]}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Dim != out[j].Dim {
+			return out[i].Dim < out[j].Dim
+		}
+		return strings.Join(out[i].Members, "\x1f") < strings.Join(out[j].Members, "\x1f")
+	})
+	return out
+}
+
+// canonicalInstant renders an instant so the parser reads back the same
+// value: the MM/YYYY form (temporal.Instant.String), which
+// parseInstant routes through temporal.ParseInstant. Parsed statements
+// never carry the Now/Origin sentinels (the grammar cannot produce
+// them), but render them defensively via their temporal names.
+func canonicalInstant(t temporal.Instant) string { return t.String() }
+
+// quoteName renders a name as a single lexer token: raw when the lexer
+// would read it back unchanged, single-quoted otherwise (empty names
+// and names containing whitespace or the ','/'.'/'*' punctuation).
+// Parser-produced names can never contain a quote character — the
+// lexer terminates tokens at quotes — so quoting is always lossless
+// here.
+func quoteName(s string) string {
+	if s == "" || strings.ContainsAny(s, " \t\n\r,.*'") {
+		return "'" + s + "'"
+	}
+	return s
+}

@@ -5,9 +5,13 @@ import (
 	"testing"
 )
 
-// FuzzParse checks the TQL parser never panics and that accepted
-// SELECT statements can be planned against the case-study schema
-// without panicking either.
+// FuzzParse checks the TQL parser never panics, that accepted SELECT
+// statements can be planned against the case-study schema without
+// panicking, and that canonicalization is stable: Canonical() never
+// panics, its output reparses, and parse→canonical→parse is a fixpoint
+// (the reparse canonicalizes to the same string). The fixpoint is what
+// lets the result cache use the canonical text as a key — equivalent
+// statements must collapse onto exactly one string.
 func FuzzParse(f *testing.F) {
 	seeds := []string{
 		"SELECT Amount BY Org.Division, TIME.YEAR WHERE TIME BETWEEN 2001 AND 2002 MODE tcm",
@@ -21,6 +25,8 @@ func FuzzParse(f *testing.F) {
 		"",
 		"SELECT",
 		"garbage input ' with quotes",
+		"SELECT Amount BY Org.Division, TIME.ALL WHERE Org IN Z, A, Z MODE VERSION AT 2004",
+		"SELECT 'we ird' BY 'di m'.'le vel', TIME.YEAR WHERE TIME BETWEEN 12/2001 AND 2002",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -47,6 +53,16 @@ func FuzzParse(f *testing.F) {
 		}
 		if strings.TrimSpace(input) == "" {
 			t.Fatal("accepted blank input")
+		}
+		// Canonicalization stability: the canonical text must itself
+		// parse, and canonicalizing the reparse must reproduce it.
+		canon := st.Canonical()
+		st2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form does not reparse: %q -> %q: %v", input, canon, err)
+		}
+		if again := st2.Canonical(); again != canon {
+			t.Fatalf("canonicalization is not a fixpoint:\n input: %q\n first: %q\nsecond: %q", input, canon, again)
 		}
 	})
 }

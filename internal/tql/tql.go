@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"mvolap/internal/core"
 	"mvolap/internal/metadata"
@@ -535,6 +536,24 @@ type Output struct {
 	// Lineage is set for EXPLAIN: the §5.2 provenance of the cell,
 	// already rendered.
 	Lineage string
+
+	// rendered holds a serving tier's encoded form of this output; see
+	// RenderOnce. It rides along with result-cache entries, so a cache
+	// hit skips response encoding as well as the scan.
+	rendered atomic.Pointer[[]byte]
+}
+
+// RenderOnce returns the output's cached encoded form, invoking render
+// to produce it on first use. Outputs are frozen once built, so any
+// deterministic rendering is computed at most once per output (modulo a
+// benign race) no matter how many times the result cache serves it.
+func (o *Output) RenderOnce(render func() []byte) []byte {
+	if b := o.rendered.Load(); b != nil {
+		return *b
+	}
+	b := render()
+	o.rendered.Store(&b)
+	return b
 }
 
 // Run executes a TQL statement against the schema using the default
@@ -561,6 +580,17 @@ func RunWith(s *core.Schema, input string, w quality.Weights) (*Output, error) {
 // RunWithContext is RunWith with cancellation and tracing; see
 // RunContext for the semantics.
 func RunWithContext(ctx context.Context, s *core.Schema, input string, w quality.Weights) (*Output, error) {
+	return RunCachedContext(ctx, s, input, w, nil)
+}
+
+// RunCachedContext is RunWithContext backed by a result cache: SELECT
+// statements probe the cache under a structure-aware key (canonical
+// statement text + resolved mode + structural signature + weights),
+// validated against the serving schema's swap identity, and hits
+// return the frozen cached output with zero scan, recorded as a
+// "query_cache" span. A nil cache disables caching. Cached outputs are
+// shared — callers must not mutate them.
+func RunCachedContext(ctx context.Context, s *core.Schema, input string, w quality.Weights, cache *ResultCache) (*Output, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
@@ -618,11 +648,34 @@ func RunWithContext(ctx context.Context, s *core.Schema, input string, w quality
 		if err != nil {
 			return nil, err
 		}
+		var key string
+		if cache != nil {
+			_, sp := obs.StartSpan(ctx, "query_cache")
+			key = cacheKey(st, q.Mode, w)
+			out, ok := cache.get(key, s.SwapID())
+			sp.SetAttr("hit", ok)
+			sp.End()
+			if ok {
+				metCacheHits.Inc()
+				return out, nil
+			}
+			metCacheMisses.Inc()
+		}
 		res, err := s.ExecuteContext(ctx, q)
 		if err != nil {
 			return nil, err
 		}
-		return &Output{Result: res, Quality: quality.Of(res, w)}, nil
+		out := &Output{Result: res, Quality: quality.Of(res, w)}
+		if cache != nil {
+			// The effective range mirrors the executor: a statement
+			// without WHERE TIME scans everything.
+			rng := q.Range
+			if rng == (temporal.Interval{}) {
+				rng = temporal.Always
+			}
+			cache.put(key, s.SwapID(), rng, out)
+		}
+		return out, nil
 	}
 }
 
