@@ -2,12 +2,22 @@ GO ?= go
 
 # Machine-readable benchmark record for this change series; CI uploads
 # it as an artifact so performance trajectories accumulate across
-# commits.
-BENCH ?= BENCH_7.json
+# commits. CI reads the current name via `make -s print-bench`, so
+# bumping it here is the single edit a new record series needs.
+BENCH ?= BENCH_10.json
 
 # Load-bench record: the committed mvolap-bench saturation sweep the
 # delta target diffs fresh runs against.
 BENCH_LOAD ?= BENCH_9.json
+
+# print-bench / print-bench-load let CI resolve the artifact paths from
+# this file instead of hard-coding record names in the workflow (which
+# is how a stale BENCH_7.json pin once shipped).
+.PHONY: print-bench print-bench-load
+print-bench:
+	@echo $(BENCH)
+print-bench-load:
+	@echo $(BENCH_LOAD)
 
 # Build identity injected into the binaries. `go run` and package-path
 # builds never stamp VCS info, so without this every bench report says
@@ -59,11 +69,40 @@ crash-test:
 repl-test:
 	$(GO) test -race -run 'TestAppendRejects|TestAppendFsync|TestScanWALRejects|TestStreamReader|TestHeartbeatFrame|TestWaitForSeq|TestReplication|TestFollower|TestWALEndpoints|TestStreamEnds' -v ./internal/store/... ./internal/server/...
 
+# The retraction correctness anchor under the race detector: the
+# randomized insert/retract/evolve interleaving against a cold rebuild,
+# the directed Sum/Avg subtraction fast path, and the unfold algebra.
+.PHONY: retract-test
+retract-test:
+	$(GO) test -race -count=1 -run 'TestRetraction|TestUnfold|TestFactTableRetract|TestRetractFromClone|TestTombstoneZoneRebuild' -v ./internal/core/... ./internal/evolution/...
+
 # The snapshot envelope must be deterministic: snapshotting the same
 # state twice (warm tables included) yields byte-identical files.
 .PHONY: determinism-check
 determinism-check:
 	$(GO) test -run SnapshotEnvelopeDeterministic -count=1 -v ./internal/store/
+
+# Every fuzz target for FUZZTIME each (the native Go fuzzer accepts one
+# -fuzz pattern per invocation). CI runs this in its own job; crashers
+# land in the package testdata/fuzz corpora, which CI uploads on
+# failure so a red run carries its reproducer.
+FUZZTIME ?= 30s
+.PHONY: fuzz
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseInstant$$' -fuzztime $(FUZZTIME) ./internal/temporal/
+	$(GO) test -run '^$$' -fuzz '^FuzzParseInterval$$' -fuzztime $(FUZZTIME) ./internal/temporal/
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/tql/
+	$(GO) test -run '^$$' -fuzz '^FuzzReadWrite$$' -fuzztime $(FUZZTIME) ./internal/schemaio/
+	$(GO) test -run '^$$' -fuzz '^FuzzMappedTableCodec$$' -fuzztime $(FUZZTIME) ./internal/schemaio/
+	$(GO) test -run '^$$' -fuzz '^FuzzParseSelect$$' -fuzztime $(FUZZTIME) ./internal/rolap/
+	$(GO) test -run '^$$' -fuzz '^FuzzWALRecord$$' -fuzztime $(FUZZTIME) ./internal/store/
+
+# Advisory per-package coverage summary; CI appends it to the job
+# summary. Informational by design — coverage informs, it does not
+# gate.
+.PHONY: cover
+cover:
+	$(GO) test -cover ./... | tee coverage.txt
 
 .PHONY: bench
 bench:

@@ -167,6 +167,37 @@ func (ft *FactTable) Lookup(coords Coords, t temporal.Instant) ([]float64, bool)
 // callers must not mutate it.
 func (ft *FactTable) Facts() []*Fact { return ft.facts }
 
+// Retract removes the fact at (coords, t), returning the removed tuple
+// so the caller can carry it in a Delta. The splice shifts every later
+// position, so both index layers collapse into a fresh fully owned one;
+// the *Fact tuples themselves stay shared with any clones (the removed
+// tuple is still referenced by them and by the returned pointer, which
+// callers must treat as read-only). O(n) per call — retraction is a
+// correction path, not an ingestion path.
+func (ft *FactTable) Retract(coords Coords, t temporal.Instant) (*Fact, bool) {
+	ft.keyBuf = appendFactKey(ft.keyBuf[:0], coords, t)
+	i, ok := ft.lookupKey(ft.keyBuf)
+	if !ok {
+		return nil, false
+	}
+	f := ft.facts[i]
+	ft.facts = append(ft.facts[:i], ft.facts[i+1:]...)
+	index := make(map[string]int, len(ft.facts))
+	var key []byte
+	for j, g := range ft.facts {
+		key = appendFactKey(key[:0], g.Coords, g.Time)
+		index[string(key)] = j
+	}
+	ft.index = index
+	ft.base = nil
+	ft.baseLen = 0
+	// Position-keyed ownership is meaningless after the shift; treat
+	// every tuple as shared again so a later replacing Insert privatizes.
+	ft.cowLen = len(ft.facts)
+	ft.owned = nil
+	return f, true
+}
+
 // flattenThreshold bounds the owned overlay: once it outgrows a
 // quarter of the table, a clone flattens both layers into a fresh base
 // so lookup chains never exceed two map probes and overlay copies stay

@@ -15,10 +15,17 @@ import (
 // change in and rebuilding from zero.
 type Delta struct {
 	// NewFacts is the suffix of the clone's fact table appended by the
-	// batch, in insertion order. Facts are insert-only (there is no
-	// retraction API), so folding this suffix through the mapping graph
-	// reproduces, bit for bit, the tail of a cold rebuild.
+	// batch, in insertion order. Appends never rewrite earlier tuples,
+	// so folding this suffix through the mapping graph reproduces, bit
+	// for bit, the tail of a cold rebuild.
 	NewFacts []*Fact
+	// Retracted lists the old tuples a retract batch removed from the
+	// fact table, in batch order. Carrying the full tuple (not just its
+	// key) lets WarmFrom recompute the exact emissions it contributed
+	// and subtract them out of retained modes under invertible
+	// aggregates; modes it cannot unfold exactly are evicted instead
+	// (see Schema.retractInto).
+	Retracted []*Fact
 	// FactsReplaced reports that the batch overwrote values at existing
 	// coordinates (FactTable.Insert replaces — the fact table is a
 	// function). A replacement is not an insert-only delta: merged
@@ -68,6 +75,9 @@ type WarmResult struct {
 	// DeltaApplied counts retained modes into which the fact delta was
 	// folded.
 	DeltaApplied int
+	// Subtracted counts retained modes that absorbed a retraction by
+	// unfolding (tombstones and/or subtraction) instead of rebuilding.
+	Subtracted int
 }
 
 // WarmFrom seeds the schema's MultiVersion Fact Table from the modes
@@ -169,7 +179,7 @@ func (s *Schema) WarmFrom(ctx context.Context, base *Schema, d Delta) WarmResult
 	// (mapping graph + leaf sets) from the build that produced them;
 	// one shared graph covers any that do not (e.g. snapshot imports).
 	var sharedGraph *mappingGraph
-	if len(d.NewFacts) > 0 {
+	if len(d.NewFacts) > 0 || len(d.Retracted) > 0 {
 		for _, j := range jobs {
 			if j.mode.Kind == VersionKind && j.src.graph == nil {
 				sharedGraph = newMappingGraph(s.mappings, len(s.measures), s.alg)
@@ -177,12 +187,16 @@ func (s *Schema) WarmFrom(ctx context.Context, base *Schema, d Delta) WarmResult
 			}
 		}
 	}
+	if len(d.Retracted) > 0 {
+		metRetractionsApplied.Add(int64(len(d.Retracted)))
+	}
 
 	// Clone and fold every retained mode concurrently. Each mode's fold
 	// is independent (private clone, read-only shared graph) and
 	// deterministic, so results are assembled in sorted key order
 	// regardless of completion order.
 	folded := make([]*MappedTable, len(jobs))
+	retractEvict := make([]bool, len(jobs))
 	workers := min(len(jobs), runtime.GOMAXPROCS(0))
 	if workers < 1 {
 		workers = 1
@@ -197,18 +211,29 @@ func (s *Schema) WarmFrom(ctx context.Context, base *Schema, d Delta) WarmResult
 			defer func() { <-sem }()
 			j := jobs[i]
 			out := j.src.cloneForWarm(j.mode, s.alg, s.measures)
+			if j.mode.Kind == VersionKind && (len(d.NewFacts) > 0 || len(d.Retracted) > 0) {
+				if out.graph == nil {
+					out.graph = sharedGraph
+				}
+				if out.leafIn == nil {
+					out.leafIn = s.versionLeafSets(j.mode.Version)
+				}
+			}
+			// Retractions unfold first: the fact table spliced the
+			// retracted tuples out before appending anything, so the
+			// warm table must shed them before new facts fold in.
+			if len(d.Retracted) > 0 {
+				if !s.retractInto(ctx, out, j.mode, d.Retracted) {
+					retractEvict[i] = true
+					return // folded[i] stays nil: evicted
+				}
+			}
 			if len(d.NewFacts) > 0 {
 				if j.mode.Kind == TCMKind {
 					if err := s.foldTCM(ctx, out, d.NewFacts); err != nil {
-						return // folded[i] stays nil: evicted
+						return
 					}
 				} else {
-					if out.graph == nil {
-						out.graph = sharedGraph
-					}
-					if out.leafIn == nil {
-						out.leafIn = s.versionLeafSets(j.mode.Version)
-					}
 					if err := s.mapInto(ctx, out, out.graph, out.leafIn, d.NewFacts); err != nil {
 						return
 					}
@@ -220,17 +245,26 @@ func (s *Schema) WarmFrom(ctx context.Context, base *Schema, d Delta) WarmResult
 	wg.Wait()
 
 	warm := make(map[string]*MappedTable, len(jobs))
+	evictedByRetract := 0
 	for i, j := range jobs {
 		if folded[i] == nil {
 			res.Evicted = append(res.Evicted, j.key)
+			if retractEvict[i] {
+				evictedByRetract++
+			}
 			continue
 		}
 		warm[j.key] = folded[i]
 		res.Retained = append(res.Retained, j.key)
-		if len(d.NewFacts) > 0 {
+		if len(d.NewFacts) > 0 || len(d.Retracted) > 0 {
 			res.DeltaApplied++
 		}
+		if len(d.Retracted) > 0 {
+			res.Subtracted++
+		}
 	}
+	metModesSubtracted.Add(int64(res.Subtracted))
+	metModesEvictedByRetract.Add(int64(evictedByRetract))
 
 	if len(warm) > 0 {
 		mv := s.MultiVersion()
@@ -292,6 +326,7 @@ func (mt *MappedTable) cloneForWarm(m Mode, alg ConfidenceAlgebra, measures []Me
 		Mode:     m,
 		shards:   append([]*factShard(nil), mt.shards...),
 		n:        mt.n,
+		dead:     mt.dead,
 		epoch:    shardEpochCounter.Add(1),
 		nd:       mt.nd,
 		nm:       mt.nm,
@@ -311,9 +346,11 @@ func (mt *MappedTable) cloneForWarm(m Mode, alg ConfidenceAlgebra, measures []Me
 		out.baseLen = mt.n
 		out.index = make(map[string]int)
 	case len(mt.index)*flattenThreshold > mt.n:
+		// Flattening folds the deletion shadow in: retracted keys are
+		// simply left out of the merged layer.
 		merged := make(map[string]int, len(mt.base)+len(mt.index))
 		for k, v := range mt.base {
-			if v < mt.baseLen {
+			if v < mt.baseLen && !mt.dels[k] {
 				merged[k] = v
 			}
 		}
@@ -329,6 +366,12 @@ func (mt *MappedTable) cloneForWarm(m Mode, alg ConfidenceAlgebra, measures []Me
 		out.index = make(map[string]int, len(mt.index))
 		for k, v := range mt.index {
 			out.index[k] = v
+		}
+		if len(mt.dels) > 0 {
+			out.dels = make(map[string]bool, len(mt.dels))
+			for k := range mt.dels {
+				out.dels[k] = true
+			}
 		}
 	}
 	return out

@@ -49,4 +49,13 @@ var (
 	metShardsPrivatized = obs.Default().Counter(
 		"mvolap_mvft_shards_privatized_total",
 		"Shared MappedTable storage shards deep-copied because a delta fold wrote into them.")
+	metRetractionsApplied = obs.Default().Counter(
+		"mvolap_mvft_retractions_applied_total",
+		"Retracted source facts handed to warm MVFT maintenance (per tuple, per batch).")
+	metModesSubtracted = obs.Default().Counter(
+		"mvolap_mvft_modes_subtracted_total",
+		"Retained MVFT modes that absorbed a retraction by unfolding (tombstone/subtract) instead of rebuilding.")
+	metModesEvictedByRetract = obs.Default().Counter(
+		"mvolap_mvft_modes_evicted_by_retract_total",
+		"Cached MVFT modes evicted because a retraction could not be unfolded exactly (Min/Max, non-source confidence, or inconsistent cell state).")
 )

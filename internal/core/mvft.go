@@ -98,10 +98,19 @@ type MappedTable struct {
 	nd, nm int
 	// index holds keys owned by this table; base is the frozen index
 	// layer shared with the warm-clone source (nil for a cold build)
-	// and only covers the first baseLen tuples.
+	// and only covers the first baseLen tuples. dels is the deletion
+	// shadow over base: a retraction cannot remove a key from the
+	// shared frozen layer, so it records the key here instead and
+	// lookupKey masks it. Invariant: dels is nil whenever base is nil.
 	index   map[string]int
 	base    map[string]int
 	baseLen int
+	dels    map[string]bool
+	// dead counts tombstoned tuples: slots whose sources count was
+	// zeroed by a retraction. The slot itself stays (positional
+	// indexing over fixed-size shards must not shift) but every view
+	// and scan skips it.
+	dead int
 	// Dropped counts source facts that could not be presented in this
 	// mode at all: no chain of mapping relationships reaches any member
 	// version of the target structure version ("impossible cross-points"
@@ -148,8 +157,9 @@ func newMappedTable(m Mode, alg ConfidenceAlgebra, measures []Measure, nd, capac
 	return mt
 }
 
-// Len reports the number of mapped tuples.
-func (mt *MappedTable) Len() int { return mt.n }
+// Len reports the number of live mapped tuples (tombstoned slots are
+// excluded).
+func (mt *MappedTable) Len() int { return mt.n - mt.dead }
 
 // NumShards reports the number of storage shards backing the table.
 func (mt *MappedTable) NumShards() int { return len(mt.shards) }
@@ -162,11 +172,15 @@ func (mt *MappedTable) Facts() []*MappedFact {
 	if v := mt.view.Load(); v != nil {
 		return *v
 	}
-	arena := make([]MappedFact, mt.n)
-	out := make([]*MappedFact, mt.n)
+	live := mt.n - mt.dead
+	arena := make([]MappedFact, live)
+	out := make([]*MappedFact, live)
 	i := 0
 	for _, sh := range mt.shards {
 		for j := 0; j < sh.n; j++ {
+			if sh.sources[j] == 0 {
+				continue // tombstoned by a retraction
+			}
 			mt.fillView(&arena[i], sh, j)
 			out[i] = &arena[i]
 			i++
@@ -205,6 +219,9 @@ func (mt *MappedTable) lookupKey(key []byte) (int, bool) {
 		}
 	}
 	if mt.base != nil {
+		if mt.dels != nil && mt.dels[string(key)] {
+			return 0, false
+		}
 		if i, ok := mt.base[string(key)]; ok && i < mt.baseLen {
 			return i, true
 		}

@@ -308,6 +308,7 @@ func (s *Schema) executeOn(ctx context.Context, mt *MappedTable, q Query) (*Resu
 		perAxis := make([][]*MemberVersion, len(axes))
 		combo := make([]int, len(axes))
 		nd := mt.nd
+		hasDead := mt.dead > 0
 		buckets := make(map[temporal.Instant]bucketRef, 64)
 		interned := make(map[string]*cellInfo, 64)
 		var keyBuf []byte
@@ -339,6 +340,9 @@ func (s *Schema) executeOn(ctx context.Context, mt *MappedTable, q Query) (*Resu
 					}
 				}
 				steps++
+				if hasDead && sh.sources[j] == 0 {
+					continue // tombstoned by a retraction
+				}
 				t := sh.times[j]
 				if !rng.Contains(t) {
 					continue

@@ -201,6 +201,27 @@ func (s *Schema) InsertFact(coords Coords, t temporal.Instant, values ...float64
 	return s.facts.Insert(coords, t, values...)
 }
 
+// RetractFact removes the fact stored at (coords, t) — the
+// retract/correct API's schema-level primitive — and returns the old
+// tuple so the caller can carry it in a Delta for incremental unfold.
+// Retracting a tuple that does not exist is an error and mutates
+// nothing, which is what makes batch retraction atomic at the serving
+// tier (validate each record against the clone; any miss discards the
+// whole clone).
+func (s *Schema) RetractFact(coords Coords, t temporal.Instant) (*Fact, error) {
+	if len(coords) != len(s.dims) {
+		return nil, fmt.Errorf("core: retract with %d coordinates for %d dimensions", len(coords), len(s.dims))
+	}
+	old, ok := s.facts.Retract(coords, t)
+	if !ok {
+		return nil, fmt.Errorf("core: no fact at %s %s to retract", coords.Key(), t)
+	}
+	s.mu.Lock()
+	s.mvftCache = nil // removed source data invalidates mapped presentations
+	s.mu.Unlock()
+	return old, nil
+}
+
 // MustInsertFact is InsertFact panicking on error; for fixtures.
 func (s *Schema) MustInsertFact(coords Coords, t temporal.Instant, values ...float64) {
 	if err := s.InsertFact(coords, t, values...); err != nil {

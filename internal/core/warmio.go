@@ -95,7 +95,7 @@ func (s *Schema) ExportWarmModes() []*MappedTableExport {
 			NumDims:     len(s.dims),
 			NumMeasures: len(s.measures),
 			HasAvg:      t.table.hasAvg,
-			NumFacts:    t.table.n,
+			NumFacts:    t.table.n - t.table.dead,
 			Shards:      make([]MappedShardExport, 0, len(t.table.shards)),
 		}
 		if sv := t.table.Mode.Version; t.table.Mode.Kind == VersionKind && sv != nil {
@@ -106,20 +106,57 @@ func (s *Schema) ExportWarmModes() []*MappedTableExport {
 				exp.Signature = s.signatureAt(sv.Valid.Start)
 			}
 		}
-		for _, sh := range t.table.shards {
-			se := MappedShardExport{
-				N:       sh.n,
-				Coords:  sh.coords,
-				Times:   sh.times,
-				Values:  make([]uint64, len(sh.values)),
-				CFs:     sh.cfs,
-				Sources: sh.sources,
-				AvgN:    sh.avgN,
+		if t.table.dead == 0 {
+			for _, sh := range t.table.shards {
+				se := MappedShardExport{
+					N:       sh.n,
+					Coords:  sh.coords,
+					Times:   sh.times,
+					Values:  make([]uint64, len(sh.values)),
+					CFs:     sh.cfs,
+					Sources: sh.sources,
+					AvgN:    sh.avgN,
+				}
+				for i, v := range sh.values {
+					se.Values[i] = math.Float64bits(v)
+				}
+				exp.Shards = append(exp.Shards, se)
 			}
-			for i, v := range sh.values {
-				se.Values[i] = math.Float64bits(v)
+		} else {
+			// Tombstoned slots do not travel: live tuples repack into
+			// fresh fully packed shards, in live order (the import
+			// validator rejects zero sources and underfull non-final
+			// shards, and scans define order over live tuples anyway).
+			nd, nm := t.table.nd, t.table.nm
+			var se MappedShardExport
+			flush := func() {
+				if se.N > 0 {
+					exp.Shards = append(exp.Shards, se)
+					se = MappedShardExport{}
+				}
 			}
-			exp.Shards = append(exp.Shards, se)
+			for _, sh := range t.table.shards {
+				for j := 0; j < sh.n; j++ {
+					if sh.sources[j] == 0 {
+						continue
+					}
+					se.Coords = append(se.Coords, sh.coords[j*nd:(j+1)*nd]...)
+					se.Times = append(se.Times, sh.times[j])
+					for k := 0; k < nm; k++ {
+						se.Values = append(se.Values, math.Float64bits(sh.values[j*nm+k]))
+					}
+					se.CFs = append(se.CFs, sh.cfs[j*nm:(j+1)*nm]...)
+					se.Sources = append(se.Sources, sh.sources[j])
+					if sh.avgN != nil {
+						se.AvgN = append(se.AvgN, sh.avgN[j*nm:(j+1)*nm]...)
+					}
+					se.N++
+					if se.N == MappedShardSize {
+						flush()
+					}
+				}
+			}
+			flush()
 		}
 		out = append(out, exp)
 	}

@@ -37,17 +37,32 @@ type shardZone struct {
 }
 
 // buildZone computes the zone map over the first n tuples of the shard
-// columns. nd is the coordinate width.
+// columns, skipping tombstoned slots (sources == 0) so a retraction
+// tightens the envelope instead of pinning it to dead coordinates. nd
+// is the coordinate width.
 func buildZone(sh *factShard, nd int) *shardZone {
-	if sh.n == 0 {
+	first := -1
+	for i := 0; i < sh.n; i++ {
+		if sh.sources[i] != 0 {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		// Empty (or fully tombstoned) shard: an impossible envelope, so
+		// time pruning always skips it.
 		return &shardZone{minTime: temporal.Now, maxTime: temporal.Origin}
 	}
 	z := &shardZone{
-		minTime: sh.times[0],
-		maxTime: sh.times[0],
+		minTime: sh.times[first],
+		maxTime: sh.times[first],
 		dims:    make([]zoneDim, nd),
 	}
-	for _, t := range sh.times[:sh.n] {
+	for i := first; i < sh.n; i++ {
+		if sh.sources[i] == 0 {
+			continue
+		}
+		t := sh.times[i]
 		if t < z.minTime {
 			z.minTime = t
 		}
@@ -58,9 +73,12 @@ func buildZone(sh *factShard, nd int) *shardZone {
 	for d := 0; d < nd; d++ {
 		set := make(map[MVID]struct{}, zoneDistinctCap+1)
 		zd := &z.dims[d]
-		zd.min = sh.coords[d]
-		zd.max = sh.coords[d]
-		for i := 0; i < sh.n; i++ {
+		zd.min = sh.coords[first*nd+d]
+		zd.max = zd.min
+		for i := first; i < sh.n; i++ {
+			if sh.sources[i] == 0 {
+				continue
+			}
 			id := sh.coords[i*nd+d]
 			if id < zd.min {
 				zd.min = id

@@ -1,0 +1,278 @@
+package evolution_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mvolap/internal/core"
+	"mvolap/internal/evolution"
+	"mvolap/internal/temporal"
+)
+
+// randomRetractBatch retracts 1..3 distinct existing facts from the
+// clone and returns the delta exactly as the serving tier computes it
+// (TouchSet.WithRetraction on the structure-neutral zero touch-set).
+// ok=false means the table was empty and nothing was retracted.
+func randomRetractBatch(t *testing.T, r *rand.Rand, clone *core.Schema) (core.Delta, bool) {
+	t.Helper()
+	all := clone.Facts().Facts()
+	if len(all) == 0 {
+		return core.Delta{}, false
+	}
+	n := 1 + r.Intn(3)
+	if n > len(all) {
+		n = len(all)
+	}
+	// Capture the picks up front: retraction splices the table the
+	// slice views.
+	picks := make([]*core.Fact, 0, n)
+	for _, i := range r.Perm(len(all))[:n] {
+		picks = append(picks, all[i])
+	}
+	retracted := make([]*core.Fact, 0, n)
+	for _, f := range picks {
+		old, err := clone.RetractFact(f.Coords, f.Time)
+		if err != nil {
+			t.Fatalf("retract %v@%v: %v", f.Coords, f.Time, err)
+		}
+		retracted = append(retracted, old)
+	}
+	return evolution.TouchSet{}.WithRetraction(retracted), true
+}
+
+// TestRetractionMatchesColdRebuild extends the incremental-maintenance
+// property to the unfold path: across a randomized interleaving of
+// fact batches, retraction batches and evolution scripts, a warehouse
+// maintained incrementally stays bit-identical — values, confidences,
+// contribution counts, Dropped, tuple order — to a cold rebuild over
+// the surviving facts after every step. The schema carries a Min
+// measure, so partially retracted cells always take the per-mode
+// eviction fallback and every retained table is tombstone-exact; the
+// subtraction fast path is pinned separately by
+// TestRetractionSumAvgSubtractsInPlace.
+func TestRetractionMatchesColdRebuild(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			r := rand.New(rand.NewSource(seed))
+			cur := propSchema(t, r)
+			applier := evolution.NewApplier(cur)
+
+			// Materialize everything once so there are caches to carry.
+			if _, err := cur.MultiVersion().All(); err != nil {
+				t.Fatal(err)
+			}
+
+			const steps = 24
+			for step := 0; step < steps; step++ {
+				clone := cur.Clone()
+				var delta core.Delta
+				next := applier
+				switch roll := r.Intn(10); {
+				case roll < 4:
+					delta = randomFactBatch(t, r, clone)
+					next = applier.Rebind(clone)
+				case roll < 8:
+					var ok bool
+					if delta, ok = randomRetractBatch(t, r, clone); !ok {
+						delta = randomFactBatch(t, r, clone)
+					}
+					next = applier.Rebind(clone)
+				default:
+					reb := applier.Rebind(clone)
+					ts, err := reb.ApplyTouched(randomOps(r, clone)...)
+					if err != nil {
+						continue // failed batch: clone discarded, like the server's 422
+					}
+					delta = ts.Delta()
+					next = reb
+				}
+
+				res := clone.WarmFrom(context.Background(), cur, delta)
+				if res.DeltaApplied > 0 && delta.NewFacts == nil && len(delta.Retracted) == 0 {
+					t.Fatalf("step %d: delta applied without new or retracted facts", step)
+				}
+
+				cold := clone.Clone() // identical state, cold caches
+				for _, m := range clone.Modes() {
+					warmT, err := clone.MultiVersion().Mode(m)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cm := m
+					if m.Kind == core.VersionKind {
+						cm = core.InVersion(cold.VersionByID(m.Version.ID))
+					}
+					coldT, err := cold.MultiVersion().Mode(cm)
+					if err != nil {
+						t.Fatal(err)
+					}
+					assertBitIdentical(t, step, m.String(), warmT, coldT)
+				}
+				cur, applier = clone, next
+			}
+		})
+	}
+}
+
+// retractSchema builds the directed fixture for the subtraction fast
+// path: Sum and Avg measures only (both invertible), members A and B
+// where A's validity ends with 2002 and an identity mapping A → B, so
+// the post-exclusion structure version presents A's facts at B —
+// merged with B's own source tuple at the shared instant. The
+// mapped-source fact is inserted FIRST and the native fact SECOND, so
+// retracting the native contribution leaves the cell's creation order
+// identical to a cold rebuild over the survivors.
+func retractSchema(t *testing.T) *core.Schema {
+	t.Helper()
+	s := core.NewSchema("retr",
+		core.Measure{Name: "amount", Agg: core.Sum},
+		core.Measure{Name: "score", Agg: core.Avg},
+	)
+	d := core.NewDimension("D", "D")
+	add := func(id core.MVID, level string, valid temporal.Interval) {
+		t.Helper()
+		if err := d.AddVersion(&core.MemberVersion{ID: id, Level: level, Valid: valid}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := temporal.YM(2001, 1)
+	add("top", "Top", temporal.Since(start))
+	add("A", "Leaf", temporal.Between(start, temporal.YM(2002, 12)))
+	add("B", "Leaf", temporal.Since(start))
+	for _, rel := range []core.TemporalRelationship{
+		{From: "A", To: "top", Valid: temporal.Between(start, temporal.YM(2002, 12))},
+		{From: "B", To: "top", Valid: temporal.Since(start)},
+	} {
+		if err := d.AddRelationship(rel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AddDimension(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddMapping(core.MappingRelationship{
+		From:     "A",
+		To:       "B",
+		Forward:  core.UniformMapping(2, core.Identity, core.ExactMapping),
+		Backward: core.UniformMapping(2, core.Identity, core.ExactMapping),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Integer values with exact sums: the subtraction below is exact in
+	// float64, so bit-identity with the cold rebuild is guaranteed.
+	for _, f := range []struct {
+		id   core.MVID
+		at   temporal.Instant
+		vals []float64
+	}{
+		{"A", temporal.YM(2001, 6), []float64{10, 4}}, // mapped source, first
+		{"B", temporal.YM(2001, 6), []float64{20, 6}}, // native, second
+		{"B", temporal.YM(2002, 1), []float64{7, 3}},  // untouched bystander
+	} {
+		if err := s.InsertFact(core.Coords{f.id}, f.at, f.vals...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// TestRetractionSumAvgSubtractsInPlace pins the invertible fast path:
+// retracting one contribution of a merged cell under Sum/Avg-only
+// measures must keep every mode warm — zero rematerializations — while
+// leaving each table bit-identical to a cold rebuild over the
+// surviving facts, with the cell's value subtracted and its Avg
+// contribution count decremented in place.
+func TestRetractionSumAvgSubtractsInPlace(t *testing.T) {
+	base := retractSchema(t)
+	if _, err := base.MultiVersion().All(); err != nil {
+		t.Fatal(err)
+	}
+	modes := base.Modes()
+	if len(modes) != 3 { // tcm + pre-exclusion + post-exclusion versions
+		t.Fatalf("fixture has %d modes, want 3", len(modes))
+	}
+
+	// Sanity: the post-exclusion version really merges A's mapped fact
+	// with B's native one.
+	post := base.VersionAt(temporal.YM(2003, 6))
+	if post == nil {
+		t.Fatal("no structure version after A's exclusion")
+	}
+	postT, err := base.MultiVersion().Mode(core.InVersion(post))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, ok := postT.Lookup(core.Coords{"B"}, temporal.YM(2001, 6))
+	if !ok || merged.Sources != 2 || merged.Values[0] != 30 || merged.Values[1] != 5 {
+		t.Fatalf("merged cell = %+v, %v; want sources 2, amount 30, score 5", merged, ok)
+	}
+
+	clone := base.Clone()
+	old, err := clone.RetractFact(core.Coords{"B"}, temporal.YM(2001, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := evolution.TouchSet{}.WithRetraction([]*core.Fact{old})
+	if !delta.FactsWindowKnown {
+		t.Fatal("retraction delta must carry a known facts window")
+	}
+	res := clone.WarmFrom(context.Background(), base, delta)
+	if len(res.Evicted) != 0 {
+		t.Fatalf("Sum/Avg-only retraction evicted %v, want all retained", res.Evicted)
+	}
+	if res.Subtracted != len(modes) {
+		t.Fatalf("Subtracted = %d, want %d (every mode absorbs the retraction)", res.Subtracted, len(modes))
+	}
+
+	cold := clone.Clone()
+	for _, m := range clone.Modes() {
+		warmT, err := clone.MultiVersion().Mode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cm := m
+		if m.Kind == core.VersionKind {
+			cm = core.InVersion(cold.VersionByID(m.Version.ID))
+		}
+		coldT, err := cold.MultiVersion().Mode(cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBitIdentical(t, 0, m.String(), warmT, coldT)
+	}
+	// The acceptance gate: serving every mode above came from the warm
+	// tables — the clone never rematerialized.
+	if builds := clone.MultiVersion().Materializations(); builds != 0 {
+		t.Fatalf("clone performed %d materializations, want 0", builds)
+	}
+
+	// The merged cell was subtracted in place, not rebuilt: one source
+	// left, the mapped contribution's exact values and confidence.
+	postW, err := clone.MultiVersion().Mode(core.InVersion(clone.VersionByID(post.ID)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, ok := postW.Lookup(core.Coords{"B"}, temporal.YM(2001, 6))
+	if !ok {
+		t.Fatal("subtracted cell vanished")
+	}
+	if cell.Sources != 1 || cell.Values[0] != 10 || cell.Values[1] != 4 {
+		t.Fatalf("subtracted cell = %+v; want sources 1, amount 10, score 4", cell)
+	}
+	if cell.CFs[0] != core.ExactMapping || cell.CFs[1] != core.ExactMapping {
+		t.Fatalf("subtracted cell CFs = %v; want em (sd removal leaves ⊗cf unchanged)", cell.CFs)
+	}
+
+	// The native tuple is gone from every presentation.
+	tcmW, err := clone.MultiVersion().Mode(core.TCM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tcmW.Len() != 2 {
+		t.Fatalf("tcm has %d tuples after retraction, want 2", tcmW.Len())
+	}
+}

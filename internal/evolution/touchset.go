@@ -103,7 +103,8 @@ func (ts TouchSet) StructureAdditive() bool {
 }
 
 // Delta renders the touch-set as a core.Delta for Schema.WarmFrom; the
-// caller fills in the fact-side fields (NewFacts, FactsReplaced).
+// caller fills in the fact-side fields (NewFacts, FactsReplaced,
+// Retracted — see WithRetraction for the latter).
 func (ts TouchSet) Delta() core.Delta {
 	return core.Delta{
 		StructureChanged:  ts.StructureChanged(),
@@ -111,4 +112,19 @@ func (ts TouchSet) Delta() core.Delta {
 		StructureAdditive: ts.StructureAdditive(),
 		DimsTouched:       ts.Dims(),
 	}
+}
+
+// WithRetraction classifies a fact-retraction batch on top of the
+// touch-set's structural footprint: the rendered delta carries the
+// retracted tuples and the hull of their instants as the facts window.
+// A retraction touches no dimension and no mapping — it is structure-
+// neutral — so a retraction-only batch (the zero TouchSet) yields a
+// delta under which every structurally valid mode is retained and
+// offered the unfold path; WarmFrom falls back to per-mode eviction
+// only where the subtraction cannot be proven exact.
+func (ts TouchSet) WithRetraction(retracted []*core.Fact) core.Delta {
+	d := ts.Delta()
+	d.Retracted = retracted
+	d.FactsWindow, d.FactsWindowKnown = core.FactsSpan(retracted)
+	return d
 }

@@ -262,6 +262,7 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /schema", "/schema", s.handleSchema)
 	handle("POST /evolve", "/evolve", s.handleEvolve)
 	handle("POST /facts", "/facts", s.handleFacts)
+	handle("POST /facts/retract", "/facts/retract", s.handleFactsRetract)
 	handle("POST /admin/snapshot", "/admin/snapshot", s.handleAdminSnapshot)
 	handle("GET /wal/stream", "/wal/stream", s.handleWALStream)
 	handle("GET /wal/snapshot", "/wal/snapshot", s.handleWALSnapshot)
@@ -802,6 +803,87 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// handleFactsRetract removes facts: a JSON array of {coords, time}
+// addresses. The batch is atomic with the same copy-on-write shape as
+// /facts: every record must address an existing tuple of a clone; any
+// miss returns 422 and changes nothing — in particular, nothing is
+// logged to the WAL. On success the delta carries the old tuples, so
+// warm modes subtract the retracted contributions under invertible
+// aggregates instead of rebuilding, and the TQL result cache retargets
+// entries whose time range provably cannot see the retracted window.
+// Leader-only: followers answer 403 with the leader's address.
+func (s *Server) handleFactsRetract(w http.ResponseWriter, r *http.Request) {
+	if s.forbidOnReplica(w) {
+		return
+	}
+	if !s.allowEvolve {
+		jsonError(w, http.StatusForbidden, fmt.Errorf("mutation disabled; start with WithEvolution"))
+		return
+	}
+	if s.notReady(w) {
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	batch, err := store.ParseRetractBatch(body)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	clone := s.schema.Clone()
+	retracted := make([]*core.Fact, 0, len(batch))
+	for i, rr := range batch {
+		old, err := store.ApplyRetract(clone, rr)
+		if err != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusUnprocessableEntity)
+			json.NewEncoder(w).Encode(map[string]any{
+				"error":    fmt.Sprintf("retract %d: %v", i, err),
+				"applied":  i,
+				"failedAt": i,
+				"retained": false,
+			})
+			return
+		}
+		retracted = append(retracted, old)
+	}
+	resp := map[string]any{
+		"retracted": len(batch),
+		"facts":     clone.Facts().Len(),
+	}
+	snapshotDue := false
+	if s.store != nil {
+		seq, due, err := s.store.AppendRetractBatch(batch)
+		if err != nil {
+			jsonError(w, http.StatusInternalServerError, fmt.Errorf("wal append: %w", err))
+			return
+		}
+		resp["walSeq"] = seq
+		snapshotDue = due
+	}
+	// Retraction is structure-neutral; the delta carries the old tuples
+	// so warm maintenance can unfold them (or evict where it cannot).
+	delta := evolution.TouchSet{}.WithRetraction(retracted)
+	s.warmCaches(r, clone, delta, "retract", resp)
+	prevID := s.schema.SwapID()
+	s.schema = clone
+	s.applier = s.applier.Rebind(clone)
+	// Cached SELECTs whose time range cannot see the retracted window
+	// are revalidated rather than dropped; everything overlapping drops.
+	resp["queryCacheInvalidated"] = s.queryCache.Invalidate(prevID, clone.SwapID(), delta)
+	s.logger.Info("facts retracted", "facts", len(batch), "total", clone.Facts().Len(),
+		"modesRetained", resp["retainedModes"], "modesEvicted", resp["evictedModes"])
+	if snapshotDue {
+		s.snapshotLocked("auto")
+	}
+	writeJSON(w, resp)
+}
+
 // warmCaches hands the currently served schema's materialized MVFT
 // modes to the accepted clone right before the swap, folding in only
 // the delta (core.Schema.WarmFrom) — the serving tier no longer starts
@@ -826,6 +908,11 @@ func (s *Server) warmCaches(r *http.Request, clone *core.Schema, d core.Delta, e
 	sp.SetAttr("evicted", len(res.Evicted))
 	sp.SetAttr("delta_applies", res.DeltaApplied)
 	sp.SetAttr("delta_facts", len(d.NewFacts))
+	if len(d.Retracted) > 0 {
+		sp.SetAttr("retracted_facts", len(d.Retracted))
+		sp.SetAttr("modes_subtracted", res.Subtracted)
+		resp["modesSubtracted"] = res.Subtracted
+	}
 	sp.End()
 	if res.Retained == nil {
 		res.Retained = []string{}

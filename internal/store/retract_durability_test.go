@@ -1,0 +1,171 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"mvolap/internal/core"
+	"mvolap/internal/temporal"
+)
+
+// Durability edges of the retract record type: a retraction is one WAL
+// record like any other mutation, so a crash after the append must
+// replay it byte-identically, and a crash inside it must land exactly
+// on the pre-retraction state.
+
+// buildRetractState drives the serving sequence: a fact batch (seq 1),
+// a retraction of one appended and one seed fact (seq 2), and a
+// re-insert at the retracted coordinates (seq 3 — an append, not a
+// merge, since the old tuple is gone). It returns the abandoned store
+// and the live schema bytes at each sequence point.
+func buildRetractState(t *testing.T, dir string) (st *Store, atSeq map[uint64][]byte) {
+	t.Helper()
+	st, sch, _, err := Open(dir, seedSchema(t), Options{Logger: quietLog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	atSeq = make(map[uint64][]byte)
+
+	clone := sch.Clone()
+	for _, fr := range crashFacts {
+		if err := ApplyFact(clone, fr); err != nil {
+			t.Fatalf("fact %+v: %v", fr, err)
+		}
+	}
+	if seq, _, err := st.AppendFactBatch(crashFacts); err != nil || seq != 1 {
+		t.Fatalf("facts append = %d, %v", seq, err)
+	}
+	sch = clone
+	atSeq[1] = schemaBytes(t, sch)
+
+	retract := []RetractRecord{
+		{Coords: []string{"Dpt.Bill_id"}, Time: "2004"},  // appended above
+		{Coords: []string{"Dpt.Smith_id"}, Time: "2002"}, // case-study seed fact
+	}
+	clone = sch.Clone()
+	for i, rr := range retract {
+		if _, err := ApplyRetract(clone, rr); err != nil {
+			t.Fatalf("retract %d: %v", i, err)
+		}
+	}
+	if seq, _, err := st.AppendRetractBatch(retract); err != nil || seq != 2 {
+		t.Fatalf("retract append = %d, %v", seq, err)
+	}
+	sch = clone
+	atSeq[2] = schemaBytes(t, sch)
+
+	reinsert := []FactRecord{{Coords: []string{"Dpt.Bill_id"}, Time: "2004", Values: []float64{55}}}
+	clone = sch.Clone()
+	if err := ApplyFact(clone, reinsert[0]); err != nil {
+		t.Fatal(err)
+	}
+	if seq, _, err := st.AppendFactBatch(reinsert); err != nil || seq != 3 {
+		t.Fatalf("re-insert append = %d, %v", seq, err)
+	}
+	sch = clone
+	atSeq[3] = schemaBytes(t, sch)
+	return st, atSeq
+}
+
+// TestCrashRecoveryAfterRetract kills the process right after a
+// retract-bearing history and expects a byte-identical schema on
+// reopen — the retraction replays exactly, including the re-insert
+// that follows it.
+func TestCrashRecoveryAfterRetract(t *testing.T) {
+	dir := t.TempDir()
+	_, atSeq := buildRetractState(t, dir) // store abandoned: simulated SIGKILL
+
+	st2, sch2, _, err := Open(dir, seedSchema(t), Options{Logger: quietLog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	stats := st2.RecoveryStats()
+	if stats.Replayed != 3 || stats.TornBytes != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if got := schemaBytes(t, sch2); !bytes.Equal(got, atSeq[3]) {
+		t.Errorf("recovered schema differs:\n%s\nwant:\n%s", got, atSeq[3])
+	}
+	if got := sch2.Facts().Len(); got != 11 {
+		// 10 seed + 2 appended - 2 retracted + 1 re-inserted.
+		t.Errorf("recovered fact count = %d, want 11", got)
+	}
+}
+
+// TestCrashRecoveryTornRetract cuts the WAL inside the retract record:
+// recovery must truncate the torn frame and land on the state before
+// the retraction, with both retracted tuples still present.
+func TestCrashRecoveryTornRetract(t *testing.T) {
+	dir := t.TempDir()
+	st, sch, _, err := Open(dir, seedSchema(t), Options{Logger: quietLog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := sch.Clone()
+	for _, fr := range crashFacts {
+		if err := ApplyFact(clone, fr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := st.AppendFactBatch(crashFacts); err != nil {
+		t.Fatal(err)
+	}
+	want := schemaBytes(t, clone)
+
+	walPath := currentWAL(t, dir)
+	before, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.AppendRetractBatch([]RetractRecord{{Coords: []string{"Dpt.Bill_id"}, Time: "2004"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(walPath, before.Size()+5); err != nil { // mid-record
+		t.Fatal(err)
+	}
+
+	st2, sch2, _, err := Open(dir, seedSchema(t), Options{Logger: quietLog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	stats := st2.RecoveryStats()
+	if stats.Replayed != 1 || stats.TornBytes != 5 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if got := schemaBytes(t, sch2); !bytes.Equal(got, want) {
+		t.Error("torn retract changed the recovered state")
+	}
+	at, err := temporal.ParseInstant("2004")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sch2.Facts().Lookup(core.Coords{"Dpt.Bill_id"}, at); !ok {
+		t.Error("tuple of the torn retraction is gone")
+	}
+}
+
+// TestRecoveryRefusesPhantomRetract covers log/store divergence: a
+// CRC-valid retract record addressing a tuple the store never held is
+// corruption, not a torn tail — recovery must refuse the whole WAL
+// rather than skip or partially apply the record.
+func TestRecoveryRefusesPhantomRetract(t *testing.T) {
+	dir := t.TempDir()
+	st, _, _, err := Open(dir, seedSchema(t), Options{Logger: quietLog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append a retract record without validating it against any schema —
+	// the tuple does not exist.
+	if _, _, err := st.AppendRetractBatch([]RetractRecord{{Coords: []string{"Dpt.Bill_id"}, Time: "2050"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := Open(dir, seedSchema(t), Options{Logger: quietLog()}); err == nil {
+		t.Fatal("recovery accepted a retract of a nonexistent tuple")
+	}
+}

@@ -396,6 +396,21 @@ func ApplyFact(s *core.Schema, fr FactRecord) error {
 	return s.InsertFact(coords, at, fr.Values...)
 }
 
+// ApplyRetract removes one RetractRecord's tuple from the schema,
+// parsing its instant and coordinates, and returns the old tuple for
+// the delta. Shared by WAL replay and POST /facts/retract.
+func ApplyRetract(s *core.Schema, rr RetractRecord) (*core.Fact, error) {
+	at, err := temporal.ParseInstant(rr.Time)
+	if err != nil {
+		return nil, err
+	}
+	coords := make(core.Coords, len(rr.Coords))
+	for i, c := range rr.Coords {
+		coords[i] = core.MVID(c)
+	}
+	return s.RetractFact(coords, at)
+}
+
 // BatchWindow returns the hull of the batch's fact instants — the time
 // window a replace-or-append batch could have touched — and whether
 // the batch was non-empty with every instant parseable. Shared by the
@@ -463,6 +478,23 @@ func applyRecord(sch *core.Schema, ap *evolution.Applier, rec walRecord) (*core.
 			delta.FactsReplaced = true // some insert overwrote a coordinate
 		}
 		delta.FactsWindow, delta.FactsWindowKnown = BatchWindow(batch)
+	case RecordRetract:
+		batch, err := ParseRetractBatch(rec.Data)
+		if err != nil {
+			return nil, nil, delta, err
+		}
+		retracted := make([]*core.Fact, 0, len(batch))
+		for i, rr := range batch {
+			old, err := ApplyRetract(clone, rr)
+			if err != nil {
+				// A logged retract batch was validated before the append,
+				// so a miss here means the log and the store disagree;
+				// refuse the record rather than apply it partially.
+				return nil, nil, delta, fmt.Errorf("retract %d: %w", i, err)
+			}
+			retracted = append(retracted, old)
+		}
+		delta = evolution.TouchSet{}.WithRetraction(retracted)
 	default:
 		return nil, nil, delta, fmt.Errorf("unknown record type %q", rec.Type)
 	}
@@ -488,6 +520,17 @@ func (st *Store) AppendFactBatch(batch []FactRecord) (uint64, bool, error) {
 		return 0, false, fmt.Errorf("store: %w", err)
 	}
 	return st.append(RecordFacts, data)
+}
+
+// AppendRetractBatch logs one accepted retract batch in canonical
+// form. Callers must have validated every record against the serving
+// schema first — the whole batch applies or none of it is logged.
+func (st *Store) AppendRetractBatch(batch []RetractRecord) (uint64, bool, error) {
+	data, err := json.Marshal(batch)
+	if err != nil {
+		return 0, false, fmt.Errorf("store: %w", err)
+	}
+	return st.append(RecordRetract, data)
 }
 
 func (st *Store) append(typ string, data json.RawMessage) (uint64, bool, error) {

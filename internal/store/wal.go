@@ -42,6 +42,13 @@ const (
 	RecordEvolve = "evolve"
 	// RecordFacts is a fact-batch append: a JSON array of FactRecord.
 	RecordFacts = "facts"
+	// RecordRetract is a fact-batch retraction: a JSON array of
+	// RetractRecord addressing the tuples to remove. Introducing it as a
+	// new record type (rather than a flag on RecordFacts) versions the
+	// WAL implicitly: a binary that predates retraction refuses the
+	// record cleanly in applyRecord ("unknown record type") instead of
+	// misapplying it as an append.
+	RecordRetract = "retract"
 	// RecordHeartbeat is a liveness frame on the replication stream,
 	// carrying the leader's last committed sequence. It is never
 	// written to a WAL file and never applied by a follower.
@@ -80,6 +87,29 @@ func ParseFactBatch(data []byte) ([]FactRecord, error) {
 	}
 	if len(batch) == 0 {
 		return nil, fmt.Errorf("store: fact batch is empty")
+	}
+	return batch, nil
+}
+
+// RetractRecord is the wire form of one retracted fact, shared by the
+// POST /facts/retract endpoint and the WAL: the address of the tuple
+// only. The old values are recovered from the fact table when the
+// record is applied — the log stays minimal and cannot disagree with
+// the store about what was removed.
+type RetractRecord struct {
+	Coords []string `json:"coords"`
+	Time   string   `json:"time"`
+}
+
+// ParseRetractBatch strictly decodes a JSON retract batch (the
+// POST /facts/retract body and the WAL retract-record payload).
+func ParseRetractBatch(data []byte) ([]RetractRecord, error) {
+	var batch []RetractRecord
+	if err := json.Unmarshal(data, &batch); err != nil {
+		return nil, fmt.Errorf("store: retract batch: %w", err)
+	}
+	if len(batch) == 0 {
+		return nil, fmt.Errorf("store: retract batch is empty")
 	}
 	return batch, nil
 }

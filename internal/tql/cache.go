@@ -146,10 +146,11 @@ func (c *ResultCache) put(key string, swapID uint64, rng temporal.Interval, out 
 // Routing, from the byte-identity arguments on the Delta fields:
 //   - A mapping change, or a structural change that is not purely
 //     additive, can reroute any rollup — drop everything.
-//   - A facts batch with a known time window (appends and
-//     replacements alike only change values at their own instants)
+//   - A facts batch with a known time window (appends, replacements
+//     and retractions alike only change values at their own instants)
 //     drops the entries whose time range overlaps the window and
-//     revalidates the rest.
+//     revalidates the rest — a retraction retargets entries over
+//     disjoint windows and evicts only the overlapping ones.
 //   - A purely additive structural change with no facts side touches
 //     no existing rollup path — revalidate everything.
 //   - Anything else (unknown window, conservative deltas) drops
@@ -166,7 +167,7 @@ func (c *ResultCache) Invalidate(prevSwapID, swapID uint64, delta core.Delta) in
 	if delta.MappingsChanged || (delta.StructureChanged && !delta.StructureAdditive) {
 		return c.InvalidateExcept(swapID)
 	}
-	factsTouched := delta.FactsReplaced || len(delta.NewFacts) > 0
+	factsTouched := delta.FactsReplaced || len(delta.NewFacts) > 0 || len(delta.Retracted) > 0
 	switch {
 	case factsTouched && delta.FactsWindowKnown:
 		return c.RetargetFacts(prevSwapID, swapID, delta.FactsWindow)
